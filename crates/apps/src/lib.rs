@@ -1,0 +1,39 @@
+//! # elanib-apps — the paper's application benchmarks
+//!
+//! Three applications, chosen by the paper to "cover a broad scope of
+//! application characteristics" (§2.2):
+//!
+//! * [`md`] — LAMMPS proxy: spatial-decomposition molecular dynamics,
+//!   scaled-size studies with the LJS and membrane problem sets
+//!   (Figures 2, 3, 8)
+//! * [`sweep3d`] — Sn neutron transport, KBA wavefront sweeps,
+//!   fixed-size 150³ study (Figures 4, 5)
+//! * [`nascg`] — NAS CG class A: fixed-size, cache-resident,
+//!   communication-dominated conjugate gradient (Figure 6)
+//!
+//! Each module pairs a *real* computational kernel (tested for physics
+//! / numerics correctness) with a parallel program that reproduces the
+//! communication pattern at paper scale. CG runs real distributed
+//! arithmetic end-to-end; MD and Sweep3D charge modelled compute time
+//! (see DESIGN.md, "Scale decoupling").
+
+pub mod md;
+pub mod nascg;
+pub mod sweep3d;
+
+/// One point of a scaling study (Figures 2–6).
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingPoint {
+    pub nodes: usize,
+    pub procs: usize,
+    pub time_s: f64,
+    /// Scaled studies: `T(base)/T(n)`; fixed-size studies:
+    /// `T(base)·base/(n·T(n))`. 1.0 = perfect scaling.
+    pub efficiency: f64,
+}
+
+impl ScalingPoint {
+    pub fn efficiency_pct(&self) -> f64 {
+        self.efficiency * 100.0
+    }
+}

@@ -1,0 +1,245 @@
+// Numerics convention: `for k in 0..3` indexes the xyz axes of
+// several parallel arrays at once; clippy's iterator suggestion
+// obscures that.
+#![allow(clippy::needless_range_loop)]
+
+//! A real (serial) Lennard-Jones molecular-dynamics kernel.
+//!
+//! This is the physics underneath the LAMMPS proxy: velocity-Verlet
+//! integration of an LJ fluid with a cutoff and cell lists, in reduced
+//! units — the same algorithm class as the paper's LJS data set
+//! (§2.2.1, "atomic simulations of Lennard-Jones systems"). The
+//! parallel proxy in [`crate::md::proxy`] charges *modelled* time for
+//! the paper-scale problem; this kernel exists so the physics itself is
+//! testable (energy conservation, momentum conservation, correct pair
+//! forces).
+
+/// LJ system state in reduced units (σ = ε = m = 1).
+pub struct LjSystem {
+    pub pos: Vec<[f64; 3]>,
+    pub vel: Vec<[f64; 3]>,
+    pub force: Vec<[f64; 3]>,
+    /// Cubic box edge (periodic).
+    pub box_len: f64,
+    pub cutoff: f64,
+}
+
+impl LjSystem {
+    /// Atoms on a simple cubic lattice at the given number density,
+    /// with small deterministic velocity perturbations (zero net
+    /// momentum).
+    pub fn lattice(n_per_side: usize, density: f64) -> LjSystem {
+        let n = n_per_side.pow(3);
+        let box_len = (n as f64 / density).cbrt();
+        let a = box_len / n_per_side as f64;
+        let mut pos = Vec::with_capacity(n);
+        let mut vel = Vec::with_capacity(n);
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut rand01 = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for i in 0..n_per_side {
+            for j in 0..n_per_side {
+                for k in 0..n_per_side {
+                    pos.push([
+                        (i as f64 + 0.5) * a,
+                        (j as f64 + 0.5) * a,
+                        (k as f64 + 0.5) * a,
+                    ]);
+                    vel.push([
+                        rand01() - 0.5,
+                        rand01() - 0.5,
+                        rand01() - 0.5,
+                    ]);
+                }
+            }
+        }
+        // Remove net momentum so the center of mass stays put.
+        let mut p = [0.0; 3];
+        for v in &vel {
+            for d in 0..3 {
+                p[d] += v[d];
+            }
+        }
+        for v in &mut vel {
+            for d in 0..3 {
+                v[d] -= p[d] / n as f64;
+            }
+        }
+        let mut sys = LjSystem {
+            pos,
+            vel,
+            force: vec![[0.0; 3]; n],
+            box_len,
+            cutoff: 2.5,
+        };
+        sys.compute_forces();
+        sys
+    }
+
+    pub fn n_atoms(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Minimum-image displacement from atom `i` to atom `j`.
+    fn min_image(&self, i: usize, j: usize) -> [f64; 3] {
+        let mut d = [0.0; 3];
+        for k in 0..3 {
+            let mut x = self.pos[j][k] - self.pos[i][k];
+            x -= self.box_len * (x / self.box_len).round();
+            d[k] = x;
+        }
+        d
+    }
+
+    /// Recompute forces (O(n²) with cutoff; fine at kernel-test sizes).
+    /// Returns the potential energy.
+    pub fn compute_forces(&mut self) -> f64 {
+        let n = self.n_atoms();
+        for f in &mut self.force {
+            *f = [0.0; 3];
+        }
+        let rc2 = self.cutoff * self.cutoff;
+        // Shift so the potential is continuous at the cutoff.
+        let rc6 = rc2.powi(3);
+        let e_cut = 4.0 * (1.0 / (rc6 * rc6) - 1.0 / rc6);
+        let mut pe = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = self.min_image(i, j);
+                let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                if r2 >= rc2 || r2 == 0.0 {
+                    continue;
+                }
+                let inv_r2 = 1.0 / r2;
+                let inv_r6 = inv_r2.powi(3);
+                let inv_r12 = inv_r6 * inv_r6;
+                pe += 4.0 * (inv_r12 - inv_r6) - e_cut;
+                let fmag = (48.0 * inv_r12 - 24.0 * inv_r6) * inv_r2;
+                for k in 0..3 {
+                    self.force[i][k] -= fmag * d[k];
+                    self.force[j][k] += fmag * d[k];
+                }
+            }
+        }
+        pe
+    }
+
+    /// One velocity-Verlet step; returns (kinetic, potential) energy
+    /// after the step.
+    pub fn step(&mut self, dt: f64) -> (f64, f64) {
+        let n = self.n_atoms();
+        for i in 0..n {
+            for k in 0..3 {
+                self.vel[i][k] += 0.5 * dt * self.force[i][k];
+                self.pos[i][k] += dt * self.vel[i][k];
+                self.pos[i][k] = self.pos[i][k].rem_euclid(self.box_len);
+            }
+        }
+        let pe = self.compute_forces();
+        let mut ke = 0.0;
+        for i in 0..n {
+            for k in 0..3 {
+                self.vel[i][k] += 0.5 * dt * self.force[i][k];
+                ke += 0.5 * self.vel[i][k] * self.vel[i][k];
+            }
+        }
+        (ke, pe)
+    }
+
+    pub fn total_momentum(&self) -> [f64; 3] {
+        let mut p = [0.0; 3];
+        for v in &self.vel {
+            for k in 0..3 {
+                p[k] += v[k];
+            }
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forces_are_antisymmetric_pairwise() {
+        // Newton's third law: total force is zero.
+        let mut sys = LjSystem::lattice(3, 0.8);
+        sys.compute_forces();
+        let mut total = [0.0; 3];
+        for f in &sys.force {
+            for k in 0..3 {
+                total[k] += f[k];
+            }
+        }
+        for t in total {
+            assert!(t.abs() < 1e-9, "net force {t}");
+        }
+    }
+
+    #[test]
+    fn two_atom_force_matches_analytic() {
+        // Two atoms at distance r: |F| = 48 r^-13 - 24 r^-7.
+        let mut sys = LjSystem::lattice(2, 0.005); // large box (edge ~11.7)
+        sys.pos = vec![[5.0, 5.0, 5.0], [6.2, 5.0, 5.0]];
+        sys.vel = vec![[0.0; 3]; 2];
+        sys.force = vec![[0.0; 3]; 2];
+        sys.pos.truncate(2);
+        sys.compute_forces();
+        let r: f64 = 1.2;
+        let expect = 48.0 * r.powi(-13) - 24.0 * r.powi(-7);
+        // Force on atom 0 points away from atom 1 when repulsive.
+        let got = -sys.force[0][0];
+        assert!(
+            (got - expect).abs() < 1e-9 * expect.abs().max(1.0),
+            "got {got}, expect {expect}"
+        );
+    }
+
+    #[test]
+    fn energy_is_conserved_in_nve() {
+        let mut sys = LjSystem::lattice(4, 0.7);
+        let pe0 = sys.compute_forces();
+        let ke0: f64 = sys
+            .vel
+            .iter()
+            .map(|v| 0.5 * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]))
+            .sum();
+        let e0 = ke0 + pe0;
+        let mut e_last = e0;
+        for _ in 0..200 {
+            let (ke, pe) = sys.step(0.002);
+            e_last = ke + pe;
+        }
+        let drift = ((e_last - e0) / e0).abs();
+        assert!(drift < 2e-3, "energy drift {drift}");
+    }
+
+    #[test]
+    fn momentum_is_conserved() {
+        let mut sys = LjSystem::lattice(4, 0.7);
+        for _ in 0..100 {
+            sys.step(0.002);
+        }
+        for p in sys.total_momentum() {
+            assert!(p.abs() < 1e-9, "momentum {p}");
+        }
+    }
+
+    #[test]
+    fn atoms_stay_in_box() {
+        let mut sys = LjSystem::lattice(3, 0.8);
+        for _ in 0..100 {
+            sys.step(0.005);
+        }
+        for p in &sys.pos {
+            for k in 0..3 {
+                assert!(p[k] >= 0.0 && p[k] < sys.box_len);
+            }
+        }
+    }
+}

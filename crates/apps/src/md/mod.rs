@@ -1,0 +1,7 @@
+//! LAMMPS proxy: real LJ physics kernel + parallel halo-exchange proxy.
+
+pub mod kernel;
+pub mod proxy;
+
+pub use kernel::LjSystem;
+pub use proxy::{decompose3, ljs, md_step_time, md_step_time_cfg, md_study, membrane, MdProblem};

@@ -1,0 +1,9 @@
+//! Sweep3D: real diamond-difference sweep kernel + KBA parallel proxy.
+
+pub mod kernel;
+pub mod proxy;
+
+pub use kernel::SweepGrid;
+pub use proxy::{
+    decompose2, grind_time_ns, sweep150, sweep_cube, sweep_study, sweep_time, SweepProblem,
+};

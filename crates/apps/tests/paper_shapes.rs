@@ -1,0 +1,121 @@
+//! Locks in the paper's application-level findings (Figures 2, 3, 6):
+//! these tests run the actual scaling studies at reduced step counts
+//! and assert the qualitative results the paper reports. If a model
+//! constant drifts enough to change the story, one of these fails.
+
+use elanib_apps::md::{ljs, md_step_time, md_study, membrane, MdProblem};
+use elanib_apps::nascg::{cg_study, class_a_reduced, CgProblem};
+use elanib_apps::sweep3d::{sweep150, sweep_study};
+use elanib_mpi::Network;
+
+fn short(p: MdProblem) -> MdProblem {
+    MdProblem { steps: 10, ..p }
+}
+
+/// Figure 3 at 32 nodes — the paper's headline application numbers:
+/// "Scaling efficiencies of 93% for 1 PPN runs and 91% for 2 PPN runs
+/// [Elan-4] ... InfiniBand ... achieving only 84% ... 1 PPN and 77%
+/// ... 2 PPN".
+#[test]
+fn membrane_32_node_efficiencies() {
+    let nodes = [1usize, 8, 32];
+    let p = short(membrane());
+    let e1 = md_study(Network::Elan4, p, &nodes, 1).last().unwrap().efficiency;
+    let e2 = md_study(Network::Elan4, p, &nodes, 2).last().unwrap().efficiency;
+    let i1 = md_study(Network::InfiniBand, p, &nodes, 1).last().unwrap().efficiency;
+    let i2 = md_study(Network::InfiniBand, p, &nodes, 2).last().unwrap().efficiency;
+    assert!((0.90..0.98).contains(&e1), "Elan 1PPN {e1} (paper: 0.93)");
+    assert!((0.88..0.98).contains(&e2), "Elan 2PPN {e2} (paper: 0.91)");
+    assert!((0.76..0.88).contains(&i1), "IB 1PPN {i1} (paper: 0.84)");
+    assert!((0.70..0.82).contains(&i2), "IB 2PPN {i2} (paper: 0.77)");
+    // Elan's 1 vs 2 PPN curves are "extremely close"; IB's are not.
+    assert!((e1 - e2).abs() < 0.03, "Elan PPN gap {}", e1 - e2);
+    assert!(i1 - i2 > 0.025, "IB PPN gap {}", i1 - i2);
+    // The network gap itself.
+    assert!(e1 - i1 > 0.06, "1PPN network gap {}", e1 - i1);
+    assert!(e2 - i2 > 0.10, "2PPN network gap {}", e2 - i2);
+}
+
+/// Figure 2: LJS. 1 PPN: Elan "marginally" better. 2 PPN: "much wider
+/// margin between the Elan-4 2 PPN curve and the InfiniBand 2 PPN
+/// curve", and 1 PPN outperforms 2 PPN in absolute time.
+#[test]
+fn ljs_ppn_margins() {
+    let p = short(ljs());
+    let t_i1 = md_step_time(Network::InfiniBand, p, 32, 1);
+    let t_i2 = md_step_time(Network::InfiniBand, p, 32, 2);
+    let t_e1 = md_step_time(Network::Elan4, p, 32, 1);
+    let t_e2 = md_step_time(Network::Elan4, p, 32, 2);
+    // 1 PPN beats 2 PPN on both networks (absolute time).
+    assert!(t_i2 > t_i1 * 1.05, "IB 2PPN must cost >5%: {t_i1} vs {t_i2}");
+    assert!(t_e2 > t_e1 * 1.02, "Elan 2PPN must cost something");
+    // Elan marginally ahead at 1 PPN (a few percent, not a blowout).
+    let gap1 = t_i1 / t_e1;
+    assert!((1.01..1.20).contains(&gap1), "1PPN time ratio {gap1}");
+    // The 2 PPN margin is wider than the 1 PPN margin.
+    let gap2 = t_i2 / t_e2;
+    assert!(gap2 > gap1, "2PPN ratio {gap2} must exceed 1PPN ratio {gap1}");
+    // IB loses more going to 2 PPN than Elan does.
+    assert!(
+        t_i2 / t_i1 > t_e2 / t_e1,
+        "IB 2PPN penalty {} must exceed Elan's {}",
+        t_i2 / t_i1,
+        t_e2 / t_e1
+    );
+}
+
+/// Figure 4: superlinear 1→4 speedup from cache residency, and the
+/// Elan-4 advantage at mid-range process counts (9, 16).
+#[test]
+fn sweep3d_superlinear_and_elan_lead() {
+    let p = sweep150();
+    let counts = [1usize, 4, 9, 16];
+    let el = sweep_study(Network::Elan4, p, &counts, 1);
+    let ib = sweep_study(Network::InfiniBand, p, &counts, 1);
+    assert!(el[1].efficiency > 1.01, "superlinear at 4: {}", el[1].efficiency);
+    assert!(ib[1].efficiency > 1.01, "superlinear at 4 (IB): {}", ib[1].efficiency);
+    // "the significant advantage Elan-4 holds at 9 and 16 nodes"
+    for i in [2, 3] {
+        assert!(
+            el[i].efficiency > ib[i].efficiency,
+            "Elan must lead at {} procs: {} vs {}",
+            counts[i],
+            el[i].efficiency,
+            ib[i].efficiency
+        );
+    }
+    // Fixed-size: once the sub-grids are cache-resident the cache
+    // bonus stops growing and communication erodes efficiency.
+    assert!(
+        el[3].efficiency < el[1].efficiency,
+        "efficiency must decline once cached: {} -> {}",
+        el[1].efficiency,
+        el[3].efficiency
+    );
+}
+
+/// Figure 6: CG class A loses efficiency rapidly on both networks;
+/// "Quadrics maintains a distinct advantage [which] seems to grow
+/// slightly as the node count grows".
+#[test]
+fn cg_rapid_decline_with_growing_elan_advantage() {
+    let p = CgProblem {
+        n: 1024,
+        outer: 2,
+        inner: 12,
+        ..class_a_reduced(1024)
+    };
+    let counts = [1usize, 4, 16];
+    let el = cg_study(Network::Elan4, p, &counts, 1);
+    let ib = cg_study(Network::InfiniBand, p, &counts, 1);
+    // Rapid drop on both.
+    assert!(el[2].0.efficiency < 0.65, "elan {}", el[2].0.efficiency);
+    assert!(ib[2].0.efficiency < 0.60, "ib {}", ib[2].0.efficiency);
+    // Elan ahead, and the advantage grows with scale.
+    let adv4 = el[1].0.efficiency / ib[1].0.efficiency;
+    let adv16 = el[2].0.efficiency / ib[2].0.efficiency;
+    assert!(adv4 > 1.0, "advantage at 4: {adv4}");
+    assert!(adv16 > adv4, "advantage must grow: {adv4} -> {adv16}");
+    // MOps/s/process declines with process count (Figure 6(a)).
+    assert!(el[2].1 < el[0].1);
+}

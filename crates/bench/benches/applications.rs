@@ -1,0 +1,68 @@
+//! Criterion benches over the application-study generators
+//! (Figures 2-6) at reduced sizes, plus the cost model (Figures 7-8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elanib_apps::md::{ljs, md_step_time, membrane, MdProblem};
+use elanib_apps::nascg::{cg_run, class_a_reduced, CgProblem};
+use elanib_apps::sweep3d::{sweep_cube, sweep_time, SweepProblem};
+use elanib_core::{figure8_series, EfficiencyTrend};
+use elanib_cost::figure7_series;
+use elanib_mpi::Network;
+
+fn bench_md(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_fig3_md");
+    g.sample_size(10);
+    for (name, prob) in [("ljs", ljs()), ("membrane", membrane())] {
+        let short = MdProblem { steps: 5, ..prob };
+        for net in Network::BOTH {
+            g.bench_with_input(
+                BenchmarkId::new(name, net.label()),
+                &short,
+                |b, &p| b.iter(|| md_step_time(net, p, 8, 2)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_fig5_sweep3d");
+    g.sample_size(10);
+    let p = SweepProblem {
+        iterations: 1,
+        ..sweep_cube(60)
+    };
+    for net in Network::BOTH {
+        g.bench_function(net.label(), |b| b.iter(|| sweep_time(net, p, 9, 1)));
+    }
+    g.finish();
+}
+
+fn bench_cg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_nascg");
+    g.sample_size(10);
+    let p = CgProblem {
+        outer: 2,
+        inner: 8,
+        ..class_a_reduced(512)
+    };
+    for net in Network::BOTH {
+        g.bench_function(net.label(), |b| b.iter(|| cg_run(net, p, 8, 1)));
+    }
+    g.finish();
+}
+
+fn bench_cost(c: &mut Criterion) {
+    let sizes: Vec<usize> = (3..=12).map(|k| 1usize << k).collect();
+    c.bench_function("fig7_cost_curves", |b| b.iter(|| figure7_series(&sizes)));
+    let measured = [(1usize, 1.0f64), (8, 0.96), (32, 0.94)];
+    c.bench_function("fig8_extrapolation", |b| {
+        b.iter(|| {
+            let t = EfficiencyTrend::fit(&measured);
+            (t.at(8192), figure8_series(&measured, 2.0, 8192))
+        })
+    });
+}
+
+criterion_group!(benches, bench_md, bench_sweep, bench_cg, bench_cost);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benches over the micro-benchmark generators (Figure 1):
+//! each target runs a full simulated measurement at reduced iteration
+//! counts, so `cargo bench` both exercises every exhibit path and
+//! tracks the simulator's own throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elanib_microbench::{beff, pingpong, streaming};
+use elanib_mpi::Network;
+
+fn bench_pingpong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1a_pingpong");
+    for net in Network::BOTH {
+        for bytes in [8u64, 8192, 1 << 20] {
+            g.bench_with_input(
+                BenchmarkId::new(net.label(), bytes),
+                &bytes,
+                |b, &bytes| b.iter(|| pingpong(net, bytes, 10)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1b_streaming");
+    for net in Network::BOTH {
+        g.bench_function(net.label(), |b| b.iter(|| streaming(net, 1024, 50)));
+    }
+    g.finish();
+}
+
+fn bench_beff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1d_beff");
+    g.sample_size(10);
+    for net in Network::BOTH {
+        g.bench_function(net.label(), |b| b.iter(|| beff(net, 4, 1, 1)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_pingpong, bench_streaming, bench_beff);
+criterion_main!(benches);

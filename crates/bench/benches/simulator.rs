@@ -1,0 +1,99 @@
+//! Criterion benches of the simulation substrate itself: kernel event
+//! throughput, resource models, and raw transport cost — the numbers
+//! that bound how large an experiment the harness can regenerate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elanib_mpi::collectives::{allreduce, barrier, Op};
+use elanib_mpi::{run_job, Communicator, JobSpec, Network, RankProgram};
+use elanib_simcore::{Dur, FifoChannel, PsResource, Sim};
+
+fn bench_kernel_events(c: &mut Criterion) {
+    c.bench_function("kernel_100k_timer_events", |b| {
+        b.iter(|| {
+            let sim = Sim::new(1);
+            let s = sim.clone();
+            sim.spawn("timers", async move {
+                for _ in 0..100_000 {
+                    s.sleep(Dur::from_ns(10)).await;
+                }
+            });
+            sim.run().unwrap()
+        })
+    });
+}
+
+fn bench_resources(c: &mut Criterion) {
+    c.bench_function("ps_resource_1k_overlapping_jobs", |b| {
+        b.iter(|| {
+            let sim = Sim::new(1);
+            let ps = PsResource::new(1e9);
+            for i in 0..1000u64 {
+                let (p, s) = (ps.clone(), sim.clone());
+                sim.spawn(format!("j{i}"), async move {
+                    s.sleep(Dur::from_ns(i * 3)).await;
+                    p.transfer(&s, 10_000 + i).await;
+                });
+            }
+            sim.run().unwrap()
+        })
+    });
+    c.bench_function("fifo_channel_10k_transfers", |b| {
+        b.iter(|| {
+            let sim = Sim::new(1);
+            let ch = FifoChannel::new(1e9, Dur::from_ns(50));
+            let s = sim.clone();
+            sim.spawn("t", async move {
+                for _ in 0..10_000 {
+                    ch.transfer(&s, 512).await;
+                }
+            });
+            sim.run().unwrap()
+        })
+    });
+}
+
+#[derive(Clone)]
+struct CollectiveStorm;
+
+impl RankProgram for CollectiveStorm {
+    // The explicit `impl Future + 'static` (rather than `async fn`)
+    // keeps the 'static bound visible at the trait boundary.
+    #[allow(clippy::manual_async_fn)]
+    fn run<C: Communicator>(self, c: C) -> impl std::future::Future<Output = ()> + 'static {
+        async move {
+            for _ in 0..20 {
+                barrier(&c).await;
+                let _ = allreduce(&c, Op::Sum, &[1.0, 2.0]).await;
+            }
+        }
+    }
+}
+
+fn bench_mpi_transports(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mpi_collective_storm_16ranks");
+    g.sample_size(10);
+    for net in Network::BOTH {
+        g.bench_function(net.label(), |b| {
+            b.iter(|| {
+                run_job(
+                    JobSpec {
+                        network: net,
+                        nodes: 8,
+                        ppn: 2,
+                        seed: 3,
+                    },
+                    CollectiveStorm,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernel_events,
+    bench_resources,
+    bench_mpi_transports
+);
+criterion_main!(benches);

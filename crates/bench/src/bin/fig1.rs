@@ -1,0 +1,77 @@
+//! Regenerates Figure 1: (a) ping-pong latency, (b) bandwidth
+//! (ping-pong + streaming), (c) Elan/IB bandwidth ratio, (d) b_eff per
+//! process.
+
+use elanib_bench::emit;
+use elanib_core::{f, TextTable};
+use elanib_microbench::{beff, figure1_sizes, pingpong, streaming};
+use elanib_mpi::Network;
+
+fn iters_for(bytes: u64) -> u32 {
+    match bytes {
+        0..=65_536 => 60,
+        65_537..=1_048_576 => 20,
+        _ => 8,
+    }
+}
+
+fn window_for(bytes: u64) -> u32 {
+    match bytes {
+        0..=4_096 => 200,
+        4_097..=262_144 => 50,
+        _ => 10,
+    }
+}
+
+fn main() {
+    let sizes = figure1_sizes();
+
+    // (a) + (b) + (c): sweep both networks once, reuse everywhere.
+    let mut a = TextTable::new(vec!["bytes", "IB us", "Elan us"]);
+    let mut b = TextTable::new(vec![
+        "bytes",
+        "IB pp MB/s",
+        "Elan pp MB/s",
+        "IB st MB/s",
+        "Elan st MB/s",
+    ]);
+    let mut c = TextTable::new(vec!["bytes", "ratio pingpong", "ratio streaming"]);
+    for &s in &sizes {
+        let ib = pingpong(Network::InfiniBand, s, iters_for(s));
+        let el = pingpong(Network::Elan4, s, iters_for(s));
+        a.row(vec![s.to_string(), f(ib.latency_us), f(el.latency_us)]);
+        if s == 0 {
+            continue; // bandwidth undefined at zero bytes
+        }
+        let ib_st = streaming(Network::InfiniBand, s, window_for(s));
+        let el_st = streaming(Network::Elan4, s, window_for(s));
+        b.row(vec![
+            s.to_string(),
+            f(ib.bandwidth_mb_s),
+            f(el.bandwidth_mb_s),
+            f(ib_st.bandwidth_mb_s),
+            f(el_st.bandwidth_mb_s),
+        ]);
+        c.row(vec![
+            s.to_string(),
+            f(el.bandwidth_mb_s / ib.bandwidth_mb_s),
+            f(el_st.bandwidth_mb_s / ib_st.bandwidth_mb_s),
+        ]);
+    }
+    emit("Figure 1(a)", "fig1a_latency", &a);
+    emit("Figure 1(b)", "fig1b_bandwidth", &b);
+    emit("Figure 1(c)", "fig1c_ratio", &c);
+
+    // (d): b_eff per process, 1 PPN, 2..32 nodes.
+    let mut d = TextTable::new(vec!["procs", "IB b_eff/proc MB/s", "Elan b_eff/proc MB/s"]);
+    for nodes in [2usize, 4, 8, 16, 32] {
+        let ib = beff(Network::InfiniBand, nodes, 1, 2);
+        let el = beff(Network::Elan4, nodes, 1, 2);
+        d.row(vec![
+            nodes.to_string(),
+            f(ib.per_process_mb_s),
+            f(el.per_process_mb_s),
+        ]);
+    }
+    emit("Figure 1(d)", "fig1d_beff", &d);
+}

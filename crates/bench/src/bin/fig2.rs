@@ -1,0 +1,8 @@
+//! Regenerates Figure 2: LAMMPS LJS scaled study (time + efficiency).
+
+use elanib_apps::md::ljs;
+use elanib_bench::md_figure;
+
+fn main() {
+    md_figure("Figure 2", "fig2_ljs", ljs());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 3: LAMMPS membrane scaled study.
+
+use elanib_apps::md::membrane;
+use elanib_bench::md_figure;
+
+fn main() {
+    md_figure("Figure 3", "fig3_membrane", membrane());
+}

@@ -1,0 +1,38 @@
+//! Regenerates Figure 4: Sweep3D 150³ fixed-size study — grind time
+//! and scaling efficiency, both networks, 1 PPN.
+//!
+//! Note on fidelity: the paper's 25-node InfiniBand point jumped
+//! anomalously; the authors themselves conclude ("it would appear that
+//! this input data is an anomaly") after the Figure 5 follow-up runs
+//! showed the trend continuing. The simulation reproduces the *trend*,
+//! not the anomaly.
+
+use elanib_apps::sweep3d::{grind_time_ns, sweep150, sweep_study};
+use elanib_bench::emit;
+use elanib_core::{f, TextTable};
+use elanib_mpi::Network;
+
+fn main() {
+    let counts = [1usize, 4, 9, 16, 25];
+    let p = sweep150();
+    let ib = sweep_study(Network::InfiniBand, p, &counts, 1);
+    let el = sweep_study(Network::Elan4, p, &counts, 1);
+
+    let mut t = TextTable::new(vec![
+        "procs",
+        "IB grind ns",
+        "Elan grind ns",
+        "IB eff%",
+        "Elan eff%",
+    ]);
+    for (i, &procs) in counts.iter().enumerate() {
+        t.row(vec![
+            procs.to_string(),
+            f(grind_time_ns(p, ib[i].time_s, procs)),
+            f(grind_time_ns(p, el[i].time_s, procs)),
+            f(ib[i].efficiency_pct()),
+            f(el[i].efficiency_pct()),
+        ]);
+    }
+    emit("Figure 4", "fig4_sweep3d", &t);
+}

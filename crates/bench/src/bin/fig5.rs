@@ -1,0 +1,29 @@
+//! Regenerates Figure 5: Sweep3D input-size family on InfiniBand,
+//! efficiency normalized at the 4-process point (as the paper does).
+
+use elanib_apps::sweep3d::{sweep_cube, sweep_study};
+use elanib_bench::emit;
+use elanib_core::{f, TextTable};
+use elanib_mpi::Network;
+
+fn main() {
+    let counts = [4usize, 9, 16, 25];
+    let sizes = [50usize, 75, 100, 125, 150];
+    let mut t = TextTable::new(vec![
+        "procs", "50^3 eff%", "75^3 eff%", "100^3 eff%", "125^3 eff%", "150^3 eff%",
+    ]);
+    let mut series = Vec::new();
+    for &n in &sizes {
+        // sweep_study normalizes at the first count (4 procs), exactly
+        // like the paper's Figure 5.
+        series.push(sweep_study(Network::InfiniBand, sweep_cube(n), &counts, 1));
+    }
+    for (i, &procs) in counts.iter().enumerate() {
+        let mut row = vec![procs.to_string()];
+        for s in &series {
+            row.push(f(s[i].efficiency_pct()));
+        }
+        t.row(row);
+    }
+    emit("Figure 5", "fig5_sweep_inputs", &t);
+}

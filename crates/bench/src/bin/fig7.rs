@@ -1,0 +1,44 @@
+//! Regenerates Figure 7: network cost per port vs system size for the
+//! three switch strategies, plus the §5 total-system comparison.
+
+use elanib_bench::emit;
+use elanib_core::{f, TextTable};
+use elanib_cost::{
+    elan_network, figure7_series, ib96_network, ib_mixed_network, system_cost_per_node,
+    IbPrices, QuadricsPrices,
+};
+
+fn main() {
+    let sizes = [8usize, 16, 32, 64, 96, 128, 256, 512, 1024, 2048, 4096];
+    let mut t = TextTable::new(vec![
+        "ports",
+        "Elan-4 $/port",
+        "IB 96-port $/port",
+        "IB 24/288 $/port",
+    ]);
+    for (n, elan, ib96, mixed) in figure7_series(&sizes) {
+        t.row(vec![n.to_string(), f(elan), f(ib96), f(mixed)]);
+    }
+    emit("Figure 7", "fig7_cost_per_port", &t);
+
+    // The §5 headline: total-system cost per node at large scale.
+    let q = QuadricsPrices::default();
+    let ib = IbPrices::default();
+    let n = 1024;
+    let elan = system_cost_per_node(elan_network(&q, n));
+    let i96 = system_cost_per_node(ib96_network(&ib, n));
+    let mixed = system_cost_per_node(ib_mixed_network(&ib, n));
+    let mut s = TextTable::new(vec!["metric", "value"]);
+    s.row(vec!["Elan-4 system $/node".to_string(), f(elan)]);
+    s.row(vec!["IB(96) system $/node".to_string(), f(i96)]);
+    s.row(vec!["IB(24/288) system $/node".to_string(), f(mixed)]);
+    s.row(vec![
+        "Elan premium vs IB(96) % (paper: ~4%)".to_string(),
+        f((elan - i96) / i96 * 100.0),
+    ]);
+    s.row(vec![
+        "Elan premium vs IB(24/288) % (paper: ~51%)".to_string(),
+        f((elan - mixed) / mixed * 100.0),
+    ]);
+    emit("Figure 7", "fig7_system_cost", &s);
+}

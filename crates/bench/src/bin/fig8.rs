@@ -1,0 +1,50 @@
+//! Regenerates Figure 8: the membrane study extrapolated to 8192
+//! processors, "assuming the scaling trends continue exactly as they
+//! did for the first 32 nodes" (§5).
+
+use elanib_apps::md::{md_study, membrane, MdProblem};
+use elanib_bench::{emit, STUDY_NODES};
+use elanib_core::{f, figure8_series, TextTable};
+use elanib_mpi::Network;
+
+fn main() {
+    // Shorter measured section than Figures 2/3 — the trend fit needs
+    // the efficiency curve, not high-precision absolute times.
+    let p = MdProblem {
+        steps: 20,
+        ..membrane()
+    };
+    let mut t = TextTable::new(vec![
+        "procs",
+        "IB eff% (extrap)",
+        "Elan eff% (extrap)",
+        "IB s/step (extrap)",
+        "Elan s/step (extrap)",
+    ]);
+    let mut fitted = Vec::new();
+    for net in Network::BOTH {
+        let pts = md_study(net, p, &STUDY_NODES, 1);
+        let base_time = pts[0].time_s;
+        let measured: Vec<(usize, f64)> =
+            pts.iter().map(|s| (s.procs, s.efficiency)).collect();
+        fitted.push(figure8_series(&measured, base_time, 8192));
+    }
+    let (ib, el) = (&fitted[0], &fitted[1]);
+    for i in 0..ib.len() {
+        t.row(vec![
+            ib[i].0.to_string(),
+            f(ib[i].1 * 100.0),
+            f(el[i].1 * 100.0),
+            f(ib[i].2),
+            f(el[i].2),
+        ]);
+    }
+    emit("Figure 8", "fig8_extrapolation", &t);
+
+    let at_1024 = ib.iter().position(|&(p, _, _)| p == 1024).unwrap();
+    let gap = (el[at_1024].1 - ib[at_1024].1) / ib[at_1024].1 * 100.0;
+    println!(
+        "Relative scaling-efficiency gap at 1024 nodes: {:.1}% (paper: \"nearly 40%\")",
+        gap
+    );
+}

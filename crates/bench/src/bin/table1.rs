@@ -1,0 +1,12 @@
+//! Regenerates Table 1: the evaluation platform.
+
+use elanib_bench::emit;
+use elanib_core::{table1, TextTable};
+
+fn main() {
+    let mut t = TextTable::new(vec!["System", "Description"]);
+    for row in table1() {
+        t.row(vec![row.system.to_string(), row.description.to_string()]);
+    }
+    emit("Table 1", "table1", &t);
+}

@@ -1,0 +1,23 @@
+//! Regenerates Tables 2 and 3: component list prices. Reconstructed
+//! entries (illegible in the source scan) are marked with `*`.
+
+use elanib_bench::emit;
+use elanib_core::{f, TextTable};
+use elanib_cost::{table2_rows, table3_rows, IbPrices, QuadricsPrices};
+
+fn main() {
+    let mut t2 = TextTable::new(vec!["Component", "List price $"]);
+    for (name, price, reconstructed) in table2_rows(&IbPrices::default()) {
+        let marker = if reconstructed { " *" } else { "" };
+        t2.row(vec![format!("{name}{marker}"), f(price)]);
+    }
+    emit("Table 2", "table2_ib_prices", &t2);
+
+    let mut t3 = TextTable::new(vec!["Component", "List price $"]);
+    for (name, price, reconstructed) in table3_rows(&QuadricsPrices::default()) {
+        let marker = if reconstructed { " *" } else { "" };
+        t3.row(vec![format!("{name}{marker}"), f(price)]);
+    }
+    emit("Table 3", "table3_quadrics_prices", &t3);
+    println!("* reconstructed price (illegible in the source scan); see crates/cost/src/prices.rs");
+}

@@ -1,0 +1,99 @@
+//! # elanib-bench — exhibit regeneration harness
+//!
+//! One binary per paper exhibit (`table1`, `fig1` … `fig8`, `tables`),
+//! each printing the same rows/series the paper reports, labelled from
+//! [`elanib_core::inventory`]. Set `ELANIB_RESULTS_DIR` to also write
+//! each table as CSV for plotting.
+
+use std::fs;
+use std::path::PathBuf;
+
+use elanib_core::{exhibit, TextTable};
+
+/// Print an exhibit header, render the table, and (optionally) write
+/// CSV into `$ELANIB_RESULTS_DIR/<name>.csv`.
+pub fn emit(exhibit_id: &str, name: &str, table: &TextTable) {
+    if let Some(e) = exhibit(exhibit_id) {
+        println!("== {} — {} ==", e.id, e.title);
+        println!("   workload: {}", e.workload);
+        println!("   modules:  {}", e.modules);
+    } else {
+        println!("== {exhibit_id} ==");
+    }
+    println!();
+    println!("{}", table.render());
+    if let Ok(dir) = std::env::var("ELANIB_RESULTS_DIR") {
+        let mut p = PathBuf::from(dir);
+        let _ = fs::create_dir_all(&p);
+        p.push(format!("{name}.csv"));
+        if let Err(e) = fs::write(&p, table.to_csv()) {
+            eprintln!("warning: could not write {}: {e}", p.display());
+        } else {
+            println!("[csv written to {}]", p.display());
+        }
+    }
+}
+
+/// The node counts of the paper's application studies.
+pub const STUDY_NODES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Shared generator for Figures 2 and 3: the four-curve MD scaled
+/// study (network × PPN), times and efficiencies.
+pub fn md_figure(id: &str, name: &str, problem: elanib_apps::md::MdProblem) {
+    use elanib_apps::md::md_study;
+    use elanib_core::f;
+    use elanib_mpi::Network;
+    let mut t = TextTable::new(vec![
+        "nodes",
+        "IB 1PPN s/step",
+        "IB 2PPN s/step",
+        "Elan 1PPN s/step",
+        "Elan 2PPN s/step",
+        "IB 1PPN eff%",
+        "IB 2PPN eff%",
+        "Elan 1PPN eff%",
+        "Elan 2PPN eff%",
+    ]);
+    let series: Vec<_> = [
+        (Network::InfiniBand, 1),
+        (Network::InfiniBand, 2),
+        (Network::Elan4, 1),
+        (Network::Elan4, 2),
+    ]
+    .iter()
+    .map(|&(net, ppn)| md_study(net, problem, &STUDY_NODES, ppn))
+    .collect();
+    for (i, &nodes) in STUDY_NODES.iter().enumerate() {
+        t.row(vec![
+            nodes.to_string(),
+            f(series[0][i].time_s),
+            f(series[1][i].time_s),
+            f(series[2][i].time_s),
+            f(series[3][i].time_s),
+            f(series[0][i].efficiency_pct()),
+            f(series[1][i].efficiency_pct()),
+            f(series[2][i].efficiency_pct()),
+            f(series[3][i].efficiency_pct()),
+        ]);
+    }
+    emit(id, name, &t);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elanib_core::f;
+
+    #[test]
+    fn emit_writes_csv_when_requested() {
+        let dir = std::env::temp_dir().join("elanib-bench-test");
+        std::env::set_var("ELANIB_RESULTS_DIR", &dir);
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec![f(1.0), f(2.0)]);
+        emit("Figure 7", "unit_test_table", &t);
+        let csv = std::fs::read_to_string(dir.join("unit_test_table.csv")).unwrap();
+        assert!(csv.starts_with("a,b"));
+        std::env::remove_var("ELANIB_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

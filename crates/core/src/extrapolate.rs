@@ -1,0 +1,126 @@
+//! Scaling-trend extrapolation (Figure 8).
+//!
+//! The paper extrapolates the membrane data "out to 8192 processors,
+//! assuming the scaling trends continue exactly as they did for the
+//! first 32 nodes". We do the same: fit efficiency against log₂(procs)
+//! by least squares over the measured points, then project.
+
+/// Least-squares linear fit `y = a + b·x`.
+pub fn linfit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two points to fit");
+    let n = xs.len() as f64;
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let denom = n * sxx - sx * sx;
+    assert!(denom.abs() > 1e-12, "degenerate fit");
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    (a, b)
+}
+
+/// Efficiency-trend model fitted on (procs, efficiency) points.
+#[derive(Clone, Copy, Debug)]
+pub struct EfficiencyTrend {
+    pub intercept: f64,
+    pub slope_per_doubling: f64,
+}
+
+impl EfficiencyTrend {
+    pub fn fit(points: &[(usize, f64)]) -> EfficiencyTrend {
+        let xs: Vec<f64> = points.iter().map(|&(p, _)| (p as f64).log2()).collect();
+        let ys: Vec<f64> = points.iter().map(|&(_, e)| e).collect();
+        let (a, b) = linfit(&xs, &ys);
+        EfficiencyTrend {
+            intercept: a,
+            slope_per_doubling: b,
+        }
+    }
+
+    /// Projected efficiency at `procs` processes (clamped to (0, 1.5] —
+    /// an extrapolated efficiency below zero is meaningless).
+    pub fn at(&self, procs: usize) -> f64 {
+        (self.intercept + self.slope_per_doubling * (procs as f64).log2()).clamp(0.001, 1.5)
+    }
+
+    /// Projected execution time for a scaled-size study whose perfect
+    /// per-step time is `base_time`.
+    pub fn time_at(&self, base_time: f64, procs: usize) -> f64 {
+        base_time / self.at(procs)
+    }
+}
+
+/// The Figure 8 series: measured points extended to `max_procs`,
+/// doubling each step.
+pub fn figure8_series(
+    measured: &[(usize, f64)],
+    base_time: f64,
+    max_procs: usize,
+) -> Vec<(usize, f64, f64)> {
+    let trend = EfficiencyTrend::fit(measured);
+    let mut out = Vec::new();
+    let mut p = measured[0].0;
+    while p <= max_procs {
+        out.push((p, trend.at(p), trend.time_at(base_time, p)));
+        p *= 2;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linfit_recovers_exact_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [5.0, 4.0, 3.0, 2.0];
+        let (a, b) = linfit(&xs, &ys);
+        assert!((a - 5.0).abs() < 1e-12);
+        assert!((b + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trend_projects_monotonic_decline() {
+        let t = EfficiencyTrend::fit(&[(1, 1.0), (4, 0.96), (16, 0.92), (32, 0.90)]);
+        assert!(t.slope_per_doubling < 0.0);
+        assert!(t.at(1024) < t.at(32));
+        assert!(t.at(8192) < t.at(1024));
+        assert!(t.at(8192) > 0.0);
+    }
+
+    #[test]
+    fn paper_magnitude_forty_percent_gap_at_1024() {
+        // §5: with the measured 32-node trends, "the result is a
+        // difference of nearly 40% in scaling efficiency at 1024
+        // nodes". Feed trends shaped like our Figure 3 measurements.
+        let elan = EfficiencyTrend::fit(&[(1, 1.0), (8, 0.962), (32, 0.942)]);
+        let ib = EfficiencyTrend::fit(&[(1, 1.0), (8, 0.87), (32, 0.813)]);
+        let gap = (elan.at(1024) - ib.at(1024)) / ib.at(1024);
+        assert!(
+            (0.20..0.60).contains(&gap),
+            "relative efficiency gap at 1024 nodes: {gap}"
+        );
+    }
+
+    #[test]
+    fn time_projection_inverts_efficiency() {
+        let t = EfficiencyTrend {
+            intercept: 1.0,
+            slope_per_doubling: -0.02,
+        };
+        let base = 2.0;
+        assert!((t.time_at(base, 1) - 2.0).abs() < 1e-12);
+        assert!(t.time_at(base, 1024) > 2.0);
+    }
+
+    #[test]
+    fn figure8_series_spans_to_8192() {
+        let s = figure8_series(&[(1, 1.0), (32, 0.9)], 1.0, 8192);
+        assert_eq!(s.first().unwrap().0, 1);
+        assert_eq!(s.last().unwrap().0, 8192);
+        assert!(s.last().unwrap().1 < 0.9);
+    }
+}

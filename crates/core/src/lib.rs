@@ -1,0 +1,23 @@
+//! # elanib-core — the comparison framework
+//!
+//! The paper's deliverable is not a single system but a *comparison*:
+//! identical workloads on two networks, reported as scaling efficiency
+//! and cost. This crate holds the cross-cutting pieces:
+//!
+//! * [`platform`] — Table 1, the evaluation platform (and its simulated
+//!   counterpart for every component);
+//! * [`extrapolate`] — the Figure 8 trend fitting and projection;
+//! * [`report`] — aligned-text/CSV table rendering for the
+//!   figure regenerators;
+//! * [`inventory`] — the experiment index: every table and figure
+//!   mapped to modules and a regenerating binary.
+
+pub mod extrapolate;
+pub mod inventory;
+pub mod platform;
+pub mod report;
+
+pub use extrapolate::{figure8_series, EfficiencyTrend};
+pub use inventory::{exhibit, Exhibit, EXHIBITS};
+pub use platform::table1;
+pub use report::{f, TextTable};

@@ -1,0 +1,129 @@
+//! Plain-text report formatting shared by the figure/table
+//! regenerators: aligned columns and CSV emission, no dependencies.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table builder.
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> TextTable {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with right-aligned numeric-looking columns.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for i in 0..ncol {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{:>width$}", cells[i], width = widths[i]);
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncol - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            fmt_row(&mut out, r);
+        }
+        out
+    }
+
+    /// Render as CSV (for plotting scripts).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with engineering-ish precision for report cells.
+pub fn f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 0.1 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.5}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["size", "latency"]);
+        t.row(vec!["8".to_string(), f(2.95)]);
+        t.row(vec!["1048576".to_string(), f(1180.0)]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("size"));
+        assert!(lines[2].trim_start().starts_with('8'));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["x,y", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n\"x,y\",2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn row_width_checked() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn float_formatting_tiers() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(12345.6), "12346");
+        assert_eq!(f(42.25), "42.2");
+        assert_eq!(f(2.9517), "2.952");
+        assert_eq!(f(0.00123), "0.00123");
+    }
+}

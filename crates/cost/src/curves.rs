@@ -1,0 +1,212 @@
+//! Network cost-per-port curves (Figure 7) and total-system costs.
+//!
+//! Figure 7's four lines:
+//! 1. Quadrics Elan-4 networks of various sizes (top line);
+//! 2. InfiniBand networks built from 96-port switches only;
+//! 3. (and 4.) InfiniBand networks from a mix of 24-port and 288-port
+//!    switches "that are now available".
+//!
+//! The switch-count planners follow the usual two-level fat-tree
+//! construction rules: a single chassis up to its port count; beyond
+//! that, leaf chassis give half their ports to nodes and half to
+//! spine chassis.
+
+use crate::prices::{IbPrices, QuadricsPrices, NODE_COST};
+
+/// One network flavor's plan for a given node count.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkCost {
+    pub nodes: usize,
+    /// Total network cost (adapters + cables + switches + extras).
+    pub total: f64,
+    /// Figure 7's y-axis.
+    pub per_port: f64,
+}
+
+fn plan(nodes: usize, total: f64) -> NetworkCost {
+    NetworkCost {
+        nodes,
+        total,
+        per_port: total / nodes as f64,
+    }
+}
+
+/// Number of `radix`-port switch chassis needed to connect `nodes`
+/// endpoints with full bisection: one chassis if it fits, otherwise a
+/// two-level fat tree (leaves at half-occupancy plus spines).
+pub fn fat_tree_chassis(radix: usize, nodes: usize) -> usize {
+    assert!(radix >= 2 && nodes >= 1);
+    if nodes <= radix {
+        return 1;
+    }
+    let down_per_leaf = radix / 2;
+    let leaves = nodes.div_ceil(down_per_leaf);
+    // Spines must terminate every leaf uplink.
+    let uplinks = leaves * (radix - down_per_leaf);
+    let spines = uplinks.div_ceil(radix);
+    leaves + spines
+}
+
+/// Quadrics Elan-4 network cost: QM500 + cable per node, QS5A node
+/// chassis (64 ports, half-occupancy above one chassis), federated
+/// top-level switches above 64 nodes, one clock source per system.
+pub fn elan_network(q: &QuadricsPrices, nodes: usize) -> NetworkCost {
+    let per_node = q.qm500 + q.cable;
+    let chassis;
+    let tops;
+    if nodes <= 64 {
+        chassis = 1;
+        tops = 0;
+    } else {
+        // Node-level chassis give 32 ports down, 32 up; each top-level
+        // switch terminates up to 256 uplinks (federated spine).
+        chassis = nodes.div_ceil(32);
+        tops = (chassis * 32).div_ceil(256);
+    }
+    // Inter-chassis cables: one per uplink in the federated config.
+    let uplink_cables = if nodes <= 64 { 0 } else { chassis * 32 };
+    let total = per_node * nodes as f64
+        + chassis as f64 * q.node_chassis
+        + tops as f64 * q.top_switch
+        + q.clock_source
+        + uplink_cables as f64 * q.cable;
+    plan(nodes, total)
+}
+
+/// InfiniBand from 96-port ISR 9600 chassis only ("the largest
+/// available when this study began").
+pub fn ib96_network(p: &IbPrices, nodes: usize) -> NetworkCost {
+    let chassis = fat_tree_chassis(96, nodes);
+    let inter = if nodes <= 96 { 0 } else { nodes }; // uplink cables
+    let total = (p.hca + p.cable) * nodes as f64
+        + chassis as f64 * p.switch_96
+        + inter as f64 * p.cable;
+    plan(nodes, total)
+}
+
+/// InfiniBand from the best mix of 24-port and 288-port switches "that
+/// are now available": a single 24-port switch for tiny systems, a
+/// single 288-port chassis up to 288 nodes, then a 288-port fat tree.
+pub fn ib_mixed_network(p: &IbPrices, nodes: usize) -> NetworkCost {
+    let (switch_cost, inter_cables) = if nodes <= 24 {
+        (p.switch_24, 0)
+    } else if nodes <= 288 {
+        (p.switch_288, 0)
+    } else {
+        let chassis = fat_tree_chassis(288, nodes);
+        (chassis as f64 * p.switch_288, nodes)
+    };
+    let total = (p.hca + p.cable) * nodes as f64
+        + switch_cost
+        + inter_cables as f64 * p.cable;
+    plan(nodes, total)
+}
+
+/// Total system cost per node (network + $2,500 node), §5's comparison
+/// basis.
+pub fn system_cost_per_node(net: NetworkCost) -> f64 {
+    net.per_port + NODE_COST
+}
+
+/// The Figure 7 table: (nodes, elan, ib96, ib-mixed) cost-per-port.
+pub fn figure7_series(sizes: &[usize]) -> Vec<(usize, f64, f64, f64)> {
+    let ib = IbPrices::default();
+    let q = QuadricsPrices::default();
+    sizes
+        .iter()
+        .map(|&n| {
+            (
+                n,
+                elan_network(&q, n).per_port,
+                ib96_network(&ib, n).per_port,
+                ib_mixed_network(&ib, n).per_port,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chassis_planner_basics() {
+        assert_eq!(fat_tree_chassis(96, 32), 1);
+        assert_eq!(fat_tree_chassis(96, 96), 1);
+        // 97 nodes: 3 leaves (48 down each) + 2 spines (144 uplinks).
+        assert_eq!(fat_tree_chassis(96, 97), 5);
+        assert_eq!(fat_tree_chassis(288, 1024), 8 + 4);
+    }
+
+    #[test]
+    fn elan_is_the_top_line_of_figure7() {
+        for n in [16usize, 32, 64, 128, 512, 1024] {
+            let series = figure7_series(&[n])[0];
+            assert!(
+                series.1 > series.3,
+                "Elan per-port {} must exceed mixed IB {} at n={n}",
+                series.1,
+                series.3
+            );
+        }
+    }
+
+    #[test]
+    fn elan_roughly_competitive_with_ib96() {
+        // §5: "Elan-4 is relatively cost competitive with InfiniBand
+        // networks built from 96-port switches" — within ~35% per port
+        // at medium-large scale.
+        for n in [256usize, 1024] {
+            let s = figure7_series(&[n])[0];
+            let ratio = s.1 / s.2;
+            assert!(
+                (0.75..1.35).contains(&ratio),
+                "elan/ib96 per-port ratio {ratio} at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_section5_percentages_hold_at_scale() {
+        // §5: "the difference between Elan-4 and 4X InfiniBand total
+        // system cost is only 4% and 51% (96-port switches and 288-port
+        // switches, respectively)" — at large scale, nodes included.
+        let n = 1024;
+        let q = QuadricsPrices::default();
+        let ib = IbPrices::default();
+        let elan_sys = system_cost_per_node(elan_network(&q, n));
+        let ib96_sys = system_cost_per_node(ib96_network(&ib, n));
+        let mixed_sys = system_cost_per_node(ib_mixed_network(&ib, n));
+        let d96 = (elan_sys - ib96_sys) / ib96_sys;
+        let d288 = (elan_sys - mixed_sys) / mixed_sys;
+        assert!(
+            (0.00..0.10).contains(&d96),
+            "total-system diff vs IB-96 should be ~4%: {d96}"
+        );
+        assert!(
+            (0.40..0.62).contains(&d288),
+            "total-system diff vs IB-288 should be ~51%: {d288}"
+        );
+    }
+
+    #[test]
+    fn mixed_ib_drops_dramatically_past_24_ports() {
+        let ib = IbPrices::default();
+        let at24 = ib_mixed_network(&ib, 24).per_port;
+        let at100 = ib_mixed_network(&ib, 100).per_port;
+        let at288 = ib_mixed_network(&ib, 288).per_port;
+        // Chassis amortization: per-port cost falls with occupancy.
+        assert!(at288 < at100);
+        assert!(at288 < at24 * 1.2);
+    }
+
+    #[test]
+    fn per_port_costs_are_positive_and_bounded() {
+        for n in 1..300 {
+            let s = figure7_series(&[n])[0];
+            for v in [s.1, s.2, s.3] {
+                assert!(v > 500.0 && v < 250_000.0, "n={n}: {v}");
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Runtime fabric instance: directed channels per cable, cut-through
+//! message forwarding with per-link contention.
+//!
+//! The forwarding model is packet-train cut-through: a message's head
+//! ripples through the path paying per-switch hop latency and
+//! propagation per cable, while each directed link it crosses is
+//! reserved for the message's full serialization time. This captures
+//! the two first-order effects the experiments need — pipelining (large
+//! messages pay serialization roughly once, not per hop) and
+//! contention (two messages crossing the same directed link serialize).
+
+use elanib_simcore::{Dur, FifoChannel, Sim, SimTime};
+
+use crate::params::FabricParams;
+use crate::routing::Routes;
+use crate::topology::Topology;
+
+/// A fabric ready to carry traffic in one simulation.
+pub struct Fabric {
+    pub topo: Topology,
+    pub params: FabricParams,
+    routes: Routes,
+    /// Two directed channels per undirected edge: `2*edge + dir`,
+    /// where `dir = 0` carries a→b and `dir = 1` carries b→a.
+    channels: Vec<FifoChannel>,
+}
+
+impl Fabric {
+    pub fn new(topo: Topology, params: FabricParams) -> Fabric {
+        let routes = Routes::compute(&topo);
+        let channels = (0..topo.edges.len() * 2)
+            .map(|_| FifoChannel::new(params.link.data_rate, Dur::ZERO))
+            .collect();
+        Fabric {
+            topo,
+            params,
+            routes,
+            channels,
+        }
+    }
+
+    pub fn n_endpoints(&self) -> usize {
+        self.topo.n_endpoints
+    }
+
+    pub fn routes(&self) -> &Routes {
+        &self.routes
+    }
+
+    /// Reserve the path for a `bytes`-long message from endpoint `src`
+    /// to endpoint `dst`, starting no earlier than now, and return the
+    /// simulated time at which the **last byte arrives at `dst`'s NIC
+    /// port**. Purely a reservation — the caller models occupancy by
+    /// sleeping until the returned instant.
+    ///
+    /// `src == dst` is not meaningful at the fabric level (intra-node
+    /// traffic never reaches the cable) and panics.
+    pub fn deliver_at(&self, sim: &Sim, src: usize, dst: usize, bytes: u64) -> SimTime {
+        assert_ne!(src, dst, "fabric loopback is handled above the NIC");
+        let wire = self.params.link.wire_bytes(bytes);
+        let ser = self.params.link.serialize(bytes);
+        let hop = self.params.switch.hop_latency;
+        let prop = self.params.link.propagation;
+
+        let verts = self.routes.vertex_path(&self.topo, src, dst);
+        let edges = self.routes.path(src, dst);
+
+        // Head time advances link by link; each link is additionally
+        // reserved for the full serialization time so later messages
+        // queue behind this one.
+        let mut head = sim.now();
+        for (i, &edge) in edges.iter().enumerate() {
+            let from = verts[i];
+            let ch = &self.channels[directed_channel(&self.topo, edge, from)];
+            // Cut-through: the head cannot enter the link before the
+            // link has drained whatever is ahead of it.
+            let free = ch.next_free();
+            head = head.max_t(free);
+            // Occupy the link for our serialization time starting at
+            // `head`: the link is busy for [head, head+ser).
+            let _ = ch.reserve_from(head, wire);
+            head += prop;
+            if i + 1 < edges.len() {
+                // The next vertex is a switch: pay its cut-through
+                // latency before the head appears on the next link.
+                head += hop;
+            }
+        }
+        head + ser
+    }
+
+    /// Hop count between endpoints (for latency accounting / tests).
+    pub fn hops(&self, src: usize, dst: usize) -> u32 {
+        self.routes.hops(src, dst)
+    }
+
+    /// Total bytes carried over all directed links (stats).
+    pub fn total_link_bytes(&self) -> u64 {
+        self.channels.iter().map(|c| c.stats().bytes_total).sum()
+    }
+}
+
+/// Index of the directed channel carrying traffic out of vertex `from`
+/// across `edge`.
+fn directed_channel(topo: &Topology, edge: usize, from: usize) -> usize {
+    let e = topo.edges[edge];
+    if topo.vertex_index(e.a) == from {
+        2 * edge
+    } else {
+        debug_assert_eq!(topo.vertex_index(e.b), from);
+        2 * edge + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{elan4, infiniband_4x};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    fn ib_crossbar(n: usize) -> Fabric {
+        Fabric::new(Topology::single_crossbar(n), infiniband_4x())
+    }
+
+    #[test]
+    fn small_message_latency_is_hops_plus_serialization() {
+        let sim = Sim::new(1);
+        let f = ib_crossbar(4);
+        let p = f.params;
+        let t = f.deliver_at(&sim, 0, 1, 8);
+        // 2 cables + 1 switch: serialization once (cut-through),
+        // 2 propagations, 1 hop latency.
+        let expect = p.link.serialize(8) + p.link.propagation * 2 + p.switch.hop_latency;
+        assert_eq!(t, SimTime::ZERO + expect);
+    }
+
+    #[test]
+    fn large_message_dominated_by_one_serialization() {
+        let sim = Sim::new(1);
+        let f = Fabric::new(Topology::fat_tree(4, 3, 64), elan4());
+        let bytes = 1_000_000;
+        let t = f.deliver_at(&sim, 0, 63, bytes);
+        let ser = f.params.link.serialize(bytes);
+        // 6 hops of pipeline latency are negligible next to 1 MB of
+        // serialization: total must be within 1% of one serialization.
+        assert!(t.as_secs_f64() < ser.as_secs_f64() * 1.01);
+        assert!(t.as_secs_f64() >= ser.as_secs_f64());
+    }
+
+    #[test]
+    fn contention_serializes_on_shared_link() {
+        // Two endpoints under the same leaf both send 1 MB to the same
+        // destination: the destination's cable is shared, so the second
+        // message finishes a full serialization later.
+        let sim = Sim::new(1);
+        let f = ib_crossbar(4);
+        let t1 = f.deliver_at(&sim, 0, 3, 1_000_000);
+        let t2 = f.deliver_at(&sim, 1, 3, 1_000_000);
+        let ser = f.params.link.serialize(1_000_000);
+        assert!(t2 >= t1 + (ser - Dur::from_ns(1)), "t1={t1:?} t2={t2:?}");
+    }
+
+    #[test]
+    fn disjoint_paths_do_not_interfere() {
+        let sim = Sim::new(1);
+        let f = ib_crossbar(8);
+        let t1 = f.deliver_at(&sim, 0, 1, 1_000_000);
+        let t2 = f.deliver_at(&sim, 2, 3, 1_000_000);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn delivery_usable_from_tasks() {
+        let sim = Sim::new(1);
+        let f = Rc::new(ib_crossbar(2));
+        let done = Rc::new(Cell::new(false));
+        let (ff, s, d) = (f.clone(), sim.clone(), done.clone());
+        sim.spawn("sender", async move {
+            let at = ff.deliver_at(&s, 0, 1, 4096);
+            s.sleep_until(at).await;
+            assert!(s.now() > SimTime::ZERO);
+            d.set(true);
+        });
+        sim.run().unwrap();
+        assert!(done.get());
+    }
+
+    #[test]
+    fn elan_delivers_faster_than_ib() {
+        let sim = Sim::new(1);
+        let ib = Fabric::new(Topology::fat_tree(12, 2, 32), infiniband_4x());
+        let elan = Fabric::new(Topology::fat_tree(4, 3, 32), elan4());
+        for bytes in [8u64, 1024, 65536, 1_000_000] {
+            let t_ib = ib.deliver_at(&sim, 0, 31, bytes);
+            let t_el = elan.deliver_at(&sim, 0, 31, bytes);
+            assert!(t_el < t_ib, "bytes={bytes}: elan {t_el:?} vs ib {t_ib:?}");
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Physical-layer constants for the two fabrics.
+//!
+//! Every number here is calibrated against a statement in the paper
+//! (§1, §3, §4.1) or against the publicly documented characteristics of
+//! the hardware generation; the doc comment on each field says which.
+
+use elanib_simcore::Dur;
+
+/// Per-link physical parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkParams {
+    /// Payload data rate in bytes/second *after* line coding.
+    ///
+    /// 4X InfiniBand signals at 10 Gb/s with 8b/10b coding → 8 Gb/s =
+    /// 1.0 GB/s of data per direction. Quadrics Elan-4 uses a wider,
+    /// slower parallel physical layer delivering ~1.3 GB/s per
+    /// direction ("both networks claim ~2 GB/s at the physical layer"
+    /// counts both directions).
+    pub data_rate: f64,
+    /// Cable propagation + SerDes latency per traversal.
+    pub propagation: Dur,
+    /// Maximum transfer unit of one packet (payload bytes).
+    pub mtu: u32,
+    /// Per-packet header/trailer overhead in bytes (routing header,
+    /// transport header, CRCs), charged per MTU-sized packet.
+    pub header_bytes: u32,
+}
+
+impl LinkParams {
+    /// Wire bytes needed to carry `payload` bytes, including per-packet
+    /// headers.
+    pub fn wire_bytes(&self, payload: u64) -> u64 {
+        if payload == 0 {
+            return self.header_bytes as u64;
+        }
+        let packets = payload.div_ceil(self.mtu as u64);
+        payload + packets * self.header_bytes as u64
+    }
+
+    /// Serialization time of `payload` bytes on this link.
+    pub fn serialize(&self, payload: u64) -> Dur {
+        Dur::transfer(self.wire_bytes(payload), self.data_rate)
+    }
+}
+
+/// Per-switch-element parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SwitchParams {
+    /// Cut-through latency of one switch hop (head of packet in →
+    /// head of packet out, uncontended).
+    pub hop_latency: Dur,
+}
+
+/// Everything needed to instantiate one fabric.
+#[derive(Clone, Copy, Debug)]
+pub struct FabricParams {
+    pub link: LinkParams,
+    pub switch: SwitchParams,
+}
+
+/// 4X InfiniBand: Voltaire HCS 400 HCAs + ISR 9600 switch/router.
+///
+/// * 1.0 GB/s data per direction (10 Gb/s signal, 8b/10b).
+/// * 2 KB MTU, ~30 B of LRH/BTH/ICRC/VCRC per packet.
+/// * ~200 ns per switch element (2004-era 4X switch silicon; the ISR
+///   9600 is internally a multi-stage network of 24-port elements, so a
+///   96-port chassis traversal is 3 such hops).
+pub fn infiniband_4x() -> FabricParams {
+    FabricParams {
+        link: LinkParams {
+            data_rate: 1.00e9,
+            propagation: Dur::from_ns(25),
+            mtu: 2048,
+            header_bytes: 30,
+        },
+        switch: SwitchParams {
+            hop_latency: Dur::from_ns(200),
+        },
+    }
+}
+
+/// Quadrics Elan-4 / QsNet-II: QM500 adapters + QS5A federated switch.
+///
+/// * ~1.3 GB/s data per direction on the wide parallel link.
+/// * Large (4 KB) network transactions with small headers.
+/// * ~40 ns per switch element (Elite-4 crossbars are 8-port,
+///   4-up/4-down; a 64-port QS5A chassis is 3 internal stages).
+pub fn elan4() -> FabricParams {
+    FabricParams {
+        link: LinkParams {
+            data_rate: 1.30e9,
+            propagation: Dur::from_ns(25),
+            mtu: 4096,
+            header_bytes: 24,
+        },
+        switch: SwitchParams {
+            hop_latency: Dur::from_ns(40),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_adds_header_per_packet() {
+        let l = infiniband_4x().link;
+        assert_eq!(l.wire_bytes(100), 130);
+        assert_eq!(l.wire_bytes(2048), 2078);
+        assert_eq!(l.wire_bytes(2049), 2049 + 60);
+        assert_eq!(l.wire_bytes(0), 30);
+    }
+
+    #[test]
+    fn serialization_matches_rate() {
+        let l = elan4().link;
+        // 1.3e9 B/s: 1300 B in 1 us.
+        let d = l.serialize(1300 - 24);
+        assert!((d.as_us_f64() - 1.0).abs() < 1e-6, "{d}");
+    }
+
+    #[test]
+    fn elan_link_is_faster_than_ib() {
+        assert!(elan4().link.data_rate > infiniband_4x().link.data_rate);
+        assert!(elan4().switch.hop_latency < infiniband_4x().switch.hop_latency);
+    }
+}

@@ -1,0 +1,173 @@
+//! Deterministic shortest-path routing with static multipath spreading.
+//!
+//! Routes are precomputed per destination endpoint by breadth-first
+//! search over the topology. Where several equal-cost next hops exist
+//! (the up-phase of a fat tree), the choice is spread deterministically
+//! by source endpoint — the static, destination/source-hashed dispersal
+//! both 2004-era fabrics actually used (neither had adaptive routing at
+//! the granularity modelled here).
+
+use std::collections::VecDeque;
+
+use crate::topology::Topology;
+
+/// Precomputed routing tables for one topology.
+pub struct Routes {
+    /// `dist[dst][vertex]` = hop count from vertex to destination
+    /// endpoint `dst` (edges counted, endpoints and switches alike).
+    dist: Vec<Vec<u32>>,
+    /// `next[dst][vertex]` = list of (neighbor vertex, edge index)
+    /// choices that lie on a shortest path toward `dst`, sorted by
+    /// neighbor index for determinism.
+    next: Vec<Vec<Vec<(usize, usize)>>>,
+    n_endpoints: usize,
+}
+
+impl Routes {
+    pub fn compute(topo: &Topology) -> Routes {
+        let adj = topo.adjacency();
+        let nv = topo.n_vertices();
+        let mut dist = Vec::with_capacity(topo.n_endpoints);
+        let mut next = Vec::with_capacity(topo.n_endpoints);
+        for dst in 0..topo.n_endpoints {
+            let mut d = vec![u32::MAX; nv];
+            let mut q = VecDeque::new();
+            d[dst] = 0;
+            q.push_back(dst);
+            while let Some(v) = q.pop_front() {
+                for &(nbr, _) in &adj[v] {
+                    let ni = topo.vertex_index(nbr);
+                    if d[ni] == u32::MAX {
+                        d[ni] = d[v] + 1;
+                        q.push_back(ni);
+                    }
+                }
+            }
+            // Next-hop sets: any neighbor strictly closer to dst.
+            let mut n: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nv];
+            for v in 0..nv {
+                if d[v] == u32::MAX || v == dst {
+                    continue;
+                }
+                for &(nbr, edge) in &adj[v] {
+                    let ni = topo.vertex_index(nbr);
+                    if d[ni] + 1 == d[v] {
+                        n[v].push((ni, edge));
+                    }
+                }
+                n[v].sort_unstable();
+            }
+            dist.push(d);
+            next.push(n);
+        }
+        Routes {
+            dist,
+            next,
+            n_endpoints: topo.n_endpoints,
+        }
+    }
+
+    /// Hop count (edges traversed) from endpoint `src` to endpoint
+    /// `dst`. Zero when `src == dst`.
+    pub fn hops(&self, src: usize, dst: usize) -> u32 {
+        self.dist[dst][src]
+    }
+
+    /// The full path of edge indices from `src` to `dst`, using the
+    /// deterministic spread: at each fork, choice index = `src % k`.
+    pub fn path(&self, src: usize, dst: usize) -> Vec<usize> {
+        assert!(src < self.n_endpoints && dst < self.n_endpoints);
+        let mut path = Vec::new();
+        if src == dst {
+            return path;
+        }
+        let mut v = src;
+        loop {
+            let choices = &self.next[dst][v];
+            assert!(
+                !choices.is_empty(),
+                "no route from vertex {v} to endpoint {dst}"
+            );
+            let (nv, edge) = choices[src % choices.len()];
+            path.push(edge);
+            if nv == dst {
+                return path;
+            }
+            v = nv;
+        }
+    }
+
+    /// Sequence of vertices visited (including both endpoints).
+    pub fn vertex_path(&self, topo: &Topology, src: usize, dst: usize) -> Vec<usize> {
+        let mut verts = vec![src];
+        let mut v = src;
+        for edge in self.path(src, dst) {
+            let e = topo.edges[edge];
+            let (a, b) = (topo.vertex_index(e.a), topo.vertex_index(e.b));
+            v = if a == v { b } else { a };
+            verts.push(v);
+        }
+        verts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossbar_all_pairs_two_hops() {
+        let t = Topology::single_crossbar(8);
+        let r = Routes::compute(&t);
+        for s in 0..8 {
+            for d in 0..8 {
+                if s == d {
+                    assert_eq!(r.hops(s, d), 0);
+                    assert!(r.path(s, d).is_empty());
+                } else {
+                    assert_eq!(r.hops(s, d), 2);
+                    assert_eq!(r.path(s, d).len(), 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_path_lengths_are_up_down() {
+        // In a k-ary n-tree, endpoints under the same leaf are 2 hops
+        // apart; crossing the whole tree costs 2*levels hops.
+        let t = Topology::fat_tree(4, 3, 64);
+        let r = Routes::compute(&t);
+        assert_eq!(r.hops(0, 1), 2); // same leaf
+        assert_eq!(r.hops(0, 63), 6); // full up-down
+        assert_eq!(r.hops(0, 4), 4); // adjacent leaf, common level-1
+    }
+
+    #[test]
+    fn paths_are_consistent_edge_sequences() {
+        let t = Topology::fat_tree(4, 2, 16);
+        let r = Routes::compute(&t);
+        for s in 0..16 {
+            for d in 0..16 {
+                if s == d {
+                    continue;
+                }
+                let verts = r.vertex_path(&t, s, d);
+                assert_eq!(verts.first(), Some(&s));
+                assert_eq!(verts.last(), Some(&d));
+                assert_eq!(verts.len() as u32 - 1, r.hops(s, d));
+            }
+        }
+    }
+
+    #[test]
+    fn multipath_spreads_by_source() {
+        // Two sources under the same leaf sending to the same remote
+        // destination should (usually) take different spine switches.
+        let t = Topology::fat_tree(4, 2, 16);
+        let r = Routes::compute(&t);
+        let p0 = r.vertex_path(&t, 0, 15);
+        let p1 = r.vertex_path(&t, 1, 15);
+        assert_ne!(p0[2], p1[2], "spine choice should differ by source");
+    }
+}

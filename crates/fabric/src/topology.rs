@@ -1,0 +1,267 @@
+//! Fabric topology as an explicit graph of endpoints and switch
+//! elements, plus the constructors used by the reproduction:
+//! a single crossbar and generalized k-ary n-trees (the internal
+//! structure of both the Voltaire ISR 9600 and the Quadrics QS5A).
+
+use std::fmt;
+
+/// A vertex in the fabric graph.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum NodeRef {
+    /// A NIC port, indexed by endpoint id (0-based, dense).
+    Endpoint(usize),
+    /// A switch element, indexed by switch id (0-based, dense).
+    Switch(usize),
+}
+
+/// Undirected cable between two vertices. At instantiation each edge
+/// becomes two independent directed channels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Edge {
+    pub a: NodeRef,
+    pub b: NodeRef,
+}
+
+/// Pure structure of a fabric (no runtime state).
+#[derive(Clone, Debug)]
+pub struct Topology {
+    pub n_endpoints: usize,
+    pub n_switches: usize,
+    pub edges: Vec<Edge>,
+    /// Human-readable description for reports.
+    pub name: String,
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} endpoints, {} switches, {} cables)",
+            self.name, self.n_endpoints, self.n_switches, self.edges.len()
+        )
+    }
+}
+
+impl Topology {
+    /// All endpoints attached to one crossbar switch.
+    pub fn single_crossbar(n_endpoints: usize) -> Topology {
+        assert!(n_endpoints >= 1);
+        let edges = (0..n_endpoints)
+            .map(|e| Edge {
+                a: NodeRef::Endpoint(e),
+                b: NodeRef::Switch(0),
+            })
+            .collect();
+        Topology {
+            n_endpoints,
+            n_switches: 1,
+            edges,
+            name: format!("crossbar-{n_endpoints}"),
+        }
+    }
+
+    /// Generalized k-ary n-tree with `arity` down-links per switch and
+    /// `levels` switch stages, truncated to `n_endpoints` attached
+    /// endpoints (capacity `arity^levels`).
+    ///
+    /// Construction follows the standard k-ary n-tree definition:
+    /// level-0 switches are the leaves holding endpoint ports; a switch
+    /// at level `l` (position `p`, written in base `arity`) connects its
+    /// up-port `u` to the level-`l+1` switch whose digits equal `p`
+    /// except digit `l` replaced by `u`. Unused sub-trees are pruned.
+    ///
+    /// * Voltaire ISR 9600 (96-port chassis of 24-port elements):
+    ///   `arity = 12, levels = 2` (capacity 144, 96 usable in product).
+    /// * Quadrics QS5A (64-port chassis of Elite-4 8-port elements):
+    ///   `arity = 4, levels = 3` (capacity 64).
+    pub fn fat_tree(arity: usize, levels: usize, n_endpoints: usize) -> Topology {
+        assert!(arity >= 2 && levels >= 1);
+        let capacity = arity.pow(levels as u32);
+        assert!(
+            n_endpoints >= 1 && n_endpoints <= capacity,
+            "fat_tree({arity},{levels}) holds at most {capacity} endpoints, asked for {n_endpoints}"
+        );
+        // Number of switch positions per level in the full tree: a
+        // k-ary n-tree has arity^(levels-1) switches per level.
+        let per_level = arity.pow(levels as u32 - 1);
+
+        // Which full-tree switch positions are live, given pruning?
+        // A level-0 switch `s` is live iff endpoint range
+        // [s*arity, (s+1)*arity) intersects [0, n_endpoints).
+        // A level-l switch is live iff any live level-(l-1) switch
+        // connects to it; with the digit construction that reduces to:
+        // position p at level l is live iff there exists a live leaf
+        // whose digits match p on all digits except 0..l. Equivalently,
+        // the sub-tree prefix (digits l..levels-1 of p) addresses a
+        // group of arity^l leaves; live iff that group intersects the
+        // live leaves.
+        let n_leaves = n_endpoints.div_ceil(arity);
+        let live = |level: usize, pos: usize| -> bool {
+            // Digits l..levels-1 of pos identify the leaf group of size
+            // arity^l... but careful: leaf index shares digits
+            // (l..levels-1) with pos; digits 0..l are free. The lowest
+            // leaf in the group clears digits 0..l of pos.
+            let modulus = arity.pow(level as u32);
+            let group_base = (pos / modulus) * modulus;
+            group_base < n_leaves
+        };
+
+        // Dense renumbering of live switches.
+        let mut switch_id = vec![vec![usize::MAX; per_level]; levels];
+        let mut n_switches = 0usize;
+        for (level, ids) in switch_id.iter_mut().enumerate() {
+            for (pos, slot) in ids.iter_mut().enumerate() {
+                if live(level, pos) {
+                    *slot = n_switches;
+                    n_switches += 1;
+                }
+            }
+        }
+
+        let mut edges = Vec::new();
+        // Endpoint -> leaf switch.
+        for e in 0..n_endpoints {
+            let leaf = e / arity;
+            edges.push(Edge {
+                a: NodeRef::Endpoint(e),
+                b: NodeRef::Switch(switch_id[0][leaf]),
+            });
+        }
+        // Level l -> level l+1 up-links.
+        for level in 0..levels - 1 {
+            let modulus = arity.pow(level as u32);
+            for pos in 0..per_level {
+                if switch_id[level][pos] == usize::MAX {
+                    continue;
+                }
+                for up in 0..arity {
+                    // Replace digit `level` of pos with `up`.
+                    let digit = (pos / modulus) % arity;
+                    let upper = pos - digit * modulus + up * modulus;
+                    if switch_id[level + 1][upper] == usize::MAX {
+                        continue;
+                    }
+                    edges.push(Edge {
+                        a: NodeRef::Switch(switch_id[level][pos]),
+                        b: NodeRef::Switch(switch_id[level + 1][upper]),
+                    });
+                }
+            }
+        }
+        Topology {
+            n_endpoints,
+            n_switches,
+            edges,
+            name: format!("fat-tree-{arity}x{levels}-{n_endpoints}"),
+        }
+    }
+
+    /// Adjacency list: for every vertex, the (neighbor, edge index)
+    /// pairs. Endpoints come first in the vertex numbering.
+    pub fn adjacency(&self) -> Vec<Vec<(NodeRef, usize)>> {
+        let mut adj = vec![Vec::new(); self.n_endpoints + self.n_switches];
+        for (idx, e) in self.edges.iter().enumerate() {
+            adj[self.vertex_index(e.a)].push((e.b, idx));
+            adj[self.vertex_index(e.b)].push((e.a, idx));
+        }
+        adj
+    }
+
+    /// Dense vertex index: endpoints `[0, n_endpoints)`, then switches.
+    pub fn vertex_index(&self, n: NodeRef) -> usize {
+        match n {
+            NodeRef::Endpoint(e) => {
+                assert!(e < self.n_endpoints);
+                e
+            }
+            NodeRef::Switch(s) => {
+                assert!(s < self.n_switches);
+                self.n_endpoints + s
+            }
+        }
+    }
+
+    pub fn n_vertices(&self) -> usize {
+        self.n_endpoints + self.n_switches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashSet, VecDeque};
+
+    fn is_connected(t: &Topology) -> bool {
+        let adj = t.adjacency();
+        let mut seen = vec![false; t.n_vertices()];
+        let mut q = VecDeque::from([0usize]);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(v) = q.pop_front() {
+            for &(n, _) in &adj[v] {
+                let i = t.vertex_index(n);
+                if !seen[i] {
+                    seen[i] = true;
+                    count += 1;
+                    q.push_back(i);
+                }
+            }
+        }
+        count == t.n_vertices()
+    }
+
+    #[test]
+    fn crossbar_shape() {
+        let t = Topology::single_crossbar(8);
+        assert_eq!(t.n_switches, 1);
+        assert_eq!(t.edges.len(), 8);
+        assert!(is_connected(&t));
+    }
+
+    #[test]
+    fn fat_tree_full_counts() {
+        // 4-ary 3-tree at full population: 64 endpoints, 16 switches
+        // per level * 3 levels = 48 switches; edges: 64 endpoint links
+        // + 2 * (16 * 4) inter-level links.
+        let t = Topology::fat_tree(4, 3, 64);
+        assert_eq!(t.n_switches, 48);
+        assert_eq!(t.edges.len(), 64 + 2 * 64);
+        assert!(is_connected(&t));
+    }
+
+    #[test]
+    fn fat_tree_two_level_counts() {
+        // 12-ary 2-tree with 32 endpoints: leaves = ceil(32/12) = 3,
+        // spine level has 12 positions all live (group_base = 0 < 3).
+        let t = Topology::fat_tree(12, 2, 32);
+        assert_eq!(t.n_endpoints, 32);
+        assert_eq!(t.n_switches, 3 + 12);
+        assert!(is_connected(&t));
+    }
+
+    #[test]
+    fn fat_tree_pruned_is_connected() {
+        for n in [1, 2, 3, 5, 17, 31, 63, 64] {
+            let t = Topology::fat_tree(4, 3, n);
+            assert!(is_connected(&t), "n={n}");
+            assert_eq!(t.n_endpoints, n);
+        }
+    }
+
+    #[test]
+    fn no_duplicate_edges() {
+        let t = Topology::fat_tree(4, 3, 64);
+        let mut seen = HashSet::new();
+        for e in &t.edges {
+            let key = (t.vertex_index(e.a).min(t.vertex_index(e.b)),
+                       t.vertex_index(e.a).max(t.vertex_index(e.b)));
+            assert!(seen.insert(key), "duplicate edge {e:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn fat_tree_overflow_panics() {
+        Topology::fat_tree(4, 2, 17);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests over random topologies: routing must be total,
+//! loop-free, and length-optimal for every fat tree we can build.
+
+use proptest::prelude::*;
+
+use elanib_fabric::{elan4, infiniband_4x, Fabric, Routes, Topology};
+use elanib_simcore::Sim;
+
+/// Strategy: (arity, levels, endpoints) for a valid, small fat tree.
+fn fat_tree_params() -> impl Strategy<Value = (usize, usize, usize)> {
+    (2usize..=6, 1usize..=3).prop_flat_map(|(arity, levels)| {
+        let cap = arity.pow(levels as u32);
+        (Just(arity), Just(levels), 1..=cap.min(64))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every endpoint pair is connected; paths are edge-consistent,
+    /// acyclic in vertices, and match the BFS hop count.
+    #[test]
+    fn routing_is_total_and_shortest((arity, levels, n) in fat_tree_params()) {
+        let topo = Topology::fat_tree(arity, levels, n);
+        let routes = Routes::compute(&topo);
+        for s in 0..n {
+            for d in 0..n {
+                if s == d { continue; }
+                let verts = routes.vertex_path(&topo, s, d);
+                prop_assert_eq!(*verts.first().unwrap(), s);
+                prop_assert_eq!(*verts.last().unwrap(), d);
+                prop_assert_eq!(verts.len() as u32 - 1, routes.hops(s, d));
+                // No vertex repeats (shortest paths are simple).
+                let mut sorted = verts.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), verts.len(), "cycle in path");
+                // In a fat tree, hop counts are even (up-down) and
+                // bounded by 2*levels.
+                let h = routes.hops(s, d);
+                prop_assert!(h >= 2 && h <= 2 * levels as u32);
+                prop_assert_eq!(h % 2, 0);
+            }
+        }
+    }
+
+    /// Hop counts are symmetric.
+    #[test]
+    fn hops_symmetric((arity, levels, n) in fat_tree_params()) {
+        let topo = Topology::fat_tree(arity, levels, n);
+        let routes = Routes::compute(&topo);
+        for s in 0..n {
+            for d in (s + 1)..n {
+                prop_assert_eq!(routes.hops(s, d), routes.hops(d, s));
+            }
+        }
+    }
+
+    /// Delivery times are causal (strictly after now) and monotone in
+    /// message size for a fixed pair on an idle fabric.
+    #[test]
+    fn delivery_monotone_in_size(
+        (arity, levels, n) in fat_tree_params(),
+        sizes in prop::collection::vec(1u64..1_000_000, 2..6),
+    ) {
+        prop_assume!(n >= 2);
+        let params = if arity % 2 == 0 { infiniband_4x() } else { elan4() };
+        let mut sizes = sizes;
+        sizes.sort_unstable();
+        sizes.dedup();
+        prop_assume!(sizes.len() >= 2);
+        let mut last = None;
+        for &bytes in &sizes {
+            // Fresh fabric per size: idle links.
+            let fabric = Fabric::new(Topology::fat_tree(arity, levels, n), params);
+            let sim = Sim::new(1);
+            let t = fabric.deliver_at(&sim, 0, n - 1, bytes);
+            prop_assert!(t > sim.now());
+            if let Some(prev) = last {
+                prop_assert!(t > prev, "bigger messages take longer");
+            }
+            last = Some(t);
+        }
+    }
+
+    /// Back-to-back messages on the same pair serialize: k messages
+    /// take at least k serialization times.
+    #[test]
+    fn same_pair_messages_serialize(
+        n in 2usize..=16,
+        k in 2usize..=8,
+        bytes in 10_000u64..500_000,
+    ) {
+        let fabric = Fabric::new(Topology::fat_tree(4, 2, n), elan4());
+        let sim = Sim::new(1);
+        let mut last = None;
+        for _ in 0..k {
+            let t = fabric.deliver_at(&sim, 0, n - 1, bytes);
+            if let Some(prev) = last {
+                prop_assert!(t > prev);
+            }
+            last = Some(t);
+        }
+        let ser = fabric.params.link.serialize(bytes);
+        let min_total = ser.as_secs_f64() * (k as f64 - 0.5);
+        prop_assert!(last.unwrap().as_secs_f64() >= min_total * 0.9);
+    }
+}

@@ -1,0 +1,101 @@
+//! MPI_Init cost versus job size — the §3.3.1 connectionless argument
+//! as a measurement. MVAPICH 0.9.2 establishes a queue pair with every
+//! remote peer inside `MPI_Init`, so start-up cost grows linearly with
+//! job size; Tports allocates nothing per peer, so Elan-4 start-up is
+//! flat. (The paper argues this qualitatively; at thousands of ranks
+//! it became the notorious InfiniBand job-launch problem.)
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use elanib_mpi::collectives::barrier;
+use elanib_mpi::{Communicator, JobSpec, Network, RankProgram};
+
+/// Init-time measurement for one job size.
+#[derive(Clone, Copy, Debug)]
+pub struct InitPoint {
+    pub nodes: usize,
+    pub ppn: usize,
+    /// Simulated time from job launch until every rank has completed
+    /// MPI_Init and a first barrier.
+    pub init_time_us: f64,
+}
+
+#[derive(Clone)]
+struct InitProbe {
+    out_us: Rc<Cell<f64>>,
+}
+
+impl RankProgram for InitProbe {
+    // The explicit `impl Future + 'static` (rather than `async fn`)
+    // keeps the 'static bound visible at the trait boundary.
+    #[allow(clippy::manual_async_fn)]
+    fn run<C: Communicator>(self, c: C) -> impl std::future::Future<Output = ()> + 'static {
+        async move {
+            // Connection setup is charged by the world before this
+            // body runs; the barrier makes rank 0 observe the slowest
+            // rank's completion.
+            barrier(&c).await;
+            if c.rank() == 0 {
+                self.out_us.set(c.sim().now().as_us_f64());
+            }
+        }
+    }
+}
+
+/// Measure init+first-barrier time.
+pub fn init_time(network: Network, nodes: usize, ppn: usize) -> InitPoint {
+    let out = Rc::new(Cell::new(0.0));
+    elanib_mpi::run_job(
+        JobSpec {
+            network,
+            nodes,
+            ppn,
+            seed: 83,
+        },
+        InitProbe {
+            out_us: out.clone(),
+        },
+    );
+    InitPoint {
+        nodes,
+        ppn,
+        init_time_us: out.get(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ib_init_grows_linearly_elan_stays_flat() {
+        let ib4 = init_time(Network::InfiniBand, 4, 1).init_time_us;
+        let ib16 = init_time(Network::InfiniBand, 16, 1).init_time_us;
+        let ib32 = init_time(Network::InfiniBand, 32, 1).init_time_us;
+        // Queue-pair setup dominates: time ∝ remote peers.
+        let g1 = (ib16 - ib4) / 12.0;
+        let g2 = (ib32 - ib16) / 16.0;
+        assert!(g1 > 0.0 && g2 > 0.0);
+        assert!(
+            (g1 / g2 - 1.0).abs() < 0.25,
+            "IB init should grow ~linearly per peer: {g1} vs {g2} us/peer"
+        );
+        let el4 = init_time(Network::Elan4, 4, 1).init_time_us;
+        let el32 = init_time(Network::Elan4, 32, 1).init_time_us;
+        // Elan's growth is only the barrier's log factor.
+        assert!(
+            el32 < el4 * 3.0,
+            "connectionless init must stay near-flat: {el4} -> {el32}"
+        );
+        assert!(ib32 > el32 * 10.0, "the §3.3.1 gap: ib {ib32} vs elan {el32}");
+    }
+
+    #[test]
+    fn two_ppn_doubles_ib_peer_count() {
+        let one = init_time(Network::InfiniBand, 8, 1).init_time_us;
+        let two = init_time(Network::InfiniBand, 8, 2).init_time_us;
+        // 8x1: 7 remote peers; 8x2: 14 remote peers per rank.
+        assert!(two > one * 1.6, "1ppn {one} vs 2ppn {two}");
+    }
+}

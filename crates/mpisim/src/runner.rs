@@ -1,0 +1,143 @@
+//! Network-generic job launcher: run the same rank program on either
+//! network and get the final simulated time back.
+
+use elanib_nic::{ElanParams, HcaParams};
+use elanib_nodesim::NodeParams;
+use elanib_simcore::{Sim, SimTime};
+
+use crate::tports::{ElanWorld, TportsMpiParams};
+use crate::verbs::{IbWorld, VerbsParams};
+use crate::Communicator;
+
+/// Which interconnect a job runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Network {
+    InfiniBand,
+    Elan4,
+}
+
+impl Network {
+    pub fn label(self) -> &'static str {
+        match self {
+            Network::InfiniBand => "4X InfiniBand",
+            Network::Elan4 => "Quadrics Elan-4",
+        }
+    }
+
+    pub const BOTH: [Network; 2] = [Network::InfiniBand, Network::Elan4];
+}
+
+impl std::fmt::Display for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A rank program that can run over any [`Communicator`]. Cloned once
+/// per rank.
+pub trait RankProgram: Clone + 'static {
+    fn run<C: Communicator>(self, c: C) -> impl std::future::Future<Output = ()> + 'static;
+}
+
+/// Job description shared by every experiment in the reproduction.
+#[derive(Clone, Copy, Debug)]
+pub struct JobSpec {
+    pub network: Network,
+    pub nodes: usize,
+    pub ppn: usize,
+    pub seed: u64,
+}
+
+impl JobSpec {
+    pub fn n_ranks(&self) -> usize {
+        self.nodes * self.ppn
+    }
+}
+
+/// Every tunable of both stacks in one bundle — the handle the
+/// ablation studies turn.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetConfig {
+    pub node: NodeParams,
+    pub hca: HcaParams,
+    pub verbs: VerbsParams,
+    pub elan: ElanParams,
+    pub tports: TportsMpiParams,
+}
+
+/// Run `program` on every rank of a fresh cluster; returns the final
+/// simulated time (all ranks and all in-flight hardware activity
+/// complete). Panics on deadlock — a deadlock in an experiment is a
+/// bug, not a result.
+pub fn run_job<P: RankProgram>(spec: JobSpec, program: P) -> SimTime {
+    run_job_configured(spec, &NetConfig::default(), program)
+}
+
+/// [`run_job`] with explicit stack parameters (ablations, sweeps).
+pub fn run_job_configured<P: RankProgram>(
+    spec: JobSpec,
+    cfg: &NetConfig,
+    program: P,
+) -> SimTime {
+    let sim = Sim::new(spec.seed);
+    match spec.network {
+        Network::InfiniBand => {
+            let w = IbWorld::with_params(&sim, spec.nodes, spec.ppn, cfg.node, cfg.hca, cfg.verbs);
+            w.spawn_ranks("job", move |c| program.clone().run(c));
+        }
+        Network::Elan4 => {
+            let w = ElanWorld::with_params(
+                &sim, spec.nodes, spec.ppn, cfg.node, cfg.elan, cfg.tports,
+            );
+            w.spawn_ranks("job", move |c| program.clone().run(c));
+        }
+    }
+    sim.run()
+        .unwrap_or_else(|e| panic!("{} job deadlocked: {e}", spec.network))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collectives::{allreduce, Op};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    #[derive(Clone)]
+    struct SumProgram {
+        out: Rc<Cell<f64>>,
+    }
+
+    impl RankProgram for SumProgram {
+        #[allow(clippy::manual_async_fn)]
+        fn run<C: Communicator>(
+            self,
+            c: C,
+        ) -> impl std::future::Future<Output = ()> + 'static {
+            async move {
+                let v = allreduce(&c, Op::Sum, &[1.0]).await;
+                if c.rank() == 0 {
+                    self.out.set(v[0]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_job_on_both_networks() {
+        for net in Network::BOTH {
+            let out = Rc::new(Cell::new(0.0));
+            let t = run_job(
+                JobSpec {
+                    network: net,
+                    nodes: 4,
+                    ppn: 2,
+                    seed: 1,
+                },
+                SumProgram { out: out.clone() },
+            );
+            assert_eq!(out.get(), 8.0);
+            assert!(t > SimTime::ZERO);
+        }
+    }
+}

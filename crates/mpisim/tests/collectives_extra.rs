@@ -1,0 +1,61 @@
+//! Unit tests for the allgather collective on both transports and both
+//! algorithms (recursive doubling for 2^k, ring otherwise).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use elanib_mpi::collectives::allgather;
+use elanib_mpi::tports::ElanWorld;
+use elanib_mpi::verbs::IbWorld;
+use elanib_mpi::{bytes_of_f64, f64_of_bytes, Communicator, Network};
+use elanib_simcore::Sim;
+
+fn run_allgather(net: Network, nodes: usize, ppn: usize) {
+    let sim = Sim::new(51);
+    let done = Rc::new(RefCell::new(0usize));
+    macro_rules! body {
+        ($world:expr) => {{
+            let w = $world;
+            for r in 0..nodes * ppn {
+                let c = w.comm(r);
+                let d = done.clone();
+                sim.spawn(format!("r{r}"), async move {
+                    let me = c.rank();
+                    let out = allgather(&c, bytes_of_f64(&[me as f64 * 3.0, 1.0]), 16).await;
+                    assert_eq!(out.len(), c.size());
+                    for (src, b) in out.iter().enumerate() {
+                        assert_eq!(f64_of_bytes(b), vec![src as f64 * 3.0, 1.0]);
+                    }
+                    *d.borrow_mut() += 1;
+                });
+            }
+        }};
+    }
+    match net {
+        Network::InfiniBand => body!(IbWorld::new(&sim, nodes, ppn)),
+        Network::Elan4 => body!(ElanWorld::new(&sim, nodes, ppn)),
+    }
+    sim.run().unwrap();
+    assert_eq!(*done.borrow(), nodes * ppn);
+}
+
+#[test]
+fn allgather_power_of_two() {
+    for net in Network::BOTH {
+        run_allgather(net, 4, 2); // 8 ranks: recursive doubling
+        run_allgather(net, 2, 1); // 2 ranks
+    }
+}
+
+#[test]
+fn allgather_ring_fallback() {
+    for net in Network::BOTH {
+        run_allgather(net, 3, 1); // 3 ranks: ring
+        run_allgather(net, 5, 1); // 5 ranks: ring
+    }
+}
+
+#[test]
+fn allgather_single_rank() {
+    run_allgather(Network::Elan4, 1, 1);
+}

@@ -1,0 +1,505 @@
+//! MPI semantics tests, run identically against both transports: the
+//! same rank program must produce the same *answers* on InfiniBand and
+//! Elan-4 — only the timing may differ.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use elanib_mpi::collectives::{allreduce, alltoall, barrier, bcast, gather, reduce, Op};
+use elanib_mpi::tports::ElanWorld;
+use elanib_mpi::verbs::IbWorld;
+use elanib_mpi::{
+    bytes_of_f64, empty, f64_of_bytes, irecv, isend, recv, send, sendrecv, waitall, Communicator,
+};
+use elanib_simcore::{Dur, Sim, SimTime};
+
+/// Run `f` as the rank program on both networks and return the two
+/// final simulated times (ib, elan).
+fn run_both<F, Fut>(nodes: usize, ppn: usize, f: F) -> (SimTime, SimTime)
+where
+    F: Fn(Box<dyn CommAny>) -> Fut + Clone + 'static,
+    Fut: std::future::Future<Output = ()> + 'static,
+{
+    let t_ib = {
+        let sim = Sim::new(7);
+        let w = IbWorld::new(&sim, nodes, ppn);
+        let f = f.clone();
+        w.spawn_ranks("test", move |c| f(Box::new(c)));
+        sim.run().unwrap_or_else(|e| panic!("ib deadlock: {e}"))
+    };
+    let t_elan = {
+        let sim = Sim::new(7);
+        let w = ElanWorld::new(&sim, nodes, ppn);
+        w.spawn_ranks("test", move |c| f(Box::new(c)));
+        sim.run().unwrap_or_else(|e| panic!("elan deadlock: {e}"))
+    };
+    (t_ib, t_elan)
+}
+
+/// Object-safe adapter so one test body can run over either transport
+/// without generics leaking into every closure.
+///
+/// (Apps use the generic [`Communicator`] directly; this adapter is a
+/// test convenience only.)
+pub trait CommAny {
+    fn rank(&self) -> usize;
+    fn size(&self) -> usize;
+    fn sim(&self) -> Sim;
+    fn send_b<'a>(
+        &'a self,
+        dst: usize,
+        tag: i64,
+        data: elanib_mpi::Bytes,
+        bytes: u64,
+    ) -> std::pin::Pin<Box<dyn std::future::Future<Output = ()> + 'a>>;
+    fn recv_b<'a>(
+        &'a self,
+        src: Option<usize>,
+        tag: Option<i64>,
+    ) -> std::pin::Pin<Box<dyn std::future::Future<Output = elanib_mpi::RecvMsg> + 'a>>;
+    fn barrier_b<'a>(&'a self) -> std::pin::Pin<Box<dyn std::future::Future<Output = ()> + 'a>>;
+    fn allreduce_b<'a>(
+        &'a self,
+        op: Op,
+        x: Vec<f64>,
+    ) -> std::pin::Pin<Box<dyn std::future::Future<Output = Vec<f64>> + 'a>>;
+    fn bcast_b<'a>(
+        &'a self,
+        root: usize,
+        data: elanib_mpi::Bytes,
+        bytes: u64,
+    ) -> std::pin::Pin<Box<dyn std::future::Future<Output = elanib_mpi::Bytes> + 'a>>;
+    fn gather_b<'a>(
+        &'a self,
+        root: usize,
+        data: elanib_mpi::Bytes,
+        bytes: u64,
+    ) -> std::pin::Pin<Box<dyn std::future::Future<Output = Option<Vec<elanib_mpi::Bytes>>> + 'a>>;
+    fn alltoall_b<'a>(
+        &'a self,
+        payloads: Vec<elanib_mpi::Bytes>,
+        per_peer: u64,
+    ) -> std::pin::Pin<Box<dyn std::future::Future<Output = Vec<elanib_mpi::Bytes>> + 'a>>;
+    fn reduce_b<'a>(
+        &'a self,
+        root: usize,
+        op: Op,
+        x: Vec<f64>,
+    ) -> std::pin::Pin<Box<dyn std::future::Future<Output = Option<Vec<f64>>> + 'a>>;
+    fn sendrecv_b<'a>(
+        &'a self,
+        dst: usize,
+        stag: i64,
+        data: elanib_mpi::Bytes,
+        bytes: u64,
+        src: usize,
+        rtag: i64,
+    ) -> std::pin::Pin<Box<dyn std::future::Future<Output = elanib_mpi::RecvMsg> + 'a>>;
+}
+
+impl<C: Communicator> CommAny for C {
+    fn rank(&self) -> usize {
+        Communicator::rank(self)
+    }
+    fn size(&self) -> usize {
+        Communicator::size(self)
+    }
+    fn sim(&self) -> Sim {
+        Communicator::sim(self)
+    }
+    fn send_b<'a>(
+        &'a self,
+        dst: usize,
+        tag: i64,
+        data: elanib_mpi::Bytes,
+        bytes: u64,
+    ) -> std::pin::Pin<Box<dyn std::future::Future<Output = ()> + 'a>> {
+        Box::pin(send(self, dst, tag, data, bytes))
+    }
+    fn recv_b<'a>(
+        &'a self,
+        src: Option<usize>,
+        tag: Option<i64>,
+    ) -> std::pin::Pin<Box<dyn std::future::Future<Output = elanib_mpi::RecvMsg> + 'a>> {
+        Box::pin(recv(self, src, tag))
+    }
+    fn barrier_b<'a>(&'a self) -> std::pin::Pin<Box<dyn std::future::Future<Output = ()> + 'a>> {
+        Box::pin(barrier(self))
+    }
+    fn allreduce_b<'a>(
+        &'a self,
+        op: Op,
+        x: Vec<f64>,
+    ) -> std::pin::Pin<Box<dyn std::future::Future<Output = Vec<f64>> + 'a>> {
+        Box::pin(async move { allreduce(self, op, &x).await })
+    }
+    fn bcast_b<'a>(
+        &'a self,
+        root: usize,
+        data: elanib_mpi::Bytes,
+        bytes: u64,
+    ) -> std::pin::Pin<Box<dyn std::future::Future<Output = elanib_mpi::Bytes> + 'a>> {
+        Box::pin(bcast(self, root, data, bytes))
+    }
+    fn gather_b<'a>(
+        &'a self,
+        root: usize,
+        data: elanib_mpi::Bytes,
+        bytes: u64,
+    ) -> std::pin::Pin<Box<dyn std::future::Future<Output = Option<Vec<elanib_mpi::Bytes>>> + 'a>>
+    {
+        Box::pin(gather(self, root, data, bytes))
+    }
+    fn alltoall_b<'a>(
+        &'a self,
+        payloads: Vec<elanib_mpi::Bytes>,
+        per_peer: u64,
+    ) -> std::pin::Pin<Box<dyn std::future::Future<Output = Vec<elanib_mpi::Bytes>> + 'a>> {
+        Box::pin(alltoall(self, payloads, per_peer))
+    }
+    fn reduce_b<'a>(
+        &'a self,
+        root: usize,
+        op: Op,
+        x: Vec<f64>,
+    ) -> std::pin::Pin<Box<dyn std::future::Future<Output = Option<Vec<f64>>> + 'a>> {
+        Box::pin(async move { reduce(self, root, op, &x).await })
+    }
+    fn sendrecv_b<'a>(
+        &'a self,
+        dst: usize,
+        stag: i64,
+        data: elanib_mpi::Bytes,
+        bytes: u64,
+        src: usize,
+        rtag: i64,
+    ) -> std::pin::Pin<Box<dyn std::future::Future<Output = elanib_mpi::RecvMsg> + 'a>> {
+        Box::pin(sendrecv(self, dst, stag, data, bytes, src, rtag))
+    }
+}
+
+#[test]
+fn pingpong_payload_integrity() {
+    run_both(2, 1, |c| async move {
+        if c.rank() == 0 {
+            c.send_b(1, 5, bytes_of_f64(&[1.0, 2.0, 3.0]), 24).await;
+            let m = c.recv_b(Some(1), Some(6)).await;
+            assert_eq!(f64_of_bytes(&m.data), vec![2.0, 4.0, 6.0]);
+        } else {
+            let m = c.recv_b(Some(0), Some(5)).await;
+            let doubled: Vec<f64> = f64_of_bytes(&m.data).iter().map(|x| x * 2.0).collect();
+            c.send_b(0, 6, bytes_of_f64(&doubled), 24).await;
+        }
+    });
+}
+
+#[test]
+fn large_message_rendezvous_integrity() {
+    // 256 KiB: rendezvous on both networks.
+    run_both(2, 1, |c| async move {
+        let n = 1024usize;
+        if c.rank() == 0 {
+            let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            c.send_b(1, 1, bytes_of_f64(&data), 256 * 1024).await;
+        } else {
+            let m = c.recv_b(Some(0), Some(1)).await;
+            assert_eq!(m.bytes, 256 * 1024);
+            let got = f64_of_bytes(&m.data);
+            assert_eq!(got.len(), n);
+            assert_eq!(got[1023], 1023.0);
+        }
+    });
+}
+
+#[test]
+fn non_overtaking_same_tag() {
+    run_both(2, 1, |c| async move {
+        let count = 20;
+        if c.rank() == 0 {
+            for i in 0..count {
+                c.send_b(1, 9, bytes_of_f64(&[i as f64]), 8).await;
+            }
+        } else {
+            for i in 0..count {
+                let m = c.recv_b(Some(0), Some(9)).await;
+                assert_eq!(f64_of_bytes(&m.data)[0], i as f64, "overtaken at {i}");
+            }
+        }
+    });
+}
+
+#[test]
+fn mixed_eager_and_rendezvous_stay_ordered() {
+    run_both(2, 1, |c| async move {
+        if c.rank() == 0 {
+            // Rendezvous first (slow), eager second (fast): the
+            // receiver must still match them in posted order.
+            c.send_b(1, 3, bytes_of_f64(&[111.0]), 500_000).await;
+            c.send_b(1, 3, bytes_of_f64(&[222.0]), 8).await;
+        } else {
+            let a = c.recv_b(Some(0), Some(3)).await;
+            let b = c.recv_b(Some(0), Some(3)).await;
+            assert_eq!(f64_of_bytes(&a.data)[0], 111.0);
+            assert_eq!(f64_of_bytes(&b.data)[0], 222.0);
+            assert_eq!(a.bytes, 500_000);
+            assert_eq!(b.bytes, 8);
+        }
+    });
+}
+
+#[test]
+fn wildcard_source_and_tag() {
+    run_both(3, 1, |c| async move {
+        match c.rank() {
+            0 => {
+                // Two receives with ANY_SOURCE/ANY_TAG get both sends.
+                let mut got = vec![];
+                for _ in 0..2 {
+                    let m = c.recv_b(None, None).await;
+                    got.push((m.src, m.tag, f64_of_bytes(&m.data)[0]));
+                }
+                got.sort_by_key(|g| g.0);
+                assert_eq!(got[0], (1, 10, 1.5));
+                assert_eq!(got[1], (2, 20, 2.5));
+            }
+            1 => c.send_b(0, 10, bytes_of_f64(&[1.5]), 8).await,
+            2 => c.send_b(0, 20, bytes_of_f64(&[2.5]), 8).await,
+            _ => unreachable!(),
+        }
+    });
+}
+
+#[test]
+fn unexpected_messages_match_later_receive() {
+    run_both(2, 1, |c| async move {
+        if c.rank() == 0 {
+            c.send_b(1, 1, bytes_of_f64(&[7.0]), 8).await;
+            c.send_b(1, 2, bytes_of_f64(&[8.0]), 8).await;
+        } else {
+            // Sleep so both messages are unexpected, then receive in
+            // the *reverse* tag order.
+            c.sim().sleep(Dur::from_ms(1)).await;
+            let b = c.recv_b(Some(0), Some(2)).await;
+            let a = c.recv_b(Some(0), Some(1)).await;
+            assert_eq!(f64_of_bytes(&b.data)[0], 8.0);
+            assert_eq!(f64_of_bytes(&a.data)[0], 7.0);
+        }
+    });
+}
+
+#[test]
+fn sendrecv_exchange_ring() {
+    run_both(4, 1, |c| async move {
+        let n = c.size();
+        let me = c.rank();
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        let m = c
+            .sendrecv_b(right, 7, bytes_of_f64(&[me as f64]), 8, left, 7)
+            .await;
+        assert_eq!(f64_of_bytes(&m.data)[0], left as f64);
+    });
+}
+
+#[test]
+fn intra_node_2ppn_messaging() {
+    run_both(2, 2, |c| async move {
+        // 4 ranks; 0&1 share node 0. Ring exchange crosses both the
+        // loopback path and the wire.
+        let n = c.size();
+        let me = c.rank();
+        let m = c
+            .sendrecv_b((me + 1) % n, 1, bytes_of_f64(&[me as f64]), 1024, (me + n - 1) % n, 1)
+            .await;
+        assert_eq!(f64_of_bytes(&m.data)[0], ((me + n - 1) % n) as f64);
+    });
+}
+
+#[test]
+fn barrier_synchronizes() {
+    for nodes in [2, 3, 5] {
+        run_both(nodes, 1, |c| async move {
+            let before = c.sim().now();
+            c.barrier_b().await;
+            let after = c.sim().now();
+            assert!(after > before);
+            c.barrier_b().await;
+            c.barrier_b().await;
+        });
+    }
+}
+
+#[test]
+fn allreduce_sum_and_max() {
+    for (nodes, ppn) in [(4, 1), (3, 2)] {
+        run_both(nodes, ppn, |c| async move {
+            let me = c.rank() as f64;
+            let n = c.size() as f64;
+            let s = c.allreduce_b(Op::Sum, vec![me, 1.0]).await;
+            assert_eq!(s[0], n * (n - 1.0) / 2.0);
+            assert_eq!(s[1], n);
+            let m = c.allreduce_b(Op::Max, vec![me]).await;
+            assert_eq!(m[0], n - 1.0);
+            let mn = c.allreduce_b(Op::Min, vec![me]).await;
+            assert_eq!(mn[0], 0.0);
+        });
+    }
+}
+
+#[test]
+fn bcast_from_nonzero_root() {
+    run_both(5, 1, |c| async move {
+        let payload = if c.rank() == 3 {
+            bytes_of_f64(&[42.0, 43.0])
+        } else {
+            empty()
+        };
+        let data = c.bcast_b(3, payload, 16).await;
+        assert_eq!(f64_of_bytes(&data), vec![42.0, 43.0]);
+    });
+}
+
+#[test]
+fn reduce_to_root() {
+    run_both(6, 1, |c| async move {
+        let r = c.reduce_b(2, Op::Sum, vec![1.0]).await;
+        if c.rank() == 2 {
+            assert_eq!(r.unwrap(), vec![6.0]);
+        } else {
+            assert!(r.is_none());
+        }
+    });
+}
+
+#[test]
+fn gather_collects_in_rank_order() {
+    run_both(4, 1, |c| async move {
+        let me = c.rank();
+        let out = c.gather_b(0, bytes_of_f64(&[me as f64 * 10.0]), 8).await;
+        if me == 0 {
+            let v: Vec<f64> = out
+                .unwrap()
+                .iter()
+                .map(|b| f64_of_bytes(b)[0])
+                .collect();
+            assert_eq!(v, vec![0.0, 10.0, 20.0, 30.0]);
+        }
+    });
+}
+
+#[test]
+fn alltoall_exchanges_everything() {
+    run_both(4, 1, |c| async move {
+        let me = c.rank();
+        let n = c.size();
+        let payloads: Vec<_> = (0..n)
+            .map(|d| bytes_of_f64(&[(me * 100 + d) as f64]))
+            .collect();
+        let got = c.alltoall_b(payloads, 8).await;
+        for (src, b) in got.iter().enumerate() {
+            assert_eq!(f64_of_bytes(b)[0], (src * 100 + me) as f64);
+        }
+    });
+}
+
+#[test]
+fn waitall_completes_batch() {
+    // Uses the generic API directly (not the adapter).
+    let sim = Sim::new(3);
+    let w = IbWorld::new(&sim, 2, 1);
+    w.spawn_ranks("batch", |c| async move {
+        if Communicator::rank(&c) == 0 {
+            let mut reqs = vec![];
+            for i in 0..8 {
+                reqs.push(isend(&c, 1, i, bytes_of_f64(&[i as f64]), 8).await);
+            }
+            waitall(&c, reqs).await;
+        } else {
+            let mut reqs = vec![];
+            for i in 0..8 {
+                reqs.push(irecv(&c, Some(0), Some(i)).await);
+            }
+            let msgs = waitall(&c, reqs).await;
+            for (i, m) in msgs.iter().enumerate() {
+                assert_eq!(f64_of_bytes(&m.as_ref().unwrap().data)[0], i as f64);
+            }
+        }
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn determinism_same_seed_same_time() {
+    let run = || {
+        let sim = Sim::new(11);
+        let w = ElanWorld::new(&sim, 4, 2);
+        w.spawn_ranks("det", |c| async move {
+            for _ in 0..3 {
+                barrier(&c).await;
+                let _ = allreduce(&c, Op::Sum, &[Communicator::rank(&c) as f64]).await;
+            }
+        });
+        sim.run().unwrap()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn results_recorded_outside_tasks() {
+    // Sanity that rank tasks can export results through Rc<RefCell>.
+    let sim = Sim::new(1);
+    let w = ElanWorld::new(&sim, 2, 1);
+    let out = Rc::new(RefCell::new(Vec::new()));
+    let out2 = out.clone();
+    w.spawn_ranks("export", move |c| {
+        let out = out2.clone();
+        async move {
+            let v = allreduce(&c, Op::Sum, &[1.0]).await;
+            out.borrow_mut().push(v[0]);
+        }
+    });
+    sim.run().unwrap();
+    assert_eq!(*out.borrow(), vec![2.0, 2.0]);
+}
+
+#[test]
+fn world_stats_reflect_traffic() {
+    use elanib_mpi::{send, recv, bytes_of_f64};
+    let sim = Sim::new(71);
+    let wi = IbWorld::new(&sim, 2, 1);
+    let we = ElanWorld::new(&sim, 2, 1);
+    for (r, w) in [(0usize, &wi), (1, &wi)] {
+        let c = w.comm(r);
+        sim.spawn(format!("ib{r}"), async move {
+            if Communicator::rank(&c) == 0 {
+                // One eager, one rendezvous (registers), one unexpected.
+                send(&c, 1, 1, bytes_of_f64(&[1.0]), 64).await;
+                send(&c, 1, 2, bytes_of_f64(&[2.0]), 100_000).await;
+            } else {
+                Communicator::sim(&c).sleep(Dur::from_us(500)).await; // force unexpected
+                let _ = recv(&c, Some(0), Some(1)).await;
+                let _ = recv(&c, Some(0), Some(2)).await;
+            }
+        });
+    }
+    for r in 0..2usize {
+        let c = we.comm(r);
+        sim.spawn(format!("el{r}"), async move {
+            if Communicator::rank(&c) == 0 {
+                send(&c, 1, 1, bytes_of_f64(&[1.0]), 64).await;
+            } else {
+                let _ = recv(&c, Some(0), Some(1)).await;
+            }
+        });
+    }
+    sim.run().unwrap();
+    let si = wi.stats();
+    assert!(si.wire_bytes > 100_000, "rendezvous data crossed the wire");
+    assert!(si.nic_messages >= 4, "eager + RTS + CTS + FIN at least");
+    assert!(si.unexpected >= 1, "the delayed receiver saw unexpected arrivals");
+    assert!(si.reg_misses >= 2, "both rendezvous buffers registered");
+    let se = we.stats();
+    assert!(se.nic_messages >= 1);
+    assert_eq!(se.reg_misses, 0, "Elan never registers");
+    assert_eq!(se.reg_hits, 0);
+}

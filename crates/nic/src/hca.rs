@@ -1,0 +1,360 @@
+//! The 4X InfiniBand host channel adapter model (Voltaire HCS 400).
+//!
+//! Deliberately dumb hardware, faithful to §3 of the paper:
+//!
+//! * **Connection-oriented** (§3.3.1): a queue pair must be set up per
+//!   peer before any transfer; [`IbNet::connect_all`] charges the full
+//!   O(P) setup at init time, and per-peer receive resources
+//!   (MVAPICH's eager RDMA buffers) are accounted per connection.
+//! * **Explicit registration** (§3.3.2): [`Hca::register`] consults the
+//!   pin-down cache and returns the host cost of any miss.
+//! * **No matching, no progress** (§3.3.3/3.3.4): the HCA's only
+//!   delivery action is to place the message record in the destination
+//!   process's [`inbox`](Hca::inbox) — a passive queue. *Nothing*
+//!   happens to it until host software (the MVAPICH-style progress
+//!   engine in `elanib-mpi`) polls; an RTS landing while the target
+//!   rank computes sits unprocessed, which is precisely the paper's
+//!   independent-progress argument.
+//!
+//! The inbox is per *process* (rank), while the DMA engines and the
+//! physical port are per *node* — two ranks on one node (2 PPN) share
+//! the PCI-X path and the HCA engines but have separate queues.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use elanib_fabric::Fabric;
+use elanib_nodesim::Node;
+use elanib_simcore::{Dur, Flag, Mailbox, Sim};
+
+use crate::common::SerialEngine;
+use crate::params::HcaParams;
+use crate::regcache::{RegCache, RegionId};
+use crate::transfer::{launch, PairChains};
+
+/// Per-node HCA hardware: the engines and ordering chains shared by
+/// every rank on the node.
+pub struct HcaPort {
+    pub node: Rc<Node>,
+    pub ep: usize,
+    tx_engine: SerialEngine,
+    rx_engine: SerialEngine,
+    chains: PairChains,
+}
+
+impl HcaPort {
+    /// Work requests this port's send engine has processed.
+    pub fn messages_sent(&self) -> u64 {
+        self.tx_engine.jobs_served()
+    }
+}
+
+/// Interrupt-style delivery hook (see [`Hca::set_arrival_hook`]).
+pub type ArrivalHook<M> = Box<dyn Fn(&Sim, usize, M)>;
+
+/// Per-rank HCA state: registration cache (MVAPICH keeps one per
+/// process) and the passive receive queue.
+pub struct Hca<M> {
+    pub rank: usize,
+    pub port: Rc<HcaPort>,
+    pub params: HcaParams,
+    regcache: RefCell<RegCache>,
+    /// Passive arrival queue: `(source rank, protocol message)`.
+    /// The host progress engine is the only consumer.
+    pub inbox: Mailbox<(usize, M)>,
+    connections: RefCell<usize>,
+    /// When set, arrivals are dispatched through this hook instead of
+    /// queued in the inbox — models an interrupt-driven progress
+    /// engine (the §7 independent-progress ablation). Default: unset,
+    /// i.e. the faithful passive-inbox behaviour.
+    hook: RefCell<Option<ArrivalHook<M>>>,
+}
+
+/// A whole InfiniBand network: fabric + one HCA view per rank.
+pub struct IbNet<M> {
+    pub fabric: Rc<Fabric>,
+    pub params: HcaParams,
+    ports: Vec<Rc<HcaPort>>,
+    hcas: Vec<Rc<Hca<M>>>,
+    /// rank -> fabric endpoint (node id).
+    rank_ep: Vec<usize>,
+}
+
+impl<M: 'static> IbNet<M> {
+    /// Build a network for `nodes` with `ppn` ranks per node. Rank `r`
+    /// lives on node `r / ppn`, CPU `r % ppn` (block placement, as the
+    /// paper's MPI launches did).
+    pub fn new(nodes: &[Rc<Node>], fabric: Rc<Fabric>, ppn: usize, params: HcaParams) -> IbNet<M> {
+        assert!(ppn >= 1);
+        assert_eq!(fabric.n_endpoints(), nodes.len());
+        let ports: Vec<Rc<HcaPort>> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                Rc::new(HcaPort {
+                    node: n.clone(),
+                    ep: i,
+                    tx_engine: SerialEngine::new(),
+                    rx_engine: SerialEngine::new(),
+                    chains: PairChains::new(),
+                })
+            })
+            .collect();
+        let nranks = nodes.len() * ppn;
+        let hcas = (0..nranks)
+            .map(|r| {
+                Rc::new(Hca {
+                    rank: r,
+                    port: ports[r / ppn].clone(),
+                    params,
+                    regcache: RefCell::new(RegCache::new(params.reg_cache_bytes)),
+                    inbox: Mailbox::new(),
+                    connections: RefCell::new(0),
+                    hook: RefCell::new(None),
+                })
+            })
+            .collect();
+        let rank_ep = (0..nranks).map(|r| r / ppn).collect();
+        IbNet {
+            fabric,
+            params,
+            ports,
+            hcas,
+            rank_ep,
+        }
+    }
+
+    pub fn n_ranks(&self) -> usize {
+        self.hcas.len()
+    }
+
+    pub fn hca(&self, rank: usize) -> &Rc<Hca<M>> {
+        &self.hcas[rank]
+    }
+
+    pub fn node_of(&self, rank: usize) -> &Rc<Node> {
+        &self.ports[self.rank_ep[rank]].node
+    }
+
+    pub fn endpoint_of(&self, rank: usize) -> usize {
+        self.rank_ep[rank]
+    }
+
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.rank_ep[a] == self.rank_ep[b]
+    }
+
+    /// Total work requests across all ports (stats).
+    pub fn total_messages(&self) -> u64 {
+        self.ports.iter().map(|p| p.messages_sent()).sum()
+    }
+
+    /// Time for rank `r` to establish queue pairs with all remote
+    /// peers, as MVAPICH 0.9.2 does inside `MPI_Init` (fully connected
+    /// at startup — the connection-oriented cost of §3.3.1).
+    pub fn connection_setup_time(&self, rank: usize) -> Dur {
+        let remote_peers = (0..self.n_ranks())
+            .filter(|&p| p != rank && !self.same_node(rank, p))
+            .count();
+        *self.hcas[rank].connections.borrow_mut() = remote_peers;
+        Dur::from_ps(self.params.qp_setup.as_ps() * remote_peers as u64)
+    }
+
+    /// Transmit `m` with `bytes` of wire payload from `src` rank to
+    /// `dst` rank (must be on different nodes). Returns a flag that is
+    /// set when the source buffer is reusable (source DMA drained).
+    /// Delivery pushes `(src, m)` into the destination inbox after the
+    /// destination HCA's receive-engine slot — and nothing more: the
+    /// destination host discovers it only by polling.
+    pub fn post(&self, sim: &Sim, src: usize, dst: usize, m: M, bytes: u64) -> Flag {
+        let src_port = &self.ports[self.rank_ep[src]];
+        let dst_port = self.ports[self.rank_ep[dst]].clone();
+        let dst_hca = self.hcas[dst].clone();
+        let local_done = Flag::new();
+        // The send engine serializes all WQEs on this node's HCA —
+        // including the sibling rank's in 2 PPN mode.
+        let start_at = src_port.tx_engine.next_slot(sim, self.params.wqe_engine);
+        let (prev, tail) = src_port.chains.enqueue(dst);
+        let rx_cost = self.params.rx_engine;
+        let dst_node = dst_port.node.clone();
+        launch(
+            sim,
+            &self.fabric,
+            &src_port.node,
+            &dst_node,
+            src_port.ep,
+            dst_port.ep,
+            bytes,
+            start_at,
+            local_done.clone(),
+            prev,
+            tail,
+            move |sim| {
+                // Receive-side HCA processing (CQE/steering) is serial
+                // per port, then the record becomes host-visible.
+                let slot = dst_port.rx_engine.next_slot(sim, rx_cost);
+                let hca = dst_hca;
+                sim.call_at(slot, move |sim| {
+                    let hook = hca.hook.borrow();
+                    match &*hook {
+                        Some(h) => h(sim, src, m),
+                        None => hca.inbox.push((src, m)),
+                    }
+                });
+            },
+        );
+        local_done
+    }
+}
+
+impl<M> Hca<M> {
+    /// Install an interrupt-style delivery hook: arrivals bypass the
+    /// inbox and invoke `h` at hardware-delivery time. Used only by
+    /// the independent-progress ablation.
+    pub fn set_arrival_hook(&self, h: ArrivalHook<M>) {
+        *self.hook.borrow_mut() = Some(h);
+    }
+
+    /// Register `region` (`len` bytes) through the pin-down cache;
+    /// returns the host time the caller must charge (zero on a hit).
+    pub fn register(&self, region: RegionId, len: u64) -> Dur {
+        self.regcache.borrow_mut().register(&self.params, region, len)
+    }
+
+    /// Registration-cache statistics `(hits, misses, evictions)`.
+    pub fn regcache_stats(&self) -> (u64, u64, u64) {
+        let c = self.regcache.borrow();
+        (c.hits, c.misses, c.evictions)
+    }
+
+    /// Host cost of one progress-engine poll sweep. MVAPICH polls a
+    /// per-peer set of eager RDMA buffers, so the sweep cost grows
+    /// linearly with connected peers — the §4.1 observation that
+    /// "buffer space ... grows with the number of processes" has a
+    /// time cost too.
+    pub fn poll_sweep_cost(&self) -> Dur {
+        let peers = *self.connections.borrow();
+        Dur::from_ns(100) + Dur::from_ns(20) * peers as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elanib_fabric::{infiniband_4x, Topology};
+    use elanib_nodesim::NodeParams;
+    use std::cell::Cell;
+
+    #[derive(Debug, PartialEq)]
+    struct TestMsg(u64);
+
+    fn net(nodes: usize, ppn: usize) -> (Sim, Rc<IbNet<TestMsg>>) {
+        let sim = Sim::new(1);
+        let nn: Vec<_> = (0..nodes).map(|i| Node::new(i, NodeParams::default())).collect();
+        let fabric = Rc::new(Fabric::new(
+            Topology::single_crossbar(nodes),
+            infiniband_4x(),
+        ));
+        let n = Rc::new(IbNet::new(&nn, fabric, ppn, HcaParams::default()));
+        (sim, n)
+    }
+
+    #[test]
+    fn post_delivers_to_inbox_in_order() {
+        let (sim, net) = net(2, 1);
+        for i in 0..5 {
+            net.post(&sim, 0, 1, TestMsg(i), 64);
+        }
+        let n2 = net.clone();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g = got.clone();
+        sim.spawn("rx", async move {
+            for _ in 0..5 {
+                let (src, m) = n2.hca(1).inbox.recv().await;
+                assert_eq!(src, 0);
+                g.borrow_mut().push(m.0);
+            }
+        });
+        sim.run().unwrap();
+        assert_eq!(*got.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn mixed_sizes_still_deliver_in_order() {
+        let (sim, net) = net(2, 1);
+        net.post(&sim, 0, 1, TestMsg(0), 2_000_000);
+        net.post(&sim, 0, 1, TestMsg(1), 16);
+        let n2 = net.clone();
+        let got = Rc::new(RefCell::new(Vec::new()));
+        let g = got.clone();
+        sim.spawn("rx", async move {
+            for _ in 0..2 {
+                let (_, m) = n2.hca(1).inbox.recv().await;
+                g.borrow_mut().push(m.0);
+            }
+        });
+        sim.run().unwrap();
+        assert_eq!(*got.borrow(), vec![0, 1]);
+    }
+
+    #[test]
+    fn connection_setup_scales_with_remote_peers() {
+        let (_sim, net) = net(4, 2); // 8 ranks
+        let d = net.connection_setup_time(0);
+        // Rank 0: 8 ranks total, 1 sibling on-node => 6 remote peers.
+        assert_eq!(d, HcaParams::default().qp_setup * 6);
+        // Poll sweep now reflects 6 peers.
+        let p = net.hca(0).poll_sweep_cost();
+        assert_eq!(p, Dur::from_ns(100) + Dur::from_ns(20) * 6);
+    }
+
+    #[test]
+    fn intra_node_post_loops_back_through_nic() {
+        let (sim, net) = net(2, 2);
+        net.post(&sim, 0, 1, TestMsg(0), 64); // ranks 0,1 on node 0
+        let n2 = net.clone();
+        let t = Rc::new(Cell::new(0.0));
+        let t2 = t.clone();
+        let s2 = sim.clone();
+        sim.spawn("rx", async move {
+            let (src, m) = n2.hca(1).inbox.recv().await;
+            assert_eq!((src, m.0), (0, 0));
+            t2.set(s2.now().as_us_f64());
+        });
+        sim.run().unwrap();
+        // Loopback is fast but not free: two PCI-X crossings plus the
+        // HCA engines.
+        assert!(t.get() > 0.5 && t.get() < 5.0, "{}", t.get());
+    }
+
+    #[test]
+    fn local_done_signals_buffer_reuse() {
+        let (sim, net) = net(2, 1);
+        let f = net.post(&sim, 0, 1, TestMsg(9), 1_000_000);
+        let seen = Rc::new(Cell::new(false));
+        let (s2, seen2) = (sim.clone(), seen.clone());
+        sim.spawn("wait-local", async move {
+            f.wait().await;
+            assert!(s2.now().as_us_f64() > 0.0);
+            seen2.set(true);
+        });
+        // Drain the inbox so the run completes.
+        let n2 = net.clone();
+        sim.spawn("rx", async move {
+            let _ = n2.hca(1).inbox.recv().await;
+        });
+        sim.run().unwrap();
+        assert!(seen.get());
+    }
+
+    #[test]
+    fn registration_costs_flow_through() {
+        let (_sim, net) = net(2, 1);
+        let h = net.hca(0);
+        let c1 = h.register(7, 65536);
+        assert!(c1 > Dur::ZERO);
+        assert_eq!(h.register(7, 65536), Dur::ZERO);
+        let (hits, misses, _) = h.regcache_stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+}

@@ -1,0 +1,516 @@
+//! The discrete-event kernel and its cooperative task executor.
+//!
+//! The kernel is single-threaded and **deterministic**: every run with
+//! the same seed and the same task program replays the exact same event
+//! sequence. Determinism comes from three rules:
+//!
+//! 1. the event heap is ordered by `(time, sequence-number)`, so
+//!    simultaneous events fire in scheduling order;
+//! 2. there is exactly one executor thread — tasks are `async` state
+//!    machines polled to completion one at a time;
+//! 3. all randomness flows through the kernel's seeded [`rand::rngs::StdRng`].
+//!
+//! Simulated processes (MPI ranks, NIC engines, switch arbiters) are
+//! plain `async fn`s spawned with [`Sim::spawn`]. They suspend on
+//! [`Sim::sleep`] (the passage of modelled time) or on synchronization
+//! primitives from [`crate::sync`], and the kernel advances the clock
+//! between polls.
+
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::time::{Dur, SimTime};
+
+/// Identifier of a spawned task within one simulation.
+pub type TaskId = usize;
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
+type BoxCall = Box<dyn FnOnce(&Sim)>;
+
+enum EvKind {
+    /// Poll the given task.
+    Wake(TaskId),
+    /// Run an arbitrary closure against the simulation (used by timers
+    /// and by model components that are pure event handlers rather than
+    /// tasks).
+    Call(BoxCall),
+}
+
+struct Ev {
+    at: SimTime,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, o: &Self) -> bool {
+        self.at == o.at && self.seq == o.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(o))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(o.at, o.seq))
+    }
+}
+
+struct Task {
+    fut: Option<BoxFuture>,
+    name: String,
+    done: bool,
+}
+
+/// The queue a [`Waker`] pushes into. It must be `Send + Sync` because
+/// `std::task::Waker` is, even though this simulator never leaves its
+/// thread.
+#[derive(Default)]
+struct WakeQueue {
+    ready: Mutex<Vec<TaskId>>,
+}
+
+struct TaskWaker {
+    queue: Arc<WakeQueue>,
+    id: TaskId,
+}
+
+impl std::task::Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.queue.ready.lock().unwrap().push(self.id);
+    }
+}
+
+/// Trace callback: `(time, message)`.
+type Tracer = Box<dyn FnMut(SimTime, &str)>;
+
+struct Kernel {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Ev>>,
+    tasks: Vec<Task>,
+    live_tasks: usize,
+    rng: StdRng,
+    events_processed: u64,
+    tracer: Option<Tracer>,
+}
+
+/// Handle to a running simulation. Cheap to clone; all clones share the
+/// same kernel.
+#[derive(Clone)]
+pub struct Sim {
+    k: Rc<RefCell<Kernel>>,
+    wakes: Arc<WakeQueue>,
+}
+
+/// Why [`Sim::run`] stopped before all tasks completed.
+#[derive(Debug)]
+pub enum SimError {
+    /// The event heap drained while tasks were still suspended — some
+    /// wait can never be satisfied (e.g. a `recv` with no matching
+    /// `send`). Carries the names of the stuck tasks.
+    Deadlock(Vec<String>),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock(names) => {
+                write!(f, "simulation deadlock; {} task(s) stuck: ", names.len())?;
+                for (i, n) in names.iter().take(8).enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                if names.len() > 8 {
+                    write!(f, ", ...")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+impl std::error::Error for SimError {}
+
+impl Sim {
+    /// Create a simulation whose RNG is seeded with `seed`.
+    pub fn new(seed: u64) -> Sim {
+        Sim {
+            k: Rc::new(RefCell::new(Kernel {
+                now: SimTime::ZERO,
+                seq: 0,
+                heap: BinaryHeap::new(),
+                tasks: Vec::new(),
+                live_tasks: 0,
+                rng: StdRng::seed_from_u64(seed),
+                events_processed: 0,
+                tracer: None,
+            })),
+            wakes: Arc::new(WakeQueue::default()),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.k.borrow().now
+    }
+
+    /// Number of events the kernel has dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.k.borrow().events_processed
+    }
+
+    /// Install a trace callback invoked by [`Sim::trace`].
+    pub fn set_tracer(&self, f: impl FnMut(SimTime, &str) + 'static) {
+        self.k.borrow_mut().tracer = Some(Box::new(f));
+    }
+
+    /// Emit a trace line if a tracer is installed. `msg` is built lazily
+    /// so tracing is free when disabled.
+    pub fn trace(&self, msg: impl FnOnce() -> String) {
+        let mut k = self.k.borrow_mut();
+        if k.tracer.is_some() {
+            let now = k.now;
+            let s = {
+                // Build the message outside the tracer borrow.
+                drop(k);
+                let s = msg();
+                k = self.k.borrow_mut();
+                s
+            };
+            if let Some(t) = k.tracer.as_mut() {
+                t(now, &s);
+            }
+        }
+    }
+
+    /// Run a closure with the kernel RNG. All model randomness must go
+    /// through here to preserve determinism.
+    pub fn with_rng<T>(&self, f: impl FnOnce(&mut StdRng) -> T) -> T {
+        f(&mut self.k.borrow_mut().rng)
+    }
+
+    /// Spawn a task. It will first be polled when the kernel reaches the
+    /// current simulated time in its event order (immediately at t=now).
+    pub fn spawn(&self, name: impl Into<String>, fut: impl Future<Output = ()> + 'static) -> TaskId {
+        let mut k = self.k.borrow_mut();
+        let id = k.tasks.len();
+        k.tasks.push(Task {
+            fut: Some(Box::pin(fut)),
+            name: name.into(),
+            done: false,
+        });
+        k.live_tasks += 1;
+        let at = k.now;
+        k.push(at, EvKind::Wake(id));
+        id
+    }
+
+    /// Schedule `f` to run against the simulation after `delay`.
+    pub fn call_in(&self, delay: Dur, f: impl FnOnce(&Sim) + 'static) {
+        let mut k = self.k.borrow_mut();
+        let at = k.now + delay;
+        k.push(at, EvKind::Call(Box::new(f)));
+    }
+
+    /// Schedule `f` at an absolute time (must not be in the past).
+    pub fn call_at(&self, at: SimTime, f: impl FnOnce(&Sim) + 'static) {
+        let mut k = self.k.borrow_mut();
+        debug_assert!(at >= k.now, "call_at into the past");
+        k.push(at, EvKind::Call(Box::new(f)));
+    }
+
+    /// Future that completes after `d` of simulated time.
+    pub fn sleep(&self, d: Dur) -> Delay {
+        Delay {
+            sim: self.clone(),
+            deadline: None,
+            dur: d,
+        }
+    }
+
+    /// Future that completes at absolute time `t` (immediately if `t`
+    /// is in the past).
+    pub fn sleep_until(&self, t: SimTime) -> Delay {
+        let now = self.now();
+        Delay {
+            sim: self.clone(),
+            deadline: None,
+            dur: t.since(now),
+        }
+    }
+
+    /// Drive the simulation until every spawned task has completed.
+    ///
+    /// Returns the final simulated time, or [`SimError::Deadlock`] if
+    /// events ran dry with tasks still suspended.
+    pub fn run(&self) -> Result<SimTime, SimError> {
+        loop {
+            // 1. Poll every task woken at the current instant. Wakes
+            //    performed while draining are themselves drained before
+            //    the clock may advance (zero-delay wake semantics).
+            loop {
+                let ready: Vec<TaskId> = {
+                    let mut q = self.wakes.ready.lock().unwrap();
+                    std::mem::take(&mut *q)
+                };
+                if ready.is_empty() {
+                    break;
+                }
+                for tid in ready {
+                    self.poll_task(tid);
+                }
+            }
+
+            // 2. Advance the clock to the next event.
+            let ev = {
+                let mut k = self.k.borrow_mut();
+                match k.heap.pop() {
+                    Some(Reverse(ev)) => {
+                        debug_assert!(ev.at >= k.now, "event heap time went backwards");
+                        k.now = ev.at;
+                        k.events_processed += 1;
+                        ev
+                    }
+                    None => break,
+                }
+            };
+            match ev.kind {
+                EvKind::Wake(tid) => self.poll_task(tid),
+                EvKind::Call(f) => f(self),
+            }
+        }
+
+        let k = self.k.borrow();
+        if k.live_tasks > 0 {
+            let stuck = k
+                .tasks
+                .iter()
+                .filter(|t| !t.done)
+                .map(|t| t.name.clone())
+                .collect();
+            return Err(SimError::Deadlock(stuck));
+        }
+        Ok(k.now)
+    }
+
+    fn poll_task(&self, tid: TaskId) {
+        // Take the future out of the slab so polling can re-enter the
+        // kernel (to schedule events, spawn tasks, ...).
+        let mut fut = {
+            let mut k = self.k.borrow_mut();
+            match k.tasks[tid].fut.take() {
+                Some(f) => f,
+                // Already completed, or currently being polled higher up
+                // the stack (a spurious duplicate wake): ignore.
+                None => return,
+            }
+        };
+        let waker: Waker = Arc::new(TaskWaker {
+            queue: self.wakes.clone(),
+            id: tid,
+        })
+        .into();
+        let mut cx = Context::from_waker(&waker);
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                let mut k = self.k.borrow_mut();
+                k.tasks[tid].done = true;
+                k.live_tasks -= 1;
+            }
+            Poll::Pending => {
+                self.k.borrow_mut().tasks[tid].fut = Some(fut);
+            }
+        }
+    }
+}
+
+impl Kernel {
+    fn push(&mut self, at: SimTime, kind: EvKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Ev { at, seq, kind }));
+    }
+}
+
+/// Future returned by [`Sim::sleep`] / [`Sim::sleep_until`].
+pub struct Delay {
+    sim: Sim,
+    deadline: Option<SimTime>,
+    dur: Dur,
+}
+
+impl Future for Delay {
+    type Output = ();
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        match this.deadline {
+            None => {
+                if this.dur.is_zero() {
+                    return Poll::Ready(());
+                }
+                let deadline = this.sim.now() + this.dur;
+                this.deadline = Some(deadline);
+                let waker = cx.waker().clone();
+                this.sim.call_at(deadline, move |_| waker.wake());
+                Poll::Pending
+            }
+            Some(d) => {
+                if this.sim.now() >= d {
+                    Poll::Ready(())
+                } else {
+                    // Spurious poll before the timer fired; the timer
+                    // event holds our original waker, so just wait.
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn empty_sim_runs_to_zero() {
+        let sim = Sim::new(1);
+        assert_eq!(sim.run().unwrap(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sleep_advances_clock() {
+        let sim = Sim::new(1);
+        let end = Rc::new(Cell::new(SimTime::ZERO));
+        let e = end.clone();
+        let s = sim.clone();
+        sim.spawn("sleeper", async move {
+            s.sleep(Dur::from_us(10)).await;
+            s.sleep(Dur::from_us(5)).await;
+            e.set(s.now());
+        });
+        sim.run().unwrap();
+        assert_eq!(end.get(), SimTime::ZERO + Dur::from_us(15));
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_schedule_order() {
+        let sim = Sim::new(1);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..5 {
+            let o = order.clone();
+            let s = sim.clone();
+            sim.spawn(format!("t{i}"), async move {
+                s.sleep(Dur::from_us(1)).await;
+                o.borrow_mut().push(i);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn call_in_runs_at_right_time() {
+        let sim = Sim::new(1);
+        let seen = Rc::new(Cell::new(0u64));
+        let s2 = seen.clone();
+        sim.call_in(Dur::from_ms(2), move |sim| {
+            assert_eq!(sim.now(), SimTime::ZERO + Dur::from_ms(2));
+            s2.set(7);
+        });
+        sim.run().unwrap();
+        assert_eq!(seen.get(), 7);
+    }
+
+    #[test]
+    fn zero_duration_sleep_is_immediate() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        sim.spawn("z", async move {
+            s.sleep(Dur::ZERO).await;
+            assert_eq!(s.now(), SimTime::ZERO);
+        });
+        sim.run().unwrap();
+    }
+
+    #[test]
+    fn deterministic_event_counts() {
+        fn run_once(seed: u64) -> (SimTime, u64) {
+            let sim = Sim::new(seed);
+            for i in 0..20 {
+                let s = sim.clone();
+                sim.spawn(format!("t{i}"), async move {
+                    let jitter = s.with_rng(|r| rand::Rng::gen_range(r, 1..100u64));
+                    s.sleep(Dur::from_ns(jitter)).await;
+                    s.sleep(Dur::from_ns(jitter * 3)).await;
+                });
+            }
+            let t = sim.run().unwrap();
+            (t, sim.events_processed())
+        }
+        assert_eq!(run_once(42), run_once(42));
+        assert_ne!(run_once(42).0, run_once(43).0);
+    }
+
+    #[test]
+    fn nested_spawn_completes() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        let done = Rc::new(Cell::new(false));
+        let d = done.clone();
+        sim.spawn("outer", async move {
+            s.sleep(Dur::from_us(1)).await;
+            let s2 = s.clone();
+            s.spawn("inner", async move {
+                s2.sleep(Dur::from_us(1)).await;
+                d.set(true);
+            });
+        });
+        sim.run().unwrap();
+        assert!(done.get());
+    }
+
+    #[test]
+    fn deadlock_is_reported_with_task_name() {
+        let sim = Sim::new(1);
+        sim.spawn("stuck-task", std::future::pending::<()>());
+        match sim.run() {
+            Err(SimError::Deadlock(names)) => assert_eq!(names, vec!["stuck-task".to_string()]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_callback_fires() {
+        let sim = Sim::new(1);
+        let lines = Rc::new(RefCell::new(Vec::new()));
+        let l = lines.clone();
+        sim.set_tracer(move |t, msg| l.borrow_mut().push(format!("{t} {msg}")));
+        let s = sim.clone();
+        sim.spawn("tr", async move {
+            s.sleep(Dur::from_us(1)).await;
+            s.trace(|| "hello".to_string());
+        });
+        sim.run().unwrap();
+        assert_eq!(lines.borrow().len(), 1);
+        assert!(lines.borrow()[0].contains("hello"));
+    }
+}

@@ -1,0 +1,54 @@
+//! The Sweep3D fixed-size study (Figure 4) as an interactive demo:
+//! grind time and efficiency across process counts on both networks,
+//! with the cache-residency superlinearity called out.
+//!
+//! ```sh
+//! cargo run --release --example sweep3d_wavefront [grid_size]
+//! ```
+
+use elanib::apps::sweep3d::{grind_time_ns, sweep_cube, sweep_study};
+use elanib::mpi::Network;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150);
+    let p = sweep_cube(n);
+    let counts = [1usize, 4, 9, 16, 25];
+    println!("Sweep3D {n}^3 fixed-size study (KBA wavefront, 8 octants)\n");
+    println!(
+        "{:>6}  {:>12} {:>8}  {:>12} {:>8}",
+        "procs", "IB grind ns", "eff %", "Elan grind ns", "eff %"
+    );
+    let ib = sweep_study(Network::InfiniBand, p, &counts, 1);
+    let el = sweep_study(Network::Elan4, p, &counts, 1);
+    for (i, &procs) in counts.iter().enumerate() {
+        println!(
+            "{:>6}  {:>12.1} {:>8.1}  {:>12.1} {:>8.1}",
+            procs,
+            grind_time_ns(p, ib[i].time_s, procs),
+            ib[i].efficiency_pct(),
+            grind_time_ns(p, el[i].time_s, procs),
+            el[i].efficiency_pct(),
+        );
+    }
+    if n >= 120 {
+        println!(
+            "\nEfficiency above 100% at 4 processes is the paper's §4.2.2\n\
+             cache effect: the unscaled problem starts fitting in the\n\
+             512 KB L2 once divided."
+        );
+    } else {
+        println!(
+            "\nAt {n}^3 the per-process working set is cache-resident even\n\
+             on one processor, so there is no superlinear bump — run the\n\
+             default 150^3 to see the paper's §4.2.2 cache effect."
+        );
+    }
+    println!(
+        "The paper's anomalous 25-process InfiniBand jump is an input\n\
+         artifact the authors disavowed (see Figure 5); the simulation\n\
+         reproduces the trend instead."
+    );
+}

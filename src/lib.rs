@@ -1,0 +1,25 @@
+//! # elanib — umbrella crate
+//!
+//! Re-exports the whole reproduction of *"A Comparison of 4X InfiniBand
+//! and Quadrics Elan-4 Technologies"* (CLUSTER 2004) under one name.
+//! See the individual crates for detail:
+//!
+//! * [`simcore`] — deterministic async discrete-event kernel
+//! * [`fabric`] — links, switches, topologies, routing
+//! * [`nodesim`] — dual-Xeon / PCI-X compute-node model
+//! * [`nic`] — InfiniBand HCA (verbs) and Elan-4 (Tports) models
+//! * [`mpi`] — MPI layer with the MVAPICH-style and Quadrics-style transports
+//! * [`microbench`] — ping-pong, streaming, b_eff
+//! * [`apps`] — LAMMPS proxy, Sweep3D, NAS CG
+//! * [`cost`] — list-price cost model (Tables 2–3, Figures 7–8)
+//! * [`core`] — the comparison framework: cluster builder, studies, metrics
+
+pub use elanib_apps as apps;
+pub use elanib_core as core;
+pub use elanib_cost as cost;
+pub use elanib_fabric as fabric;
+pub use elanib_microbench as microbench;
+pub use elanib_mpi as mpi;
+pub use elanib_nic as nic;
+pub use elanib_nodesim as nodesim;
+pub use elanib_simcore as simcore;
