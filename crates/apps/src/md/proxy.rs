@@ -256,16 +256,22 @@ pub fn md_step_time_cfg(
 /// The scaled-size scaling study of Figures 2/3: per-step time and
 /// scaling efficiency versus node count (normalized to the smallest
 /// node count in the sweep, per curve).
+///
+/// The per-count jobs are independent simulations, so they run through
+/// the parallel sweep engine; only the efficiency fold (which needs
+/// the first count's time as the base) is serial.
 pub fn md_study(
     network: Network,
     problem: MdProblem,
     node_counts: &[usize],
     ppn: usize,
 ) -> Vec<ScalingPoint> {
+    let times = elanib_core::sweep(node_counts, |&nodes| {
+        md_step_time(network, problem, nodes, ppn)
+    });
     let mut out = Vec::new();
     let mut base = None;
-    for &nodes in node_counts {
-        let t = md_step_time(network, problem, nodes, ppn);
+    for (&nodes, &t) in node_counts.iter().zip(&times) {
         let b = *base.get_or_insert(t);
         out.push(ScalingPoint {
             nodes,

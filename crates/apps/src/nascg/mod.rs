@@ -398,12 +398,17 @@ pub fn cg_study(
     proc_counts: &[usize],
     ppn: usize,
 ) -> Vec<(ScalingPoint, f64)> {
-    let mut out = Vec::new();
-    let mut t1: Option<f64> = None;
-    for &procs in proc_counts {
+    // Each process count is an independent simulation: sweep them in
+    // parallel, then fold the T(1)-normalized efficiencies serially.
+    let runs = elanib_core::sweep(proc_counts, |&procs| {
         let nodes = procs / ppn.min(procs);
         let ppn_eff = procs / nodes;
-        let run = cg_run(network, problem, nodes, ppn_eff);
+        cg_run(network, problem, nodes, ppn_eff)
+    });
+    let mut out = Vec::new();
+    let mut t1: Option<f64> = None;
+    for (&procs, run) in proc_counts.iter().zip(&runs) {
+        let nodes = procs / ppn.min(procs);
         let base = *t1.get_or_insert(run.time_s * procs as f64);
         out.push((
             ScalingPoint {

@@ -208,15 +208,20 @@ pub fn sweep_study(
     proc_counts: &[usize],
     ppn: usize,
 ) -> Vec<ScalingPoint> {
-    let mut out = Vec::new();
-    let mut t1 = None;
     for &procs in proc_counts {
         assert_eq!(procs % ppn, 0, "procs must be a multiple of ppn");
-        let nodes = procs / ppn;
-        let t = sweep_time(network, problem, nodes, ppn);
+    }
+    // Independent fixed-size jobs fan out through the sweep engine;
+    // the T(1)-normalized efficiency fold stays serial.
+    let times = elanib_core::sweep(proc_counts, |&procs| {
+        sweep_time(network, problem, procs / ppn, ppn)
+    });
+    let mut out = Vec::new();
+    let mut t1 = None;
+    for (&procs, &t) in proc_counts.iter().zip(&times) {
         let base = *t1.get_or_insert(t * proc_counts[0] as f64);
         out.push(ScalingPoint {
-            nodes,
+            nodes: procs / ppn,
             procs,
             time_s: t,
             efficiency: base / (procs as f64 * t),

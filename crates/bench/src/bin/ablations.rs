@@ -13,9 +13,14 @@
 //! could be as simple as current inefficiencies in the MPI
 //! implementation or could be as complex as the capability to provide
 //! independent progress through hardware offload" — with numbers.
+//!
+//! Both ablation grids (variant × node count, and size × reuse) are
+//! flattened into single parallel sweeps: every cell is an independent
+//! simulation.
 
 use elanib_apps::md::{md_step_time_cfg, membrane, MdProblem};
-use elanib_bench::emit;
+use elanib_bench::{emit, report_sweep};
+use elanib_core::sweep_with_stats;
 use elanib_core::{f, TextTable};
 use elanib_mpi::{NetConfig, Network};
 use elanib_simcore::Dur;
@@ -61,16 +66,25 @@ fn main() {
 
     // Per-variant: measure 1-node baseline and 16-node step time with
     // the SAME configuration, so each row is a self-consistent scaling
-    // efficiency.
+    // efficiency. The (variant, node count) grid runs as one sweep;
+    // grid[2v] is variant v at 1 node, grid[2v+1] at 16 nodes.
+    let grid: Vec<(usize, usize)> = (0..variants.len())
+        .flat_map(|v| [(v, 1usize), (v, nodes)])
+        .collect();
+    let (times, var_stats) = sweep_with_stats(&grid, |&(v, n)| {
+        let (_, net, cfg) = variants[v];
+        md_step_time_cfg(net, p, n, ppn, &cfg)
+    });
+
     let mut t = TextTable::new(vec![
         "configuration",
         "ms/step @16 nodes",
         "scaling eff %",
     ]);
     let mut baseline_gap: Option<(f64, f64)> = None;
-    for (name, net, cfg) in &variants {
-        let t1 = md_step_time_cfg(*net, p, 1, ppn, cfg);
-        let t16 = md_step_time_cfg(*net, p, nodes, ppn, cfg);
+    for (v, (name, _, _)) in variants.iter().enumerate() {
+        let t1 = times[2 * v];
+        let t16 = times[2 * v + 1];
         let eff = t1 / t16 * 100.0;
         if name.starts_with("InfiniBand (stock") {
             baseline_gap = Some((eff, 0.0));
@@ -94,23 +108,29 @@ fn main() {
     // study of §3.3.2 (after Liu et al., ref 11).
     use elanib_microbench::pingpong_reuse;
     use elanib_mpi::Network as Net;
+    let cells: Vec<(u64, u32)> = [512u64, 65_536, 262_144]
+        .iter()
+        .flat_map(|&bytes| [100u32, 50, 0].iter().map(move |&pct| (bytes, pct)))
+        .collect();
+    let (reuse, reuse_stats) = sweep_with_stats(&cells, |&(bytes, pct)| {
+        (
+            pingpong_reuse(Net::InfiniBand, bytes, pct, 20),
+            pingpong_reuse(Net::Elan4, bytes, pct, 20),
+        )
+    });
     let mut r = TextTable::new(vec![
         "bytes",
         "reuse %",
         "IB us",
         "Elan us",
     ]);
-    for &bytes in &[512u64, 65_536, 262_144] {
-        for &pct in &[100u32, 50, 0] {
-            let ib = pingpong_reuse(Net::InfiniBand, bytes, pct, 20);
-            let el = pingpong_reuse(Net::Elan4, bytes, pct, 20);
-            r.row(vec![
-                bytes.to_string(),
-                pct.to_string(),
-                f(ib.latency_us),
-                f(el.latency_us),
-            ]);
-        }
+    for (&(bytes, pct), (ib, el)) in cells.iter().zip(&reuse) {
+        r.row(vec![
+            bytes.to_string(),
+            pct.to_string(),
+            f(ib.latency_us),
+            f(el.latency_us),
+        ]);
     }
     emit("Ablations (§7)", "ablations_buffer_reuse", &r);
     println!(
@@ -118,4 +138,8 @@ fn main() {
          cache misses) and leave Elan-4 untouched (NIC MMU) — the §3.3.2\n\
          behaviour reported by Liu et al. (ref 11 of the paper)."
     );
+
+    let mut total = var_stats;
+    total.absorb(&reuse_stats);
+    report_sweep("ablations", &total);
 }

@@ -1,8 +1,14 @@
 //! Regenerates Figure 1: (a) ping-pong latency, (b) bandwidth
 //! (ping-pong + streaming), (c) Elan/IB bandwidth ratio, (d) b_eff per
 //! process.
+//!
+//! Every point is an independent simulation, so each panel's grid is
+//! fanned through the parallel sweep engine; one job measures both
+//! networks at one point, keeping the pairing (and hence row layout)
+//! identical to the serial version.
 
-use elanib_bench::emit;
+use elanib_bench::{emit, report_sweep};
+use elanib_core::sweep_with_stats;
 use elanib_core::{f, TextTable};
 use elanib_microbench::{beff, figure1_sizes, pingpong, streaming};
 use elanib_mpi::Network;
@@ -27,6 +33,20 @@ fn main() {
     let sizes = figure1_sizes();
 
     // (a) + (b) + (c): sweep both networks once, reuse everywhere.
+    let (pp, pp_stats) = sweep_with_stats(&sizes, |&s| {
+        (
+            pingpong(Network::InfiniBand, s, iters_for(s)),
+            pingpong(Network::Elan4, s, iters_for(s)),
+        )
+    });
+    let bw_sizes: Vec<u64> = sizes.iter().copied().filter(|&s| s != 0).collect();
+    let (st, st_stats) = sweep_with_stats(&bw_sizes, |&s| {
+        (
+            streaming(Network::InfiniBand, s, window_for(s)),
+            streaming(Network::Elan4, s, window_for(s)),
+        )
+    });
+
     let mut a = TextTable::new(vec!["bytes", "IB us", "Elan us"]);
     let mut b = TextTable::new(vec![
         "bytes",
@@ -36,15 +56,14 @@ fn main() {
         "Elan st MB/s",
     ]);
     let mut c = TextTable::new(vec!["bytes", "ratio pingpong", "ratio streaming"]);
-    for &s in &sizes {
-        let ib = pingpong(Network::InfiniBand, s, iters_for(s));
-        let el = pingpong(Network::Elan4, s, iters_for(s));
+    for (i, &s) in sizes.iter().enumerate() {
+        let (ib, el) = &pp[i];
         a.row(vec![s.to_string(), f(ib.latency_us), f(el.latency_us)]);
         if s == 0 {
             continue; // bandwidth undefined at zero bytes
         }
-        let ib_st = streaming(Network::InfiniBand, s, window_for(s));
-        let el_st = streaming(Network::Elan4, s, window_for(s));
+        // bw_sizes is sizes minus the single leading zero entry.
+        let (ib_st, el_st) = &st[i - 1];
         b.row(vec![
             s.to_string(),
             f(ib.bandwidth_mb_s),
@@ -63,10 +82,16 @@ fn main() {
     emit("Figure 1(c)", "fig1c_ratio", &c);
 
     // (d): b_eff per process, 1 PPN, 2..32 nodes.
+    let node_counts = [2usize, 4, 8, 16, 32];
+    let (points, beff_stats) = sweep_with_stats(&node_counts, |&nodes| {
+        (
+            beff(Network::InfiniBand, nodes, 1, 2),
+            beff(Network::Elan4, nodes, 1, 2),
+        )
+    });
     let mut d = TextTable::new(vec!["procs", "IB b_eff/proc MB/s", "Elan b_eff/proc MB/s"]);
-    for nodes in [2usize, 4, 8, 16, 32] {
-        let ib = beff(Network::InfiniBand, nodes, 1, 2);
-        let el = beff(Network::Elan4, nodes, 1, 2);
+    for (i, &nodes) in node_counts.iter().enumerate() {
+        let (ib, el) = &points[i];
         d.row(vec![
             nodes.to_string(),
             f(ib.per_process_mb_s),
@@ -74,4 +99,9 @@ fn main() {
         ]);
     }
     emit("Figure 1(d)", "fig1d_beff", &d);
+
+    let mut total = pp_stats;
+    total.absorb(&st_stats);
+    total.absorb(&beff_stats);
+    report_sweep("fig1", &total);
 }

@@ -37,12 +37,58 @@ pub fn emit(exhibit_id: &str, name: &str, table: &TextTable) {
 /// The node counts of the paper's application studies.
 pub const STUDY_NODES: [usize; 6] = [1, 2, 4, 8, 16, 32];
 
-/// Shared generator for Figures 2 and 3: the four-curve MD scaled
-/// study (network × PPN), times and efficiencies.
-pub fn md_figure(id: &str, name: &str, problem: elanib_apps::md::MdProblem) {
-    use elanib_apps::md::md_study;
+/// Report a sweep's throughput on stderr (keeping stdout — the
+/// captured exhibit output — byte-stable run to run) and append the
+/// `{"kind":"sweep"}` JSON record when `ELANIB_BENCH_JSON` is set.
+pub fn report_sweep(label: &str, stats: &elanib_core::SweepStats) {
+    eprintln!(
+        "[sweep {label}: {} jobs on {} threads, {:.2} s wall, {:.1}M events/s]",
+        stats.jobs,
+        stats.threads,
+        stats.wall.as_secs_f64(),
+        stats.events_per_sec() / 1e6,
+    );
+    stats.record(label);
+}
+
+/// Build the Figure 2/3 table: the four-curve MD scaled study
+/// (network × PPN), times and efficiencies.
+///
+/// All `4 series × node counts` jobs are independent simulations, so
+/// they are flattened into ONE sweep (rather than one per series) to
+/// give the engine the widest possible grid; the per-series efficiency
+/// normalization is folded serially afterwards. Split from
+/// [`md_figure`] so the determinism regression test can rebuild the
+/// table under different `ELANIB_SWEEP_THREADS` settings and compare
+/// CSVs.
+pub fn md_figure_table(
+    problem: elanib_apps::md::MdProblem,
+    node_counts: &[usize],
+) -> (TextTable, elanib_core::SweepStats) {
+    use elanib_apps::md::md_step_time;
     use elanib_core::f;
     use elanib_mpi::Network;
+    const SERIES: [(Network, usize); 4] = [
+        (Network::InfiniBand, 1),
+        (Network::InfiniBand, 2),
+        (Network::Elan4, 1),
+        (Network::Elan4, 2),
+    ];
+    let jobs: Vec<(Network, usize, usize)> = SERIES
+        .iter()
+        .flat_map(|&(net, ppn)| node_counts.iter().map(move |&n| (net, ppn, n)))
+        .collect();
+    let (times, stats) = elanib_core::sweep_with_stats(&jobs, |&(net, ppn, nodes)| {
+        md_step_time(net, problem, nodes, ppn)
+    });
+    // series[s][i] = (s/step, efficiency) at node_counts[i].
+    let series: Vec<Vec<(f64, f64)>> = (0..SERIES.len())
+        .map(|s| {
+            let ts = &times[s * node_counts.len()..(s + 1) * node_counts.len()];
+            let base = ts[0];
+            ts.iter().map(|&t| (t, base / t)).collect()
+        })
+        .collect();
     let mut t = TextTable::new(vec![
         "nodes",
         "IB 1PPN s/step",
@@ -54,29 +100,28 @@ pub fn md_figure(id: &str, name: &str, problem: elanib_apps::md::MdProblem) {
         "Elan 1PPN eff%",
         "Elan 2PPN eff%",
     ]);
-    let series: Vec<_> = [
-        (Network::InfiniBand, 1),
-        (Network::InfiniBand, 2),
-        (Network::Elan4, 1),
-        (Network::Elan4, 2),
-    ]
-    .iter()
-    .map(|&(net, ppn)| md_study(net, problem, &STUDY_NODES, ppn))
-    .collect();
-    for (i, &nodes) in STUDY_NODES.iter().enumerate() {
+    for (i, &nodes) in node_counts.iter().enumerate() {
         t.row(vec![
             nodes.to_string(),
-            f(series[0][i].time_s),
-            f(series[1][i].time_s),
-            f(series[2][i].time_s),
-            f(series[3][i].time_s),
-            f(series[0][i].efficiency_pct()),
-            f(series[1][i].efficiency_pct()),
-            f(series[2][i].efficiency_pct()),
-            f(series[3][i].efficiency_pct()),
+            f(series[0][i].0),
+            f(series[1][i].0),
+            f(series[2][i].0),
+            f(series[3][i].0),
+            f(series[0][i].1 * 100.0),
+            f(series[1][i].1 * 100.0),
+            f(series[2][i].1 * 100.0),
+            f(series[3][i].1 * 100.0),
         ]);
     }
+    (t, stats)
+}
+
+/// Shared generator for Figures 2 and 3: emit the four-curve MD scaled
+/// study and report the sweep's throughput.
+pub fn md_figure(id: &str, name: &str, problem: elanib_apps::md::MdProblem) {
+    let (t, stats) = md_figure_table(problem, &STUDY_NODES);
     emit(id, name, &t);
+    report_sweep(name, &stats);
 }
 
 #[cfg(test)]

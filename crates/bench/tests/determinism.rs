@@ -1,0 +1,38 @@
+//! Regression test for the determinism contract of the parallel sweep
+//! engine: regenerating the Figure 2 study serially and through the
+//! thread pool must produce byte-identical CSV tables.
+//!
+//! The study grid, seeds (`JobSpec::seed = 21` per job) and fold logic
+//! are exactly those of the `fig2` regenerator; only the measured step
+//! count is reduced so the test stays fast in debug builds. Node
+//! counts still span 1..32 so the 2- and 3-D decompositions, both
+//! networks and both PPNs are all exercised.
+
+use elanib_apps::md::{ljs, MdProblem};
+use elanib_bench::md_figure_table;
+
+#[test]
+fn fig2_study_serial_vs_sweep_engine_identical_csv() {
+    let problem = MdProblem { steps: 6, ..ljs() };
+    let nodes = [1usize, 2, 4, 8, 16, 32];
+
+    // One test function, sequential phases: the env var is process
+    // local and nothing else in this binary reads it concurrently.
+    std::env::set_var("ELANIB_SWEEP_THREADS", "1");
+    let (serial, serial_stats) = md_figure_table(problem, &nodes);
+    assert_eq!(serial_stats.threads, 1);
+
+    std::env::set_var("ELANIB_SWEEP_THREADS", "4");
+    let (parallel, parallel_stats) = md_figure_table(problem, &nodes);
+    std::env::remove_var("ELANIB_SWEEP_THREADS");
+    assert_eq!(parallel_stats.threads, 4);
+
+    assert_eq!(
+        serial.to_csv(),
+        parallel.to_csv(),
+        "sweep engine must reproduce the serial fig2 table byte for byte"
+    );
+    // Same simulations ran in both modes: identical total event count.
+    assert_eq!(serial_stats.jobs, parallel_stats.jobs);
+    assert_eq!(serial_stats.events, parallel_stats.events);
+}

@@ -10,14 +10,19 @@
 //! * [`report`] — aligned-text/CSV table rendering for the
 //!   figure regenerators;
 //! * [`inventory`] — the experiment index: every table and figure
-//!   mapped to modules and a regenerating binary.
+//!   mapped to modules and a regenerating binary;
+//! * [`sweep`] — the parallel sweep engine the regenerators use to fan
+//!   independent simulations across a thread pool (results stay
+//!   byte-identical to serial runs; see its module docs).
 
 pub mod extrapolate;
 pub mod inventory;
 pub mod platform;
 pub mod report;
+pub mod sweep;
 
 pub use extrapolate::{figure8_series, EfficiencyTrend};
 pub use inventory::{exhibit, Exhibit, EXHIBITS};
 pub use platform::table1;
 pub use report::{f, TextTable};
+pub use sweep::{sweep, sweep_with_stats, SweepStats};

@@ -23,7 +23,7 @@ pub mod pingpong;
 pub mod reuse;
 pub mod streaming;
 
-pub use beff::{beff, beff_sizes, BeffPoint};
+pub use beff::{beff, beff_sizes, beff_sweep, BeffPoint};
 pub use init_time::{init_time, InitPoint};
 pub use pingpong::{figure1_sizes, latency_sweep, pingpong, PingPongPoint};
 pub use reuse::{pingpong_reuse, ReusePoint};

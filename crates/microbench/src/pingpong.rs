@@ -102,9 +102,10 @@ pub fn figure1_sizes() -> Vec<u64> {
     v
 }
 
-/// Sweep the full latency/bandwidth curve.
+/// Sweep the full latency/bandwidth curve. Each size is an independent
+/// two-rank simulation, fanned across the parallel sweep engine.
 pub fn latency_sweep(network: Network, sizes: &[u64], iters: u32) -> Vec<PingPongPoint> {
-    sizes.iter().map(|&b| pingpong(network, b, iters)).collect()
+    elanib_core::sweep(sizes, |&b| pingpong(network, b, iters))
 }
 
 #[cfg(test)]

@@ -25,6 +25,20 @@
 //! the paper is regenerated from simulations that must be re-runnable
 //! bit-for-bit.
 //!
+//! ### Determinism under parallel sweeps
+//!
+//! The sweep engine (`elanib-core::sweep`) runs *independent* sims on
+//! separate OS threads. That never threatens determinism because the
+//! parallelism is **across simulations, not within one**: each kernel
+//! remains single-threaded, owns all of its state (`Sim` is not even
+//! `Send` — a sim is constructed, run, and dropped entirely on one
+//! worker thread), and shares nothing with its siblings. A simulation's
+//! event sequence is a pure function of its seed and program, so the
+//! numbers it produces are identical whether it runs alone, serially
+//! after other sims, or concurrently next to them. [`kernel::thread_events`]
+//! is the one piece of thread-aware state: a per-thread cumulative
+//! event counter that sweep workers sample to report throughput.
+//!
 //! ```
 //! use elanib_simcore::{Sim, Dur};
 //!
@@ -42,7 +56,7 @@ pub mod resources;
 pub mod sync;
 pub mod time;
 
-pub use kernel::{Delay, Sim, SimError, TaskId};
+pub use kernel::{thread_events, Delay, Sim, SimError, StuckTask, TaskId};
 pub use resources::{ChannelStats, FifoChannel, PsResource};
 pub use sync::{Flag, Mailbox, Semaphore};
 pub use time::{Dur, SimTime};

@@ -116,6 +116,58 @@ proptest! {
         prop_assert_eq!(sizes[first], sizes[min_idx]);
     }
 
+    /// Determinism of the slab/wake-dedup executor: a workload that
+    /// exercises slot recycling (short-lived nested tasks), duplicate
+    /// same-instant wakes (multi-waiter flags set together), and timer
+    /// events gives the identical event count and final clock when
+    /// re-run with the same seed.
+    #[test]
+    fn slab_and_wake_dedup_preserve_determinism(
+        seeds in prop::collection::vec(1u64..500, 2..8),
+        spawn_depth in 1usize..4,
+    ) {
+        use elanib_simcore::Flag;
+        let run = || {
+            let sim = Sim::new(9);
+            let gate = Flag::new();
+            for (i, &sd) in seeds.iter().enumerate() {
+                // Waiters: all woken by the same flag at one instant
+                // (the dedup-prone pattern).
+                let (s, g) = (sim.clone(), gate.clone());
+                sim.spawn(format!("waiter{i}"), async move {
+                    g.wait().await;
+                    s.sleep(Dur::from_ns(sd)).await;
+                });
+                // Nested short-lived spawns: recycle slab slots while
+                // the sim is still running.
+                let s = sim.clone();
+                let depth = spawn_depth;
+                sim.spawn(format!("nest{i}"), async move {
+                    for d in 0..depth {
+                        let s2 = s.clone();
+                        let done = Flag::new();
+                        let d2 = done.clone();
+                        s.spawn(format!("leaf{i}.{d}"), async move {
+                            s2.sleep(Dur::from_ns(sd * (d as u64 + 1))).await;
+                            d2.set();
+                        });
+                        done.wait().await;
+                    }
+                });
+            }
+            let s = sim.clone();
+            sim.spawn("setter", async move {
+                s.sleep(Dur::from_ns(100)).await;
+                gate.set();
+            });
+            let t = sim.run().unwrap();
+            (t, sim.events_processed(), sim.live_tasks())
+        };
+        let a = run();
+        prop_assert_eq!(a, run());
+        prop_assert_eq!(a.2, 0); // every slot reclaimed
+    }
+
     /// Mailbox preserves FIFO order for any interleaving of pushes.
     #[test]
     fn mailbox_order_preserved(values in prop::collection::vec(0u32..1000, 1..50)) {

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Regenerate every exhibit of the paper and verify the CSVs are
+# byte-identical to the committed ones in results/ — the tier-2
+# determinism check. Any drift (a kernel change that reorders events, a
+# model change, a formatting change) fails loudly with a diff.
+#
+# Usage:
+#   scripts/regen_all.sh              # regenerate + diff against results/
+#   ELANIB_SWEEP_THREADS=1 scripts/regen_all.sh   # serial reference mode
+#
+# Environment:
+#   ELANIB_SWEEP_THREADS  sweep-engine pool width (default: all cores;
+#                         results are identical at any setting)
+#   ELANIB_BENCH_JSON     optional JSON-lines file for sweep perf records
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BINS="table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 tables ablations"
+
+cargo build --release --workspace --quiet
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+for b in $BINS; do
+    echo "== regenerating $b =="
+    ELANIB_RESULTS_DIR="$out" "./target/release/$b" > "$out/$b.txt"
+done
+
+status=0
+for committed in results/*.csv; do
+    name="$(basename "$committed")"
+    if ! cmp -s "$committed" "$out/$name"; then
+        echo "DRIFT: $name differs from committed results/" >&2
+        diff -u "$committed" "$out/$name" | head -20 >&2 || true
+        status=1
+    fi
+done
+
+n_csv="$(ls results/*.csv | wc -l)"
+if [ "$status" -eq 0 ]; then
+    echo "OK: all $n_csv exhibit CSVs byte-identical to committed results/"
+else
+    echo "FAIL: exhibit CSVs drifted (see above)" >&2
+fi
+exit "$status"

@@ -1,0 +1,253 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use —
+//! `Criterion::bench_function`, benchmark groups with `sample_size` and
+//! `bench_with_input`, `criterion_group!` / `criterion_main!` — over a
+//! plain wall-clock harness with no statistics machinery.
+//!
+//! Each benchmark runs one warm-up call and then `sample_size` timed
+//! samples, printing min / mean / max per-call times. Knobs:
+//!
+//! * `ELANIB_BENCH_SMOKE=1` — one sample per bench (CI smoke runs);
+//! * `ELANIB_BENCH_SAMPLES=N` — override the sample count globally;
+//! * `ELANIB_BENCH_JSON=path` — append one JSON record per bench to
+//!   the given file (same trajectory file the sweep engine writes).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn env_samples(default: usize) -> usize {
+    if std::env::var("ELANIB_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false) {
+        return 1;
+    }
+    std::env::var("ELANIB_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// Identifier for a parameterized benchmark: rendered `function/param`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    per_sample: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up, unmeasured.
+        black_box(f());
+        for _ in 0..self.per_sample {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("bench {name:<50} (no samples)");
+        return;
+    }
+    let min = samples.iter().min().unwrap().as_secs_f64();
+    let max = samples.iter().max().unwrap().as_secs_f64();
+    let mean = samples.iter().map(|d| d.as_secs_f64()).sum::<f64>() / samples.len() as f64;
+    let fmt = |s: f64| -> String {
+        if s >= 1.0 {
+            format!("{s:.3} s")
+        } else if s >= 1e-3 {
+            format!("{:.3} ms", s * 1e3)
+        } else {
+            format!("{:.3} us", s * 1e6)
+        }
+    };
+    println!(
+        "bench {:<50} mean {:>12}  min {:>12}  max {:>12}  ({} samples)",
+        name,
+        fmt(mean),
+        fmt(min),
+        fmt(max),
+        samples.len()
+    );
+    crate::json::append_record(name, mean, min, max, samples.len());
+}
+
+mod json {
+    /// Append `{"kind":"criterion",...}` to `$ELANIB_BENCH_JSON`, one
+    /// JSON object per line (the file is a JSON-lines log).
+    pub fn append_record(name: &str, mean_s: f64, min_s: f64, max_s: f64, samples: usize) {
+        let Ok(path) = std::env::var("ELANIB_BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let ts = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let line = format!(
+            "{{\"kind\":\"criterion\",\"label\":\"{}\",\"mean_s\":{:.9},\"min_s\":{:.9},\"max_s\":{:.9},\"samples\":{},\"unix_ts\":{}}}\n",
+            name.replace('\\', "\\\\").replace('"', "\\\""),
+            mean_s,
+            min_s,
+            max_s,
+            samples,
+            ts
+        );
+        use std::io::Write;
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            let _ = f.write_all(line.as_bytes());
+        }
+    }
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_samples: env_samples(10),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            per_sample: self.default_samples,
+        };
+        f(&mut b);
+        report(name, &b.samples);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.default_samples,
+            _parent: self,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion semantics: number of samples collected per benchmark.
+    /// Environment overrides (`ELANIB_BENCH_SMOKE`, `_SAMPLES`) win.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = env_samples(n.min(10));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            per_sample: self.samples,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b.samples);
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        self.run(&id.to_string(), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(&id.full, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion {
+            default_samples: 3,
+        };
+        let mut calls = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| calls += 1);
+        });
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn groups_run_with_inputs() {
+        let mut c = Criterion {
+            default_samples: 2,
+        };
+        let mut g = c.benchmark_group("g");
+        let mut total = 0u64;
+        g.bench_with_input(BenchmarkId::new("f", 7), &7u64, |b, &x| {
+            b.iter(|| total += x);
+        });
+        g.finish();
+        assert_eq!(total, 7 * 3); // warm-up + 2 samples
+    }
+}

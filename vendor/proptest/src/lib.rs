@@ -1,0 +1,625 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace
+//! vendors the subset of proptest it uses: the [`Strategy`] trait with
+//! `prop_map` / `prop_flat_map`, range and tuple and collection
+//! strategies, [`strategy::Just`], `prop_oneof!`, `any::<T>()`, and the
+//! `proptest!` / `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the exact generated
+//!   input (every strategy value is `Debug`), which for this
+//!   repository's test sizes is diagnosable directly.
+//! * **Deterministic by default.** The generator is seeded from the
+//!   test function's name, so failures reproduce without a
+//!   `proptest-regressions` file. Existing regression files are
+//!   ignored. Set `PROPTEST_CASES` to change the case count globally.
+
+use std::fmt::Debug;
+
+pub mod test_runner {
+    /// Result of one generated test case body.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed: skip this input, draw another.
+        Reject,
+        /// `prop_assert*!` failed: the property does not hold.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(_msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject
+        }
+    }
+
+    /// Runner configuration. Only `cases` is modelled.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+
+        /// Effective case count: the `PROPTEST_CASES` environment
+        /// variable overrides the per-test configuration (handy for
+        /// smoke runs).
+        pub fn resolved_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.cases)
+        }
+    }
+
+    /// Deterministic generator used by strategies (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> TestRng {
+            TestRng {
+                state: seed ^ 0x5851F42D4C957F2D,
+            }
+        }
+
+        /// Seed from a test name: same test ⇒ same input sequence on
+        /// every run, so failures are reproducible without shrinking.
+        pub fn from_name(name: &str) -> TestRng {
+            let mut h = 0xCBF29CE484222325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001B3);
+            }
+            TestRng::from_seed(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, n)`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        /// 53-bit uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Drive `f` over `cases` generated inputs. Panics on the first
+    /// failing case, printing the generated input.
+    pub fn run_cases<S, F>(cfg: &ProptestConfig, name: &str, strat: &S, f: F)
+    where
+        S: crate::strategy::Strategy,
+        F: Fn(S::Value) -> TestCaseResult,
+    {
+        let cases = cfg.resolved_cases();
+        let mut rng = TestRng::from_name(name);
+        let mut ran = 0u32;
+        let mut rejects = 0u32;
+        while ran < cases {
+            let value = strat.gen_value(&mut rng);
+            let desc = format!("{value:?}");
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(value)));
+            match outcome {
+                Ok(Ok(())) => ran += 1,
+                Ok(Err(TestCaseError::Reject)) => {
+                    rejects += 1;
+                    let cap = cases.saturating_mul(50).max(5000);
+                    assert!(
+                        rejects <= cap,
+                        "{name}: gave up after {rejects} prop_assume! rejects"
+                    );
+                }
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    panic!("{name}: property failed at case {ran}: {msg}\n    input: {desc}")
+                }
+                Err(payload) => {
+                    eprintln!("{name}: panicked at case {ran}; input: {desc}");
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::Debug;
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Value`. Unlike upstream there
+    /// is no value tree / shrinking: `gen_value` draws directly.
+    pub trait Strategy {
+        type Value: Debug;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T: Debug> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            (**self).gen_value(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn gen_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.gen_value(rng)).gen_value(rng)
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.gen_value(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter({}) rejected 10000 consecutive draws", self.whence)
+        }
+    }
+
+    /// Uniform choice between same-valued strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T: Debug> Union<T> {
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    /// Box one `prop_oneof!` arm. A free generic function (rather than
+    /// an inline `as Box<dyn ...>` cast in the macro) so integer
+    /// literals in later arms unify with the union's value type instead
+    /// of defaulting to `i32` at the cast site.
+    pub fn union_arm<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(s)
+    }
+
+    impl<T: Debug> Strategy for Union<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].gen_value(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn gen_value(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn gen_value(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.gen_value(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    use super::Debug;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized + Debug {
+        fn arb_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arb_value(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arb_value(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arb_value(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive length bounds for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        pub lo: usize,
+        pub hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let n = self.size.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+    /// The `prop::` module namespace upstream exposes from its prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (l, r) = (&$a, &$b);
+        $crate::prop_assert!(l == r, "assertion failed: `{:?} == {:?}`", l, r);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$a, &$b);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{:?} == {:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (l, r) = (&$a, &$b);
+        $crate::prop_assert!(l != r, "assertion failed: `{:?} != {:?}`", l, r);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$a, &$b);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{:?} != {:?}`: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::union_arm($s)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr); ) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_cases(
+                &$cfg,
+                stringify!($name),
+                &($($strat,)+),
+                |__proptest_values| {
+                    let ($($pat,)+) = __proptest_values;
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 1u64..100, b in -5i64..=5, x in -1.5f64..2.5) {
+            prop_assert!((1..100).contains(&a));
+            prop_assert!((-5..=5).contains(&b));
+            prop_assert!((-1.5..2.5).contains(&x));
+        }
+
+        #[test]
+        fn vec_respects_size((n, v) in (2usize..=4, prop::collection::vec(0u32..10, 3..8))) {
+            prop_assert!((2..=4).contains(&n));
+            prop_assert!(v.len() >= 3 && v.len() < 8);
+        }
+
+        #[test]
+        fn oneof_and_maps_compose(
+            o in prop_oneof![Just(None), (0i64..4).prop_map(Some)],
+        ) {
+            if let Some(t) = o {
+                prop_assert!((0..4).contains(&t));
+            }
+        }
+
+        #[test]
+        fn flat_map_sees_upstream((lo, x) in (1usize..10).prop_flat_map(|lo| (Just(lo), lo..20)) ) {
+            prop_assert!(x >= lo && x < 20);
+        }
+
+        #[test]
+        fn assume_rejects_do_not_fail(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = (1u64..1000, crate::collection::vec(0u32..7, 1..5));
+        let run = || {
+            let mut rng = TestRng::from_name("deterministic_across_runs");
+            (0..20).map(|_| strat.gen_value(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}
