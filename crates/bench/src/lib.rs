@@ -12,6 +12,14 @@ use elanib_core::{exhibit, TextTable};
 
 /// Print an exhibit header, render the table, and (optionally) write
 /// CSV into `$ELANIB_RESULTS_DIR/<name>.csv`.
+///
+/// When tracing or metrics are enabled (`ELANIB_TRACE` /
+/// `ELANIB_METRICS`), this is also the sink point: every simulation
+/// that finished since the previous `emit` is flushed to
+/// `<name>.trace.json` / `<name>.metrics.{json,csv}` in the trace
+/// output directory (`ELANIB_TRACE_DIR`, falling back to
+/// `ELANIB_RESULTS_DIR`, then the working directory). Flush notices go
+/// to stderr so stdout stays byte-stable run to run.
 pub fn emit(exhibit_id: &str, name: &str, table: &TextTable) {
     if let Some(e) = exhibit(exhibit_id) {
         println!("== {} — {} ==", e.id, e.title);
@@ -30,6 +38,14 @@ pub fn emit(exhibit_id: &str, name: &str, table: &TextTable) {
             eprintln!("warning: could not write {}: {e}", p.display());
         } else {
             println!("[csv written to {}]", p.display());
+        }
+    }
+    if let Some(files) = elanib_simcore::trace::flush(name) {
+        if let Some(p) = &files.trace_json {
+            eprintln!("[trace written to {}]", p.display());
+        }
+        if let Some(p) = &files.metrics_json {
+            eprintln!("[metrics written to {}]", p.display());
         }
     }
 }

@@ -80,6 +80,12 @@ impl SweepStats {
     /// Append a `{"kind":"sweep",...}` JSON record for this sweep to
     /// the JSON-lines file named by `ELANIB_BENCH_JSON`. No-op when the
     /// variable is unset or empty.
+    ///
+    /// Several exhibit binaries can append to the same file from a
+    /// driver script, so the line goes through
+    /// [`elanib_simcore::trace::jsonl::append_line`], which issues the
+    /// whole record as one `O_APPEND` write — concurrent appenders can
+    /// interleave lines but never split one.
     pub fn record(&self, label: &str) {
         let Ok(path) = std::env::var("ELANIB_BENCH_JSON") else {
             return;
@@ -92,7 +98,7 @@ impl SweepStats {
             .map(|d| d.as_secs())
             .unwrap_or(0);
         let line = format!(
-            "{{\"kind\":\"sweep\",\"label\":\"{}\",\"jobs\":{},\"threads\":{},\"events\":{},\"wall_s\":{:.6},\"events_per_sec\":{:.1},\"unix_ts\":{}}}\n",
+            "{{\"kind\":\"sweep\",\"label\":\"{}\",\"jobs\":{},\"threads\":{},\"events\":{},\"wall_s\":{:.6},\"events_per_sec\":{:.1},\"unix_ts\":{}}}",
             label.replace('\\', "\\\\").replace('"', "\\\""),
             self.jobs,
             self.threads,
@@ -101,14 +107,7 @@ impl SweepStats {
             self.events_per_sec(),
             ts
         );
-        use std::io::Write;
-        if let Ok(mut f) = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
-        {
-            let _ = f.write_all(line.as_bytes());
-        }
+        let _ = elanib_simcore::trace::jsonl::append_line(std::path::Path::new(&path), &line);
     }
 }
 

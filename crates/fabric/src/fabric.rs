@@ -69,12 +69,16 @@ impl Fabric {
         // reserved for the full serialization time so later messages
         // queue behind this one.
         let mut head = sim.now();
+        let mut stall = Dur::ZERO;
         for (i, &edge) in edges.iter().enumerate() {
             let from = verts[i];
             let ch = &self.channels[directed_channel(&self.topo, edge, from)];
             // Cut-through: the head cannot enter the link before the
             // link has drained whatever is ahead of it.
             let free = ch.next_free();
+            if free > head {
+                stall += free.since(head);
+            }
             head = head.max_t(free);
             // Occupy the link for our serialization time starting at
             // `head`: the link is busy for [head, head+ser).
@@ -84,6 +88,14 @@ impl Fabric {
                 // The next vertex is a switch: pay its cut-through
                 // latency before the head appears on the next link.
                 head += hop;
+            }
+        }
+        if let Some(tr) = sim.tracer() {
+            tr.add("fabric.messages", 1);
+            tr.add("fabric.wire_bytes", wire * edges.len() as u64);
+            if !stall.is_zero() {
+                tr.add("fabric.contention_stalls", 1);
+                tr.observe("fabric.stall_ps", stall.as_ps());
             }
         }
         head + ser
@@ -97,6 +109,29 @@ impl Fabric {
     /// Total bytes carried over all directed links (stats).
     pub fn total_link_bytes(&self) -> u64 {
         self.channels.iter().map(|c| c.stats().bytes_total).sum()
+    }
+
+    /// Bytes carried by each directed channel, indexed `2*edge + dir`.
+    pub fn per_link_bytes(&self) -> Vec<u64> {
+        self.channels.iter().map(|c| c.stats().bytes_total).collect()
+    }
+
+    /// Fold this fabric's per-link statistics into the metrics
+    /// registry. Called once at end of run (per-link counters are
+    /// string-keyed, far too expensive to bump per message); only links
+    /// that actually carried traffic get a counter.
+    pub fn record_metrics(&self, tr: &elanib_simcore::trace::Tracer) {
+        let mut busiest = 0u64;
+        for (i, ch) in self.channels.iter().enumerate() {
+            let st = ch.stats();
+            if st.bytes_total == 0 {
+                continue;
+            }
+            busiest = busiest.max(st.bytes_total);
+            tr.add(format!("fabric.link{i}.bytes"), st.bytes_total);
+        }
+        tr.add("fabric.links_used", self.per_link_bytes().iter().filter(|&&b| b > 0).count() as u64);
+        tr.gauge("fabric.busiest_link_bytes", busiest as i64);
     }
 }
 

@@ -51,6 +51,32 @@ async fn coll_recv<C: Communicator>(c: &C, src: usize, tag: i64) -> RecvMsg {
     c.wait(r).await.expect("collective recv yields a message")
 }
 
+/// Start of a collective phase: the entry timestamp, captured only
+/// when a tracer is attached (the everyday disabled path pays one
+/// `Option` check).
+fn coll_start<C: Communicator>(c: &C) -> Option<elanib_simcore::SimTime> {
+    let sim = c.sim();
+    sim.tracer().map(|_| sim.now())
+}
+
+/// End of a collective phase: count it and, when event tracing is on,
+/// record the phase as a span on this rank's lane.
+fn coll_end<C: Communicator>(c: &C, name: &'static str, t0: Option<elanib_simcore::SimTime>) {
+    let Some(t0) = t0 else { return };
+    let sim = c.sim();
+    if let Some(tr) = sim.tracer() {
+        tr.add("coll.count", 1);
+        tr.span(
+            "coll",
+            name,
+            t0.as_ps(),
+            sim.now().as_ps(),
+            c.rank() as u32,
+            c.size() as i64,
+        );
+    }
+}
+
 /// Barrier: uses the transport's hardware barrier when available
 /// (QsNet's barrier network — constant time at any scale), otherwise a
 /// ⌈log₂ n⌉-round software dissemination barrier.
@@ -59,7 +85,9 @@ pub async fn barrier<C: Communicator>(c: &C) {
     if n == 1 {
         return;
     }
+    let t0 = coll_start(c);
     if c.hw_barrier().await {
+        coll_end(c, "barrier(hw)", t0);
         return;
     }
     let me = c.rank();
@@ -82,6 +110,7 @@ pub async fn barrier<C: Communicator>(c: &C) {
         dist *= 2;
         k += 1;
     }
+    coll_end(c, "barrier", t0);
 }
 
 /// Binomial-tree broadcast from `root`; every rank returns the payload.
@@ -90,6 +119,7 @@ pub async fn bcast<C: Communicator>(c: &C, root: usize, data: Bytes, bytes: u64)
     if n == 1 {
         return data;
     }
+    let t0 = coll_start(c);
     // Work in a rotated space where the root is rank 0.
     let me = (c.rank() + n - root) % n;
     let mut have = if me == 0 { Some(data) } else { None };
@@ -121,6 +151,7 @@ pub async fn bcast<C: Communicator>(c: &C, root: usize, data: Bytes, bytes: u64)
         }
         d /= 2;
     }
+    coll_end(c, "bcast", t0);
     data
 }
 
@@ -131,6 +162,7 @@ pub async fn reduce<C: Communicator>(c: &C, root: usize, op: Op, x: &[f64]) -> O
     let me = (c.rank() + n - root) % n;
     let mut acc = x.to_vec();
     let bytes = (x.len() * 8) as u64;
+    let t0 = coll_start(c);
 
     let mut d = 1usize;
     while d < n {
@@ -143,10 +175,12 @@ pub async fn reduce<C: Communicator>(c: &C, root: usize, op: Op, x: &[f64]) -> O
         } else {
             let parent = me - d;
             coll_send(c, (parent + root) % n, TAG_REDUCE, bytes_of_f64(&acc), bytes).await;
+            coll_end(c, "reduce", t0);
             return None;
         }
         d *= 2;
     }
+    coll_end(c, "reduce", t0);
     Some(acc)
 }
 
@@ -154,7 +188,8 @@ pub async fn reduce<C: Communicator>(c: &C, root: usize, op: Op, x: &[f64]) -> O
 /// for modest vector sizes.
 pub async fn allreduce<C: Communicator>(c: &C, op: Op, x: &[f64]) -> Vec<f64> {
     let bytes = (x.len() * 8) as u64;
-    match reduce(c, 0, op, x).await {
+    let t0 = coll_start(c);
+    let out = match reduce(c, 0, op, x).await {
         Some(acc) => {
             let data = bcast(c, 0, bytes_of_f64(&acc), bytes).await;
             f64_of_bytes(&data)
@@ -163,7 +198,9 @@ pub async fn allreduce<C: Communicator>(c: &C, op: Op, x: &[f64]) -> Vec<f64> {
             let data = bcast(c, 0, empty(), bytes).await;
             f64_of_bytes(&data)
         }
-    }
+    };
+    coll_end(c, "allreduce", t0);
+    out
 }
 
 /// Gather one payload per rank to `root` (returned in rank order).
@@ -174,7 +211,8 @@ pub async fn gather<C: Communicator>(
     bytes: u64,
 ) -> Option<Vec<Bytes>> {
     let n = c.size();
-    if c.rank() == root {
+    let t0 = coll_start(c);
+    let out = if c.rank() == root {
         let mut out: Vec<Option<Bytes>> = vec![None; n];
         out[root] = Some(data);
         for _ in 0..n - 1 {
@@ -188,7 +226,9 @@ pub async fn gather<C: Communicator>(
     } else {
         coll_send(c, root, TAG_GATHER, data, bytes).await;
         None
-    }
+    };
+    coll_end(c, "gather", t0);
+    out
 }
 
 /// Allgather: every rank contributes one payload; all ranks return the
@@ -207,6 +247,7 @@ pub async fn allgather<C: Communicator>(
     if n == 1 {
         return out.into_iter().map(|o| o.unwrap()).collect();
     }
+    let t0 = coll_start(c);
     if n.is_power_of_two() {
         // Recursive doubling: after round k, each rank holds the
         // aligned block of 2^(k+1) contributions containing itself.
@@ -263,6 +304,7 @@ pub async fn allgather<C: Communicator>(
             out[carry_idx] = Some(carry.clone());
         }
     }
+    coll_end(c, "allgather", t0);
     out.into_iter()
         .map(|o| o.expect("allgather slot missing"))
         .collect()
@@ -299,6 +341,7 @@ pub async fn alltoall<C: Communicator>(
 ) -> Vec<Bytes> {
     let n = c.size();
     assert_eq!(payloads.len(), n);
+    let t0 = coll_start(c);
     let me = c.rank();
     let mut out: Vec<Bytes> = vec![empty(); n];
     out[me] = payloads[me].clone();
@@ -322,5 +365,6 @@ pub async fn alltoall<C: Communicator>(
         out[src] = m.data;
         c.wait(sr).await;
     }
+    coll_end(c, "alltoall", t0);
     out
 }

@@ -80,20 +80,53 @@ pub fn run_job_configured<P: RankProgram>(
     program: P,
 ) -> SimTime {
     let sim = Sim::new(spec.seed);
+    if let Some(tr) = sim.tracer() {
+        tr.set_label(format!(
+            "{} {}n x {}ppn",
+            spec.network, spec.nodes, spec.ppn
+        ));
+    }
     match spec.network {
         Network::InfiniBand => {
             let w = IbWorld::with_params(&sim, spec.nodes, spec.ppn, cfg.node, cfg.hca, cfg.verbs);
             w.spawn_ranks("job", move |c| program.clone().run(c));
+            let t = sim
+                .run()
+                .unwrap_or_else(|e| panic!("{} job deadlocked: {e}", spec.network));
+            if let Some(tr) = sim.tracer() {
+                record_world_metrics(tr, &w.stats());
+                w.net.fabric.record_metrics(tr);
+            }
+            t
         }
         Network::Elan4 => {
             let w = ElanWorld::with_params(
                 &sim, spec.nodes, spec.ppn, cfg.node, cfg.elan, cfg.tports,
             );
             w.spawn_ranks("job", move |c| program.clone().run(c));
+            let t = sim
+                .run()
+                .unwrap_or_else(|e| panic!("{} job deadlocked: {e}", spec.network));
+            if let Some(tr) = sim.tracer() {
+                record_world_metrics(tr, &w.stats());
+                w.net.fabric.record_metrics(tr);
+            }
+            t
         }
     }
-    sim.run()
-        .unwrap_or_else(|e| panic!("{} job deadlocked: {e}", spec.network))
+}
+
+/// Fold end-of-run [`crate::WorldStats`] into the metrics registry.
+/// Live per-event counters cover the software path; these cover
+/// whole-world hardware totals that are cheapest to read once at the
+/// end (fabric byte counts, NIC work-request totals, regcache state).
+fn record_world_metrics(tr: &elanib_simcore::trace::Tracer, st: &crate::WorldStats) {
+    tr.add("world.wire_bytes", st.wire_bytes);
+    tr.add("world.nic_messages", st.nic_messages);
+    tr.add("world.unexpected", st.unexpected);
+    tr.add("world.reg_hits", st.reg_hits);
+    tr.add("world.reg_misses", st.reg_misses);
+    tr.add("world.reg_evictions", st.reg_evictions);
 }
 
 #[cfg(test)]

@@ -444,6 +444,7 @@ impl VerbsComm {
                                 bytes,
                             },
                         });
+                        self.trace_unexpected();
                     }
                     (matched, scanned)
                 };
@@ -469,6 +470,7 @@ impl VerbsComm {
                             hdr,
                             kind: UnexpKind::Rts { bytes, send_id },
                         });
+                        self.trace_unexpected();
                     }
                     (matched, scanned)
                 };
@@ -520,10 +522,27 @@ impl VerbsComm {
         }
     }
 
+    /// Account one unexpected arrival: count plus the host-software
+    /// queue depth (the §4 unexpected-queue growth MVAPICH pays to
+    /// walk on every receive).
+    fn trace_unexpected(&self) {
+        if let Some(tr) = self.w.sim.tracer() {
+            tr.add("mpi.unexpected", 1);
+            tr.gauge(
+                "mpi.unexpected_depth",
+                self.st().unexpected.borrow().len() as i64,
+            );
+        }
+    }
+
     /// Receiver side of the rendezvous: register the user buffer and
     /// send CTS.
     async fn rendezvous_reply(&self, _hdr: MsgHdr, bytes: u64, send_id: u64, p: PostedRecv) {
-        let reg = self.w.net.hca(self.rank).register(p.region, bytes);
+        let reg = self
+            .w
+            .net
+            .hca(self.rank)
+            .register_traced(&self.w.sim, p.region, bytes);
         self.charge(self.w.params.reg_check + reg).await;
         let src = _hdr.src;
         let _ = self.w.net.post(
@@ -626,6 +645,9 @@ impl Communicator for VerbsComm {
         if bytes <= p.eager_threshold {
             // Eager: copy into the pre-registered per-peer slot, ring
             // the doorbell, done (buffered-send semantics).
+            if let Some(tr) = self.w.sim.tracer() {
+                tr.add("mpi.eager_sends", 1);
+            }
             self.node().host_copy(&self.w.sim, bytes).await;
             self.charge(self.w.net.params.doorbell).await;
             let _ = self
@@ -638,7 +660,14 @@ impl Communicator for VerbsComm {
         } else {
             // Rendezvous: register the send buffer, ship an RTS, and
             // wait for the CTS (processed only inside MPI calls).
-            let reg = self.w.net.hca(self.rank).register(region, bytes);
+            if let Some(tr) = self.w.sim.tracer() {
+                tr.add("mpi.rdv_sends", 1);
+            }
+            let reg = self
+                .w
+                .net
+                .hca(self.rank)
+                .register_traced(&self.w.sim, region, bytes);
             self.charge(p.reg_check + reg).await;
             self.charge(self.w.net.params.doorbell).await;
             let st = self.st();
@@ -702,6 +731,9 @@ impl Communicator for VerbsComm {
                         recv_id,
                         region,
                     });
+                    if let Some(tr) = self.w.sim.tracer() {
+                        tr.gauge("mpi.posted_depth", st.posted.borrow().len() as i64);
+                    }
                     None
                 }
             }

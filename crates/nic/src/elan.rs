@@ -246,6 +246,9 @@ impl ElanNet {
         let dst_ep = self.rank_ep[hdr.dst_rank];
         let src_port = &self.ports[src_ep];
         if bytes <= self.params.eager_threshold {
+            if let Some(tr) = sim.tracer() {
+                tr.add("elan.eager_sends", 1);
+            }
             let local = Flag::new();
             self.transmit(
                 sim,
@@ -260,6 +263,9 @@ impl ElanNet {
             // Rendezvous: park the data, ship a small RTS. The local
             // flag is only set once the destination NIC has pulled the
             // data (synchronous-send semantics for long messages).
+            if let Some(tr) = sim.tracer() {
+                tr.add("elan.rdv_sends", 1);
+            }
             let send_id = src_port.alloc_id();
             let local = Flag::new();
             src_port.pending_sends.borrow_mut().insert(
@@ -301,6 +307,9 @@ impl ElanNet {
         // only gets involved when there is matching work to do.
         if port.unexpected.borrow().is_empty() {
             port.posted.borrow_mut().push(PostedRecv { sel, recv_id });
+            if let Some(tr) = sim.tracer() {
+                tr.gauge("elan.posted_depth", port.posted.borrow().len() as i64);
+            }
             return handle;
         }
         let scanned = port
@@ -361,6 +370,9 @@ impl ElanNet {
             }
             None => {
                 port.posted.borrow_mut().push(PostedRecv { sel, recv_id });
+                if let Some(tr) = sim.tracer() {
+                    tr.gauge("elan.posted_depth", port.posted.borrow().len() as i64);
+                }
             }
         }
     }
@@ -451,6 +463,7 @@ impl ElanNet {
                             bytes,
                             kind: UnexpKind::Eager(data),
                         });
+                        port.trace_unexpected(sim);
                     }
                 }
             }
@@ -468,6 +481,7 @@ impl ElanNet {
                         bytes,
                         kind: UnexpKind::Rts { send_id, src_ep },
                     });
+                    port.trace_unexpected(sim);
                 }
             },
             WireMsg::Get {
@@ -587,6 +601,15 @@ impl ElanPort {
     /// Events the Elan thread processor has dispatched.
     pub fn thread_events(&self) -> u64 {
         self.thread.jobs_served()
+    }
+
+    /// Account one unexpected arrival into the tracer: the NIC-buffer
+    /// depth the §3.1 system-buffer argument is about.
+    fn trace_unexpected(&self, sim: &Sim) {
+        if let Some(tr) = sim.tracer() {
+            tr.add("elan.unexpected", 1);
+            tr.gauge("elan.unexpected_depth", self.unexpected.borrow().len() as i64);
+        }
     }
 }
 

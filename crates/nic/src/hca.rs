@@ -177,6 +177,10 @@ impl<M: 'static> IbNet<M> {
         let (prev, tail) = src_port.chains.enqueue(dst);
         let rx_cost = self.params.rx_engine;
         let dst_node = dst_port.node.clone();
+        if let Some(tr) = sim.tracer() {
+            tr.add("hca.posts", 1);
+            tr.add("hca.post_bytes", bytes);
+        }
         launch(
             sim,
             &self.fabric,
@@ -198,7 +202,14 @@ impl<M: 'static> IbNet<M> {
                     let hook = hca.hook.borrow();
                     match &*hook {
                         Some(h) => h(sim, src, m),
-                        None => hca.inbox.push((src, m)),
+                        None => {
+                            hca.inbox.push((src, m));
+                            if let Some(tr) = sim.tracer() {
+                                // Depth of the passive queue at delivery:
+                                // how far host polling lags the NIC.
+                                tr.gauge("hca.inbox_depth", hca.inbox.len() as i64);
+                            }
+                        }
                     }
                 });
             },
@@ -219,6 +230,24 @@ impl<M> Hca<M> {
     /// returns the host time the caller must charge (zero on a hit).
     pub fn register(&self, region: RegionId, len: u64) -> Dur {
         self.regcache.borrow_mut().register(&self.params, region, len)
+    }
+
+    /// [`register`](Hca::register) plus regcache hit/miss/evict
+    /// accounting into the simulation's tracer. The protocol layers use
+    /// this variant; the counter names are part of the metrics surface
+    /// (`regcache.hits` / `regcache.misses` / `regcache.evictions`).
+    pub fn register_traced(&self, sim: &Sim, region: RegionId, len: u64) -> Dur {
+        let tr = match sim.tracer() {
+            None => return self.register(region, len),
+            Some(tr) => tr,
+        };
+        let mut c = self.regcache.borrow_mut();
+        let before = (c.hits, c.misses, c.evictions);
+        let cost = c.register(&self.params, region, len);
+        tr.add("regcache.hits", c.hits - before.0);
+        tr.add("regcache.misses", c.misses - before.1);
+        tr.add("regcache.evictions", c.evictions - before.2);
+        cost
     }
 
     /// Registration-cache statistics `(hits, misses, evictions)`.
@@ -345,6 +374,44 @@ mod tests {
         });
         sim.run().unwrap();
         assert!(seen.get());
+    }
+
+    #[test]
+    fn register_traced_counters_match_hand_computed_sequence() {
+        use elanib_simcore::trace::Tracer;
+        // 3 MiB cache, 1 MiB regions — small enough to walk the LRU by
+        // hand. Expected state after each step is noted inline.
+        let sim = Sim::with_tracer(1, Tracer::forced(1));
+        let nn: Vec<_> = (0..2).map(|i| Node::new(i, NodeParams::default())).collect();
+        let fabric = Rc::new(Fabric::new(
+            Topology::single_crossbar(2),
+            infiniband_4x(),
+        ));
+        let params = HcaParams {
+            reg_cache_bytes: 3 * 1024 * 1024,
+            ..HcaParams::default()
+        };
+        let net: Rc<IbNet<TestMsg>> = Rc::new(IbNet::new(&nn, fabric, 1, params));
+        let h = net.hca(0);
+        let mb = 1024 * 1024;
+        for (region, expect_hit) in [
+            (1u64, false), // cold miss              LRU: 1
+            (2, false),    // cold miss              LRU: 1,2
+            (3, false),    // cold miss (full)       LRU: 1,2,3
+            (1, true),     // hit refreshes          LRU: 2,3,1
+            (4, false),    // miss, evicts 2         LRU: 3,1,4
+            (3, true),     // hit refreshes          LRU: 1,4,3
+            (2, false),    // miss, evicts 1         LRU: 4,3,2
+        ] {
+            let cost = h.register_traced(&sim, region, mb);
+            assert_eq!(cost == Dur::ZERO, expect_hit, "region {region}");
+        }
+        let tr = sim.tracer().unwrap();
+        assert_eq!(tr.counter("regcache.hits"), 2);
+        assert_eq!(tr.counter("regcache.misses"), 5);
+        assert_eq!(tr.counter("regcache.evictions"), 2);
+        // The tracer view must agree with the cache's own counters.
+        assert_eq!(h.regcache_stats(), (2, 5, 2));
     }
 
     #[test]

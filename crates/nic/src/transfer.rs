@@ -87,6 +87,9 @@ pub fn launch(
             // messages by default): the payload crosses the shared
             // PCI-X bus twice — down to the NIC and back up — which is
             // exactly why 2 PPN communication is not free.
+            if let Some(tr) = sim.tracer() {
+                tr.add("xfer.loopback", 1);
+            }
             let f_down = src_node.pcix_start(&sim, wire_bytes);
             let f_up = src_node.pcix_start(&sim, wire_bytes);
             f_down.wait().await;
@@ -102,6 +105,7 @@ pub fn launch(
         }
         // Source DMA and wire reservation begin together (the HCA
         // streams from host memory onto the wire).
+        let dma_start = sim.now();
         let f_src = src_node.pcix_start(&sim, wire_bytes);
         let wire_done = fabric.deliver_at(&sim, src_ep, dst_ep, wire_bytes);
         let ser = fabric.params.link.serialize(wire_bytes);
@@ -123,11 +127,44 @@ pub fn launch(
             });
         }
         f_src.wait().await;
+        if let Some(tr) = sim.tracer() {
+            // Source-side DMA segment: dma_start → source PCI-X drain.
+            tr.span(
+                "dma",
+                "src_dma",
+                dma_start.as_ps(),
+                sim.now().as_ps(),
+                src_ep as u32,
+                wire_bytes as i64,
+            );
+        }
         local_done.set();
         f_dst.wait().await;
+        if let Some(tr) = sim.tracer() {
+            // Destination-side DMA segment: head arrival → PCI-X drain.
+            tr.span(
+                "dma",
+                "dst_dma",
+                head_at_dst.as_ps(),
+                sim.now().as_ps(),
+                dst_ep as u32,
+                wire_bytes as i64,
+            );
+        }
         sim.sleep_until(wire_done).await;
         if let Some(p) = prev {
             p.wait().await;
+        }
+        if let Some(tr) = sim.tracer() {
+            // Whole wire traversal on the destination's lane.
+            tr.span(
+                "xfer",
+                "wire",
+                dma_start.as_ps(),
+                wire_done.as_ps(),
+                dst_ep as u32,
+                wire_bytes as i64,
+            );
         }
         on_delivered(&sim);
         tail.set();

@@ -128,6 +128,9 @@ struct TaskSlot {
     /// Simulated time of the most recent `Poll::Pending` — i.e. when
     /// the task last suspended. Reported on deadlock.
     last_suspend: SimTime,
+    /// Simulated time the current occupant was spawned; closes the
+    /// task-lifetime span when event tracing is on.
+    spawned_at: SimTime,
 }
 
 impl TaskSlot {
@@ -139,6 +142,7 @@ impl TaskSlot {
             live: false,
             waker: None,
             last_suspend: SimTime::ZERO,
+            spawned_at: SimTime::ZERO,
         }
     }
 }
@@ -185,8 +189,11 @@ impl std::task::Wake for TaskWaker {
     }
 }
 
-/// Trace callback: `(time, message)`.
-type Tracer = Box<dyn FnMut(SimTime, &str)>;
+/// Legacy string-trace callback: `(time, message)`. Kept for ad-hoc
+/// debugging via [`Sim::set_tracer`]; the structured, sink-backed path
+/// is the `elanib-trace` [`Tracer`](elanib_trace::Tracer) carried on
+/// [`Sim`].
+type TraceCallback = Box<dyn FnMut(SimTime, &str)>;
 
 struct Kernel {
     now: SimTime,
@@ -201,7 +208,7 @@ struct Kernel {
     /// Portion of `events_processed` already added to the
     /// thread-local counter (see [`thread_events`]).
     events_reported: u64,
-    tracer: Option<Tracer>,
+    tracer: Option<TraceCallback>,
 }
 
 thread_local! {
@@ -226,6 +233,11 @@ pub struct Sim {
     /// ping-pongs with the queue's vector so steady-state draining
     /// performs no allocation.
     drain_buf: Rc<RefCell<Vec<TaskId>>>,
+    /// Structured tracer, `None` unless `ELANIB_TRACE`/`ELANIB_METRICS`
+    /// enabled it at construction. Kept outside the kernel `RefCell` so
+    /// instrumentation points pay exactly one null check when disabled
+    /// and never contend with a kernel borrow.
+    tr: Option<Rc<elanib_trace::Tracer>>,
 }
 
 /// One entry of a [`SimError::Deadlock`] report.
@@ -238,20 +250,42 @@ pub struct StuckTask {
     pub since: SimTime,
 }
 
+/// Kernel-state snapshot attached to a deadlock report when the
+/// structured tracer is enabled: the scheduler's queue depths at the
+/// moment events ran dry, plus the run's largest trace counters — so a
+/// stuck point deep inside a sweep grid ships its telemetry with the
+/// panic message instead of requiring a re-run under a debugger.
+#[derive(Clone, Debug, Default)]
+pub struct DeadlockDiag {
+    /// Events still pending in the heap (0 for a natural deadlock —
+    /// nonzero would mean the loop exited abnormally).
+    pub pending_events: usize,
+    /// Tasks sitting woken-but-undrained in the wake queue.
+    pub wake_queue: usize,
+    pub live_tasks: usize,
+    pub events_processed: u64,
+    /// Top monotonic counters recorded by the tracer, pre-formatted.
+    pub counters: String,
+}
+
 /// Why [`Sim::run`] stopped before all tasks completed.
 #[derive(Debug)]
 pub enum SimError {
     /// The event heap drained while tasks were still suspended — some
     /// wait can never be satisfied (e.g. a `recv` with no matching
-    /// `send`). Carries the stuck tasks' names and the simulated time
-    /// each last suspended at.
-    Deadlock(Vec<StuckTask>),
+    /// `send`). Carries the stuck tasks' names, the simulated time each
+    /// last suspended at, and — when tracing is enabled — a kernel
+    /// diagnostics snapshot.
+    Deadlock {
+        stuck: Vec<StuckTask>,
+        diag: Option<DeadlockDiag>,
+    },
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Deadlock(stuck) => {
+            SimError::Deadlock { stuck, diag } => {
                 write!(f, "simulation deadlock; {} task(s) stuck: ", stuck.len())?;
                 for (i, t) in stuck.iter().take(8).enumerate() {
                     if i > 0 {
@@ -261,6 +295,17 @@ impl fmt::Display for SimError {
                 }
                 if stuck.len() > 8 {
                     write!(f, ", ...")?;
+                }
+                if let Some(d) = diag {
+                    write!(
+                        f,
+                        " [kernel: pending_events={}, wake_queue={}, live_tasks={}, events_processed={}",
+                        d.pending_events, d.wake_queue, d.live_tasks, d.events_processed
+                    )?;
+                    if !d.counters.is_empty() {
+                        write!(f, "; counters: {}", d.counters)?;
+                    }
+                    write!(f, "]")?;
                 }
                 Ok(())
             }
@@ -287,7 +332,30 @@ impl Sim {
             })),
             wakes: Arc::new(WakeQueue::default()),
             drain_buf: Rc::new(RefCell::new(Vec::new())),
+            tr: elanib_trace::Tracer::from_config(seed),
         }
+    }
+
+    /// Create a simulation with an explicit tracer (tests and tools
+    /// that want telemetry regardless of environment).
+    pub fn with_tracer(seed: u64, tr: Rc<elanib_trace::Tracer>) -> Sim {
+        let mut sim = Sim::new(seed);
+        sim.tr = Some(tr);
+        sim
+    }
+
+    /// The structured tracer, if tracing/metrics is enabled for this
+    /// simulation. Instrumentation points across the model crates go
+    /// through this accessor:
+    ///
+    /// ```ignore
+    /// if let Some(tr) = sim.tracer() {
+    ///     tr.add("regcache.miss", 1);
+    /// }
+    /// ```
+    #[inline]
+    pub fn tracer(&self) -> Option<&elanib_trace::Tracer> {
+        self.tr.as_deref()
     }
 
     /// Current simulated time.
@@ -360,6 +428,7 @@ impl Sim {
         slot.name = name.into();
         slot.live = true;
         slot.last_suspend = now;
+        slot.spawned_at = now;
         slot.waker = Some(
             Waker::from(Arc::new(TaskWaker {
                 queue: self.wakes.clone(),
@@ -368,6 +437,10 @@ impl Sim {
         );
         k.live_tasks += 1;
         k.push(now, EvKind::Wake(id));
+        drop(k);
+        if let Some(tr) = &self.tr {
+            tr.add("sim.tasks_spawned", 1);
+        }
         id
     }
 
@@ -388,9 +461,14 @@ impl Sim {
     /// Schedule `waker` to fire at `at` — the allocation-free timer
     /// path used by [`Sim::sleep`].
     fn schedule_timer(&self, at: SimTime, waker: Waker) {
-        let mut k = self.k.borrow_mut();
-        debug_assert!(at >= k.now, "timer into the past");
-        k.push(at, EvKind::Timer(waker));
+        {
+            let mut k = self.k.borrow_mut();
+            debug_assert!(at >= k.now, "timer into the past");
+            k.push(at, EvKind::Timer(waker));
+        }
+        if let Some(tr) = &self.tr {
+            tr.add("sim.timers", 1);
+        }
     }
 
     /// Future that completes after `d` of simulated time.
@@ -431,6 +509,9 @@ impl Sim {
             for id in buf.iter() {
                 queued[id.idx as usize] = 0;
             }
+        }
+        if let Some(tr) = &self.tr {
+            tr.add("sim.wakes", buf.len() as u64);
         }
         // Polling may re-enter the kernel (spawn, wake, schedule) but
         // never this drain, so holding the buffer borrow is safe.
@@ -476,7 +557,7 @@ impl Sim {
         let result = {
             let k = self.k.borrow();
             if k.live_tasks > 0 {
-                let stuck = k
+                let stuck: Vec<StuckTask> = k
                     .tasks
                     .iter()
                     .filter(|t| t.live)
@@ -485,7 +566,18 @@ impl Sim {
                         since: t.last_suspend,
                     })
                     .collect();
-                Err(SimError::Deadlock(stuck))
+                // With tracing enabled, snapshot the scheduler state and
+                // the run's counters into the report (satellite of the
+                // observability layer: a deadlock panic from a sweep
+                // worker carries its own telemetry).
+                let diag = self.tr.as_ref().map(|tr| DeadlockDiag {
+                    pending_events: k.heap.len(),
+                    wake_queue: self.wakes.state.lock().unwrap().ready.len(),
+                    live_tasks: k.live_tasks,
+                    events_processed: k.events_processed,
+                    counters: tr.counter_digest(6),
+                });
+                Err(SimError::Deadlock { stuck, diag })
             } else {
                 Ok(k.now)
             }
@@ -497,6 +589,9 @@ impl Sim {
         k.events_reported = k.events_processed;
         THREAD_EVENTS.with(|c| c.set(c.get() + delta));
         drop(k);
+        if let Some(tr) = &self.tr {
+            tr.add("sim.events", delta);
+        }
         result
     }
 
@@ -526,7 +621,17 @@ impl Sim {
         match fut.as_mut().poll(&mut cx) {
             Poll::Ready(()) => {
                 let mut k = self.k.borrow_mut();
+                let now = k.now;
                 let slot = &mut k.tasks[id.idx as usize];
+                // Capture the lifetime span before the slot is wiped —
+                // only when events are actually being recorded (the
+                // name clone is the lone tracing cost on this path).
+                let span = match &self.tr {
+                    Some(tr) if tr.events_on() => {
+                        Some((std::mem::take(&mut slot.name), slot.spawned_at))
+                    }
+                    _ => None,
+                };
                 slot.live = false;
                 // Invalidate in-flight wakes and recycle the slot.
                 slot.gen = slot.gen.wrapping_add(1);
@@ -534,6 +639,13 @@ impl Sim {
                 slot.name.clear();
                 k.live_tasks -= 1;
                 k.free.push(id.idx);
+                drop(k);
+                if let Some(tr) = &self.tr {
+                    tr.add("sim.tasks_completed", 1);
+                    if let Some((name, spawned_at)) = span {
+                        tr.span("task", name, spawned_at.as_ps(), now.as_ps(), id.idx, 0);
+                    }
+                }
             }
             Poll::Pending => {
                 let mut k = self.k.borrow_mut();
@@ -705,16 +817,55 @@ mod tests {
             std::future::pending::<()>().await;
         });
         match sim.run() {
-            Err(SimError::Deadlock(stuck)) => {
+            Err(SimError::Deadlock { stuck, diag }) => {
                 assert_eq!(stuck.len(), 1);
                 assert_eq!(stuck[0].name, "stuck-task");
                 assert_eq!(stuck[0].since, SimTime::ZERO + Dur::from_us(3));
-                let msg = format!("{}", SimError::Deadlock(stuck));
+                assert!(diag.is_none(), "no diagnostics without a tracer");
+                let msg = format!("{}", SimError::Deadlock { stuck, diag });
                 assert!(msg.contains("stuck-task"), "{msg}");
                 assert!(msg.contains("suspended at"), "{msg}");
             }
             other => panic!("expected deadlock, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn deadlock_report_includes_tracer_diagnostics() {
+        let sim = Sim::with_tracer(1, elanib_trace::Tracer::forced(1));
+        let s = sim.clone();
+        sim.spawn("hung", async move {
+            s.sleep(Dur::from_us(2)).await;
+            std::future::pending::<()>().await;
+        });
+        let err = sim.run().unwrap_err();
+        let SimError::Deadlock { diag, .. } = &err;
+        let d = diag.as_ref().expect("tracer enabled => diagnostics");
+        assert_eq!(d.pending_events, 0, "natural deadlock drains the heap");
+        assert_eq!(d.wake_queue, 0);
+        assert_eq!(d.live_tasks, 1);
+        assert!(d.events_processed > 0);
+        assert!(d.counters.contains("sim.tasks_spawned=1"), "{}", d.counters);
+        let msg = format!("{err}");
+        assert!(msg.contains("pending_events=0"), "{msg}");
+        assert!(msg.contains("wake_queue=0"), "{msg}");
+    }
+
+    #[test]
+    fn tracer_records_task_lifecycle() {
+        let tr = elanib_trace::Tracer::forced(9);
+        let sim = Sim::with_tracer(9, tr.clone());
+        let s = sim.clone();
+        sim.spawn("worker", async move {
+            s.sleep(Dur::from_us(4)).await;
+        });
+        sim.run().unwrap();
+        assert_eq!(tr.counter("sim.tasks_spawned"), 1);
+        assert_eq!(tr.counter("sim.tasks_completed"), 1);
+        assert!(tr.counter("sim.timers") >= 1);
+        assert!(tr.counter("sim.events") > 0);
+        // One task-lifetime span was recorded.
+        assert_eq!(tr.event_count(), 1);
     }
 
     #[test]

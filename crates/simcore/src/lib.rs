@@ -56,7 +56,13 @@ pub mod resources;
 pub mod sync;
 pub mod time;
 
-pub use kernel::{thread_events, Delay, Sim, SimError, StuckTask, TaskId};
+/// Re-export of the tracing/metrics crate so model crates can name
+/// tracer types (`trace::Tracer`, `trace::TraceConfig`) without their
+/// own dependency edge; instrumentation reaches the tracer through
+/// [`Sim::tracer`](kernel::Sim::tracer).
+pub use elanib_trace as trace;
+
+pub use kernel::{thread_events, DeadlockDiag, Delay, Sim, SimError, StuckTask, TaskId};
 pub use resources::{ChannelStats, FifoChannel, PsResource};
 pub use sync::{Flag, Mailbox, Semaphore};
 pub use time::{Dur, SimTime};

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Local CI gate: everything a change must pass before it lands.
+#
+#   1. release build of the whole workspace
+#   2. full test suite
+#   3. clippy with warnings promoted to errors (the tree is kept
+#      warning-free; don't let it regress)
+#   4. exhibit-determinism smoke check (regen_all.sh --smoke diffs the
+#      fast exhibit subset against the committed results/)
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --workspace --quiet
+
+echo "== cargo test =="
+cargo test -q
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets --quiet -- -D warnings
+
+echo "== determinism smoke check =="
+scripts/regen_all.sh --smoke
+
+echo "CI OK"
