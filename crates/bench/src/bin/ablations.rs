@@ -26,6 +26,7 @@ use elanib_mpi::{NetConfig, Network};
 use elanib_simcore::Dur;
 
 fn main() {
+    elanib_bench::regen_begin();
     let p = MdProblem {
         steps: 20,
         ..membrane()

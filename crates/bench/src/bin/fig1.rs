@@ -30,6 +30,7 @@ fn window_for(bytes: u64) -> u32 {
 }
 
 fn main() {
+    elanib_bench::regen_begin();
     let sizes = figure1_sizes();
 
     // (a) + (b) + (c): sweep both networks once, reuse everywhere.

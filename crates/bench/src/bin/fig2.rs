@@ -4,5 +4,6 @@ use elanib_apps::md::ljs;
 use elanib_bench::md_figure;
 
 fn main() {
+    elanib_bench::regen_begin();
     md_figure("Figure 2", "fig2_ljs", ljs());
 }

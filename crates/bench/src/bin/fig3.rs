@@ -4,5 +4,6 @@ use elanib_apps::md::membrane;
 use elanib_bench::md_figure;
 
 fn main() {
+    elanib_bench::regen_begin();
     md_figure("Figure 3", "fig3_membrane", membrane());
 }

@@ -13,6 +13,7 @@ use elanib_core::{f, TextTable};
 use elanib_mpi::Network;
 
 fn main() {
+    elanib_bench::regen_begin();
     let counts = [1usize, 4, 9, 16, 25];
     let p = sweep150();
     let ib = sweep_study(Network::InfiniBand, p, &counts, 1);

@@ -7,6 +7,7 @@ use elanib_core::{f, TextTable};
 use elanib_mpi::Network;
 
 fn main() {
+    elanib_bench::regen_begin();
     let counts = [4usize, 9, 16, 25];
     let sizes = [50usize, 75, 100, 125, 150];
     let mut t = TextTable::new(vec![

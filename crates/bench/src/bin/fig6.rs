@@ -7,6 +7,7 @@ use elanib_core::{f, TextTable};
 use elanib_mpi::Network;
 
 fn main() {
+    elanib_bench::regen_begin();
     let counts = [1usize, 2, 4, 8, 16, 32];
     let p = class_a();
     let ib = cg_study(Network::InfiniBand, p, &counts, 1);

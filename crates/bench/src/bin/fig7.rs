@@ -9,6 +9,7 @@ use elanib_cost::{
 };
 
 fn main() {
+    elanib_bench::regen_begin();
     let sizes = [8usize, 16, 32, 64, 96, 128, 256, 512, 1024, 2048, 4096];
     let mut t = TextTable::new(vec![
         "ports",

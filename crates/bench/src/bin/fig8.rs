@@ -8,6 +8,7 @@ use elanib_core::{f, figure8_series, TextTable};
 use elanib_mpi::Network;
 
 fn main() {
+    elanib_bench::regen_begin();
     // Shorter measured section than Figures 2/3 — the trend fit needs
     // the efficiency curve, not high-precision absolute times.
     let p = MdProblem {

@@ -4,6 +4,7 @@ use elanib_bench::emit;
 use elanib_core::{table1, TextTable};
 
 fn main() {
+    elanib_bench::regen_begin();
     let mut t = TextTable::new(vec!["System", "Description"]);
     for row in table1() {
         t.row(vec![row.system.to_string(), row.description.to_string()]);

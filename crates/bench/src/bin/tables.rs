@@ -6,6 +6,7 @@ use elanib_core::{f, TextTable};
 use elanib_cost::{table2_rows, table3_rows, IbPrices, QuadricsPrices};
 
 fn main() {
+    elanib_bench::regen_begin();
     let mut t2 = TextTable::new(vec!["Component", "List price $"]);
     for (name, price, reconstructed) in table2_rows(&IbPrices::default()) {
         let marker = if reconstructed { " *" } else { "" };

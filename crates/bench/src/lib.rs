@@ -7,8 +7,103 @@
 
 use std::fs;
 use std::path::PathBuf;
+use std::sync::{LazyLock, Mutex};
+use std::time::Instant;
 
+use elanib_core::simcache::{self, CacheStats};
 use elanib_core::{exhibit, TextTable};
+
+/// Process-start anchor for the first exhibit's wall-time delta.
+/// Forced by [`regen_begin`]; falls back to first-[`emit`] time if a
+/// driver forgets to call it (wall then reads ~0 for its first
+/// exhibit, never wrong for later ones).
+static EPOCH: LazyLock<Instant> = LazyLock::new(Instant::now);
+
+/// The previous regen mark: when the last exhibit finished and what
+/// the cache counters read at that point. Deltas between consecutive
+/// [`emit`] calls attribute wall time and cache traffic per exhibit.
+struct Mark {
+    at: Instant,
+    cache: CacheStats,
+}
+static LAST_MARK: Mutex<Option<Mark>> = Mutex::new(None);
+
+/// Called first thing in every exhibit driver's `main`: pins the
+/// wall-clock epoch so the first exhibit's `{"kind":"regen"}` record
+/// covers its simulation time, not just the `emit` call.
+pub fn regen_begin() {
+    let _ = *EPOCH;
+}
+
+/// Per-exhibit regeneration record: wall time since the previous
+/// exhibit (or [`regen_begin`]) and the point-cache traffic deltas.
+///
+/// Reported three ways, none touching stdout (which must stay
+/// byte-stable):
+/// * a stderr `[regen …]` line (`regen_all.sh` surfaces these);
+/// * a `{"kind":"regen"}` JSON line appended to `ELANIB_BENCH_JSON`
+///   (the `BENCH_regen.json` methodology record — see EXPERIMENTS.md);
+/// * `cache.hits/misses/stores` counters submitted through the
+///   trace/metrics registry when metrics are enabled, so the deltas
+///   land in the exhibit's `<name>.metrics.{json,csv}` next to the
+///   simulation counters.
+fn record_regen(name: &str) {
+    let now = Instant::now();
+    let cache_now = simcache::stats();
+    let (wall, delta) = {
+        let mut last = LAST_MARK.lock().unwrap();
+        let (wall, delta) = match last.take() {
+            Some(m) => (now - m.at, cache_now.delta_since(m.cache)),
+            None => (now - *EPOCH, cache_now),
+        };
+        *last = Some(Mark {
+            at: now,
+            cache: cache_now,
+        });
+        (wall, delta)
+    };
+    let mode = match simcache::mode() {
+        simcache::Mode::Off => "off",
+        simcache::Mode::Memo => "memo",
+        simcache::Mode::Disk(_) => "disk",
+    };
+    eprintln!(
+        "[regen {name}: {:.2} s wall, cache {} hits / {} misses ({:.0}% hit rate, mode {mode})]",
+        wall.as_secs_f64(),
+        delta.hits,
+        delta.misses,
+        delta.hit_rate() * 100.0,
+    );
+    if let Ok(path) = std::env::var("ELANIB_BENCH_JSON") {
+        if !path.is_empty() {
+            let ts = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0);
+            let line = format!(
+                "{{\"kind\":\"regen\",\"exhibit\":\"{}\",\"wall_s\":{:.6},\"cache_mode\":\"{mode}\",\"cache_hits\":{},\"cache_misses\":{},\"cache_stores\":{},\"hit_rate\":{:.4},\"unix_ts\":{ts}}}",
+                name.replace('\\', "\\\\").replace('"', "\\\""),
+                wall.as_secs_f64(),
+                delta.hits,
+                delta.misses,
+                delta.stores,
+                delta.hit_rate(),
+            );
+            let _ =
+                elanib_simcore::trace::jsonl::append_line(std::path::Path::new(&path), &line);
+        }
+    }
+    if delta.hits + delta.misses > 0 {
+        if let Some(tr) = elanib_simcore::trace::Tracer::from_config(0) {
+            if tr.metrics_on() {
+                tr.set_label(format!("{name}.simcache"));
+                tr.add("cache.hits", delta.hits);
+                tr.add("cache.misses", delta.misses);
+                tr.add("cache.stores", delta.stores);
+            }
+        }
+    }
+}
 
 /// Print an exhibit header, render the table, and (optionally) write
 /// CSV into `$ELANIB_RESULTS_DIR/<name>.csv`.
@@ -20,6 +115,12 @@ use elanib_core::{exhibit, TextTable};
 /// output directory (`ELANIB_TRACE_DIR`, falling back to
 /// `ELANIB_RESULTS_DIR`, then the working directory). Flush notices go
 /// to stderr so stdout stays byte-stable run to run.
+///
+/// Each call also records a regeneration report for the table: wall
+/// time since the previous `emit` (or `regen_begin`) and the point
+/// cache's hit/miss/store delta over the same window — one
+/// `[regen <name>: ...]` stderr line, plus a `{"kind":"regen",...}`
+/// JSON record when `ELANIB_BENCH_JSON` is set.
 pub fn emit(exhibit_id: &str, name: &str, table: &TextTable) {
     if let Some(e) = exhibit(exhibit_id) {
         println!("== {} — {} ==", e.id, e.title);
@@ -40,6 +141,7 @@ pub fn emit(exhibit_id: &str, name: &str, table: &TextTable) {
             println!("[csv written to {}]", p.display());
         }
     }
+    record_regen(name);
     if let Some(files) = elanib_simcore::trace::flush(name) {
         if let Some(p) = &files.trace_json {
             eprintln!("[trace written to {}]", p.display());

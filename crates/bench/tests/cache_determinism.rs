@@ -1,0 +1,82 @@
+//! The point cache's acceptance contract: the fig2/fig3 tables must be
+//! **byte-identical** whether the cache is disabled, cold, or warm —
+//! a hit must be indistinguishable from a fresh simulation.
+//!
+//! One process walks the three modes over the same reduced grids:
+//!
+//! 1. `Off` — every point simulates (the pre-cache baseline bytes);
+//! 2. `Disk` against an empty directory — cold: every point misses,
+//!    simulates, and is stored (memo + disk entry);
+//! 3. `Disk` against the now-populated directory with the memo tier
+//!    cleared — warm from disk: every point is answered by decode;
+//! 4. memo-warm — same mode without clearing: every point is answered
+//!    by the in-run memo table.
+//!
+//! Cache counters are sampled around each phase, so the test also
+//! pins *where* each phase's answers came from, not just that the
+//! bytes agree.
+
+use elanib_apps::md::{ljs, membrane, MdProblem};
+use elanib_bench::md_figure_table;
+use elanib_core::simcache::{self, Mode};
+
+fn tables() -> (String, String) {
+    let nodes = [1usize, 2, 4];
+    let fig2 = MdProblem { steps: 4, ..ljs() };
+    let fig3 = MdProblem { steps: 4, ..membrane() };
+    let (t2, _) = md_figure_table(fig2, &nodes);
+    let (t3, _) = md_figure_table(fig3, &nodes);
+    (t2.to_csv(), t3.to_csv())
+}
+
+#[test]
+fn fig2_fig3_identical_across_disabled_cold_and_warm_cache() {
+    // 24 points: 2 figures × 4 series × 3 node counts, all distinct.
+    let points = 24;
+    let dir = std::env::temp_dir().join(format!(
+        "elanib-cache-determinism-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    simcache::set_override(Some(Mode::Off));
+    let baseline = tables();
+
+    simcache::set_override(Some(Mode::Disk(dir.clone())));
+    let before = simcache::stats();
+    let cold = tables();
+    let d = simcache::stats().delta_since(before);
+    assert_eq!(
+        (d.hits, d.misses, d.stores),
+        (0, points, points),
+        "cold run must simulate and store every distinct point"
+    );
+    let entries = std::fs::read_dir(&dir).unwrap().count();
+    assert_eq!(entries, points as usize, "one disk entry per point");
+
+    simcache::clear_memo();
+    let before = simcache::stats();
+    let disk_warm = tables();
+    let d = simcache::stats().delta_since(before);
+    assert_eq!(
+        (d.hits, d.misses),
+        (points, 0),
+        "with the memo cleared, every point must come off disk"
+    );
+
+    let before = simcache::stats();
+    let memo_warm = tables();
+    let d = simcache::stats().delta_since(before);
+    assert_eq!(
+        (d.hits, d.misses),
+        (points, 0),
+        "a second in-process run must be answered by the memo tier"
+    );
+
+    simcache::set_override(None);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(baseline, cold, "cold cache must not change a byte");
+    assert_eq!(baseline, disk_warm, "disk hits must not change a byte");
+    assert_eq!(baseline, memo_warm, "memo hits must not change a byte");
+}

@@ -16,6 +16,11 @@ fn fig2_study_serial_vs_sweep_engine_identical_csv() {
     let problem = MdProblem { steps: 6, ..ljs() };
     let nodes = [1usize, 2, 4, 8, 16, 32];
 
+    // This test compares two *live* regenerations of the same grid, so
+    // the point cache must not turn the second one into a replay (a
+    // memo hit runs no simulation and would zero its event count).
+    elanib_core::simcache::set_override(Some(elanib_core::simcache::Mode::Off));
+
     // One test function, sequential phases: the env var is process
     // local and nothing else in this binary reads it concurrently.
     std::env::set_var("ELANIB_SWEEP_THREADS", "1");
@@ -35,4 +40,5 @@ fn fig2_study_serial_vs_sweep_engine_identical_csv() {
     // Same simulations ran in both modes: identical total event count.
     assert_eq!(serial_stats.jobs, parallel_stats.jobs);
     assert_eq!(serial_stats.events, parallel_stats.events);
+    elanib_core::simcache::set_override(None);
 }

@@ -24,7 +24,8 @@
 //!   whole reproduction.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{HashMap, VecDeque};
+use elanib_simcore::FxHashMap;
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 use elanib_fabric::ib_fabric;
@@ -184,8 +185,8 @@ struct SendPending {
 struct RankState {
     posted: RefCell<Vec<PostedRecv>>,
     unexpected: RefCell<VecDeque<UnexpMsg>>,
-    recvs: RefCell<HashMap<u64, Rc<RecvSlot>>>,
-    sends: RefCell<HashMap<u64, SendPending>>,
+    recvs: RefCell<FxHashMap<u64, Rc<RecvSlot>>>,
+    sends: RefCell<FxHashMap<u64, SendPending>>,
     next_id: Cell<u64>,
     /// Stats mirrored by tests and EXPERIMENTS.md.
     unexpected_count: Cell<u64>,
@@ -196,8 +197,8 @@ impl RankState {
         RankState {
             posted: RefCell::new(Vec::new()),
             unexpected: RefCell::new(VecDeque::new()),
-            recvs: RefCell::new(HashMap::new()),
-            sends: RefCell::new(HashMap::new()),
+            recvs: RefCell::new(FxHashMap::default()),
+            sends: RefCell::new(FxHashMap::default()),
             next_id: Cell::new(1),
             unexpected_count: Cell::new(0),
         }

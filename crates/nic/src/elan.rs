@@ -23,7 +23,7 @@
 //!   no pin-down cache in this file at all.
 
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
+use elanib_simcore::FxHashMap;
 use std::rc::Rc;
 
 use elanib_fabric::Fabric;
@@ -158,8 +158,8 @@ pub struct ElanPort {
     chains: PairChains,
     posted: RefCell<Vec<PostedRecv>>,
     unexpected: RefCell<Vec<UnexpMsg>>,
-    pending_sends: RefCell<HashMap<u64, PendingSend>>,
-    recvs: RefCell<HashMap<u64, TportRecvHandle>>,
+    pending_sends: RefCell<FxHashMap<u64, PendingSend>>,
+    recvs: RefCell<FxHashMap<u64, TportRecvHandle>>,
     next_id: Cell<u64>,
     /// Stats: messages that arrived before their receive was posted.
     pub unexpected_count: Cell<u64>,
@@ -189,8 +189,8 @@ impl ElanNet {
                     chains: PairChains::new(),
                     posted: RefCell::new(Vec::new()),
                     unexpected: RefCell::new(Vec::new()),
-                    pending_sends: RefCell::new(HashMap::new()),
-                    recvs: RefCell::new(HashMap::new()),
+                    pending_sends: RefCell::new(FxHashMap::default()),
+                    recvs: RefCell::new(FxHashMap::default()),
                     next_id: Cell::new(1),
                     unexpected_count: Cell::new(0),
                 })

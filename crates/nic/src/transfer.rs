@@ -14,7 +14,7 @@
 //! guarantee this in hardware.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use elanib_simcore::FxHashMap;
 use std::rc::Rc;
 
 use elanib_fabric::Fabric;
@@ -28,7 +28,7 @@ const LOOPBACK_TURNAROUND: elanib_simcore::Dur = elanib_simcore::Dur(300_000); /
 /// in order.
 #[derive(Default)]
 pub struct PairChains {
-    chains: RefCell<HashMap<usize, Flag>>,
+    chains: RefCell<FxHashMap<usize, Flag>>,
 }
 
 impl PairChains {

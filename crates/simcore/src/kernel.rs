@@ -4,7 +4,7 @@
 //! the same seed and the same task program replays the exact same event
 //! sequence. Determinism comes from three rules:
 //!
-//! 1. the event heap is ordered by `(time, sequence-number)`, so
+//! 1. pending events are ordered by `(time, sequence-number)`, so
 //!    simultaneous events fire in scheduling order;
 //! 2. there is exactly one executor thread — tasks are `async` state
 //!    machines polled to completion one at a time;
@@ -15,6 +15,10 @@
 //! [`Sim::sleep`] (the passage of modelled time) or on synchronization
 //! primitives from [`crate::sync`], and the kernel advances the clock
 //! between polls.
+//!
+//! Pending events live in a hierarchical timing wheel
+//! ([`crate::wheel`]) rather than a binary heap; it preserves the exact
+//! `(time, sequence-number)` order of rule 1 with O(1) insertion.
 //!
 //! ## Parallel sweeps
 //!
@@ -40,15 +44,14 @@
 //! * each task's [`Waker`] is created once at spawn and reused for
 //!   every poll (no per-poll allocation);
 //! * timer expiry ([`Sim::sleep`]) schedules the waker directly in the
-//!   event heap — no boxed closure per sleep;
+//!   timing wheel — no boxed closure per sleep, no per-event
+//!   comparisons on insert;
 //! * the wake queue is drained in batches (one lock acquisition and
 //!   zero allocations per batch, the drain buffers ping-pong), and a
 //!   task woken k times at the same instant is queued — and polled —
 //!   once.
 
 use std::cell::{Cell, RefCell};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
@@ -60,6 +63,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::time::{Dur, SimTime};
+use crate::wheel::TimerWheel;
 
 /// Identifier of a spawned task within one simulation. Slots are
 /// recycled; the generation distinguishes the current occupant from
@@ -89,29 +93,6 @@ enum EvKind {
     /// Run an arbitrary closure against the simulation (used by model
     /// components that are pure event handlers rather than tasks).
     Call(BoxCall),
-}
-
-struct Ev {
-    at: SimTime,
-    seq: u64,
-    kind: EvKind,
-}
-
-impl PartialEq for Ev {
-    fn eq(&self, o: &Self) -> bool {
-        self.at == o.at && self.seq == o.seq
-    }
-}
-impl Eq for Ev {}
-impl PartialOrd for Ev {
-    fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(o))
-    }
-}
-impl Ord for Ev {
-    fn cmp(&self, o: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(o.at, o.seq))
-    }
 }
 
 /// One slab slot. A slot is *live* while its task has not completed;
@@ -159,10 +140,17 @@ struct WakeQueue {
 struct WakeState {
     /// Tasks woken since the last drain, in wake order.
     ready: Vec<TaskId>,
-    /// Dedup marks: `queued[idx] == gen + 1` iff `(idx, gen)` is
-    /// already in `ready`. 0 = not queued. Cleared at drain time under
-    /// the same lock acquisition that swaps the batch out.
-    queued: Vec<u32>,
+    /// Dedup marks: `queued[idx] == gen as u64 + 1` iff `(idx, gen)`
+    /// is already in `ready`. 0 = not queued. Cleared at drain time
+    /// under the same lock acquisition that swaps the batch out.
+    ///
+    /// The marks are one wider than the `u32` generation on purpose:
+    /// `gen + 1` can then never wrap to 0, the not-queued sentinel. A
+    /// `u32` mark scheme breaks at `gen == u32::MAX`, where the mark
+    /// collides with the sentinel and the slot's *first* wake of a
+    /// batch is falsely treated as a duplicate and dropped — a
+    /// lost-wakeup (spurious deadlock) after 2^32 recycles of one slot.
+    queued: Vec<u64>,
 }
 
 struct TaskWaker {
@@ -180,7 +168,7 @@ impl std::task::Wake for TaskWaker {
         if q.queued.len() <= idx {
             q.queued.resize(idx + 1, 0);
         }
-        let mark = self.id.gen.wrapping_add(1);
+        let mark = self.id.gen as u64 + 1;
         if q.queued[idx] == mark {
             return; // already queued at this instant: dedup
         }
@@ -197,8 +185,9 @@ type TraceCallback = Box<dyn FnMut(SimTime, &str)>;
 
 struct Kernel {
     now: SimTime,
-    seq: u64,
-    heap: BinaryHeap<Reverse<Ev>>,
+    /// Pending events in `(time, seq)` order; sequence numbers are
+    /// assigned by the wheel in push order.
+    queue: TimerWheel<EvKind>,
     tasks: Vec<TaskSlot>,
     /// Recycled slab indices, available for the next spawn.
     free: Vec<u32>,
@@ -208,6 +197,9 @@ struct Kernel {
     /// Portion of `events_processed` already added to the
     /// thread-local counter (see [`thread_events`]).
     events_reported: u64,
+    /// Portion of the wheel's cascade count already published to the
+    /// metrics registry.
+    cascades_reported: u64,
     tracer: Option<TraceCallback>,
 }
 
@@ -320,14 +312,14 @@ impl Sim {
         Sim {
             k: Rc::new(RefCell::new(Kernel {
                 now: SimTime::ZERO,
-                seq: 0,
-                heap: BinaryHeap::new(),
+                queue: TimerWheel::new(),
                 tasks: Vec::new(),
                 free: Vec::new(),
                 live_tasks: 0,
                 rng: StdRng::seed_from_u64(seed),
                 events_processed: 0,
                 events_reported: 0,
+                cascades_reported: 0,
                 tracer: None,
             })),
             wakes: Arc::new(WakeQueue::default()),
@@ -535,19 +527,20 @@ impl Sim {
             while self.drain_wakes() {}
 
             // 2. Advance the clock to the next event.
-            let ev = {
+            let kind = {
                 let mut k = self.k.borrow_mut();
-                match k.heap.pop() {
-                    Some(Reverse(ev)) => {
-                        debug_assert!(ev.at >= k.now, "event heap time went backwards");
-                        k.now = ev.at;
+                match k.queue.pop() {
+                    Some((at_ps, kind)) => {
+                        let at = SimTime(at_ps);
+                        debug_assert!(at >= k.now, "event time went backwards");
+                        k.now = at;
                         k.events_processed += 1;
-                        ev
+                        kind
                     }
                     None => break,
                 }
             };
-            match ev.kind {
+            match kind {
                 EvKind::Wake(id) => self.poll_task(id),
                 EvKind::Timer(w) => w.wake(),
                 EvKind::Call(f) => f(self),
@@ -571,7 +564,7 @@ impl Sim {
                 // observability layer: a deadlock panic from a sweep
                 // worker carries its own telemetry).
                 let diag = self.tr.as_ref().map(|tr| DeadlockDiag {
-                    pending_events: k.heap.len(),
+                    pending_events: k.queue.len(),
                     wake_queue: self.wakes.state.lock().unwrap().ready.len(),
                     live_tasks: k.live_tasks,
                     events_processed: k.events_processed,
@@ -587,10 +580,13 @@ impl Sim {
         let mut k = self.k.borrow_mut();
         let delta = k.events_processed - k.events_reported;
         k.events_reported = k.events_processed;
+        let cascades = k.queue.cascades() - k.cascades_reported;
+        k.cascades_reported = k.queue.cascades();
         THREAD_EVENTS.with(|c| c.set(c.get() + delta));
         drop(k);
         if let Some(tr) = &self.tr {
             tr.add("sim.events", delta);
+            tr.add("wheel.cascades", cascades);
         }
         result
     }
@@ -660,9 +656,7 @@ impl Sim {
 
 impl Kernel {
     fn push(&mut self, at: SimTime, kind: EvKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse(Ev { at, seq, kind }));
+        self.queue.push(at.as_ps(), kind);
     }
 }
 
@@ -855,17 +849,23 @@ mod tests {
     fn tracer_records_task_lifecycle() {
         let tr = elanib_trace::Tracer::forced(9);
         let sim = Sim::with_tracer(9, tr.clone());
-        let s = sim.clone();
-        sim.spawn("worker", async move {
-            s.sleep(Dur::from_us(4)).await;
-        });
+        // Two timers 1 ns apart at 4 µs out: they share a coarse wheel
+        // bucket, so dispatching them forces a real (multi-entry)
+        // cascade — singleton buckets short-circuit without cascading.
+        for d in [Dur::from_us(4), Dur::from_ns(4001)] {
+            let s = sim.clone();
+            sim.spawn("worker", async move {
+                s.sleep(d).await;
+            });
+        }
         sim.run().unwrap();
-        assert_eq!(tr.counter("sim.tasks_spawned"), 1);
-        assert_eq!(tr.counter("sim.tasks_completed"), 1);
-        assert!(tr.counter("sim.timers") >= 1);
+        assert_eq!(tr.counter("sim.tasks_spawned"), 2);
+        assert_eq!(tr.counter("sim.tasks_completed"), 2);
+        assert!(tr.counter("sim.timers") >= 2);
         assert!(tr.counter("sim.events") > 0);
-        // One task-lifetime span was recorded.
-        assert_eq!(tr.event_count(), 1);
+        assert!(tr.counter("wheel.cascades") >= 2);
+        // One task-lifetime span per task was recorded.
+        assert_eq!(tr.event_count(), 2);
     }
 
     #[test]
@@ -941,6 +941,40 @@ mod tests {
         gate.set();
         sim.run().unwrap();
         assert_eq!(polls_b.get(), 1);
+    }
+
+    #[test]
+    fn wake_dedup_survives_generation_wraparound() {
+        // Regression: with u32 marks, a slot whose generation reached
+        // u32::MAX produced mark `gen + 1 == 0` — the not-queued
+        // sentinel — so its first wake looked already-queued and was
+        // silently dropped (a lost wakeup). The u64 marks can't wrap.
+        use std::task::Wake;
+        let queue = Arc::new(WakeQueue::default());
+        let waker = Arc::new(TaskWaker {
+            queue: queue.clone(),
+            id: TaskId {
+                idx: 0,
+                gen: u32::MAX,
+            },
+        });
+        waker.wake_by_ref();
+        assert_eq!(
+            queue.state.lock().unwrap().ready.len(),
+            1,
+            "first wake at gen == u32::MAX must enqueue"
+        );
+        // A duplicate wake before the drain still dedups.
+        waker.wake_by_ref();
+        assert_eq!(queue.state.lock().unwrap().ready.len(), 1);
+        // And a wake for a different generation of the same slot is
+        // not confused with it.
+        let other = Arc::new(TaskWaker {
+            queue: queue.clone(),
+            id: TaskId { idx: 0, gen: 0 },
+        });
+        other.wake_by_ref();
+        assert_eq!(queue.state.lock().unwrap().ready.len(), 2);
     }
 
     #[test]

@@ -51,10 +51,12 @@
 //! sim.run().unwrap();
 //! ```
 
+pub mod fxhash;
 pub mod kernel;
 pub mod resources;
 pub mod sync;
 pub mod time;
+pub mod wheel;
 
 /// Re-export of the tracing/metrics crate so model crates can name
 /// tracer types (`trace::Tracer`, `trace::TraceConfig`) without their
@@ -62,7 +64,9 @@ pub mod time;
 /// [`Sim::tracer`](kernel::Sim::tracer).
 pub use elanib_trace as trace;
 
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use kernel::{thread_events, DeadlockDiag, Delay, Sim, SimError, StuckTask, TaskId};
 pub use resources::{ChannelStats, FifoChannel, PsResource};
 pub use sync::{Flag, Mailbox, Semaphore};
 pub use time::{Dur, SimTime};
+pub use wheel::TimerWheel;

@@ -7,6 +7,10 @@
 #      warning-free; don't let it regress)
 #   4. exhibit-determinism smoke check (regen_all.sh --smoke diffs the
 #      fast exhibit subset against the committed results/)
+#   5. point-cache consistency smoke: regenerate one simulation-backed
+#      exhibit twice against a scratch ELANIB_CACHE_DIR and assert the
+#      second (warm) run is answered by the cache and produces a
+#      byte-identical CSV
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -23,5 +27,23 @@ cargo clippy --workspace --all-targets --quiet -- -D warnings
 
 echo "== determinism smoke check =="
 scripts/regen_all.sh --smoke
+
+echo "== point-cache consistency smoke =="
+cache_tmp="$(mktemp -d)"
+trap 'rm -rf "$cache_tmp"' EXIT
+mkdir -p "$cache_tmp/cold" "$cache_tmp/warm"
+ELANIB_RESULTS_DIR="$cache_tmp/cold" ELANIB_CACHE_DIR="$cache_tmp/cache" \
+    ./target/release/fig2 > /dev/null 2> "$cache_tmp/cold.log"
+ELANIB_RESULTS_DIR="$cache_tmp/warm" ELANIB_CACHE_DIR="$cache_tmp/cache" \
+    ./target/release/fig2 > /dev/null 2> "$cache_tmp/warm.log"
+grep -q "cache 0 hits" "$cache_tmp/cold.log" \
+    || { echo "FAIL: cold run unexpectedly hit the cache" >&2; cat "$cache_tmp/cold.log" >&2; exit 1; }
+grep -q "100% hit rate" "$cache_tmp/warm.log" \
+    || { echo "FAIL: warm run did not hit the cache" >&2; cat "$cache_tmp/warm.log" >&2; exit 1; }
+cmp "$cache_tmp/cold/fig2_ljs.csv" "$cache_tmp/warm/fig2_ljs.csv" \
+    || { echo "FAIL: warm-cache fig2 CSV differs from cold" >&2; exit 1; }
+cmp "$cache_tmp/cold/fig2_ljs.csv" results/fig2_ljs.csv \
+    || { echo "FAIL: cached fig2 CSV differs from committed results/" >&2; exit 1; }
+echo "cache smoke OK: warm run fully cache-answered, CSVs byte-identical"
 
 echo "CI OK"

@@ -12,7 +12,12 @@
 # Environment:
 #   ELANIB_SWEEP_THREADS  sweep-engine pool width (default: all cores;
 #                         results are identical at any setting)
-#   ELANIB_BENCH_JSON     optional JSON-lines file for sweep perf records
+#   ELANIB_BENCH_JSON     optional JSON-lines file for sweep + regen
+#                         perf records (see EXPERIMENTS.md)
+#   ELANIB_CACHE_DIR      persistent point-cache directory: a warm rerun
+#                         skips already-simulated sweep points entirely;
+#                         the CSV diff must still pass warm or cold
+#   ELANIB_CACHE=off      disable the point cache (memo tier included)
 #   ELANIB_TRACE / ELANIB_METRICS  also emit Chrome traces / metrics
 #                         summaries per exhibit (see EXPERIMENTS.md);
 #                         the CSV diff must still pass with these set
@@ -34,10 +39,19 @@ cargo build --release --workspace --quiet
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
 
+# Each exhibit binary reports one "[regen <exhibit>: …]" stderr line per
+# emitted table — wall time plus point-cache hit rate — on top of the
+# shell-level per-binary wall time printed here.
+total_start=$(date +%s%N)
 for b in $BINS; do
     echo "== regenerating $b =="
+    t0=$(date +%s%N)
     ELANIB_RESULTS_DIR="$out" "./target/release/$b" > "$out/$b.txt"
+    t1=$(date +%s%N)
+    echo "== $b done in $(( (t1 - t0) / 1000000 )) ms =="
 done
+total_end=$(date +%s%N)
+echo "== all exhibits regenerated in $(( (total_end - total_start) / 1000000 )) ms =="
 
 status=0
 n_cmp=0
