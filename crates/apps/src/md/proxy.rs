@@ -231,7 +231,9 @@ pub fn md_step_time_cfg(
 ) -> f64 {
     // The point is pure in (network, problem, nodes, ppn, cfg) — the
     // seed is fixed — so it is content-addressable.
-    elanib_core::simcache::get_or_compute("md.step", &(network, problem, nodes, ppn, *cfg), || {
+    // `cfg` is part of the key; its Debug form includes any fault plan,
+    // so fault-injected points never alias clean ones.
+    elanib_core::simcache::get_or_compute("md.step", &(network, problem, nodes, ppn, cfg.clone()), || {
         let out = Rc::new(Cell::new(0.0));
         let check = Rc::new(Cell::new(0.0));
         elanib_mpi::run_job_configured(

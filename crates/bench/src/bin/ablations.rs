@@ -36,32 +36,32 @@ fn main() {
     let base = NetConfig::default();
 
     let mut variants: Vec<(&str, Network, NetConfig)> = vec![
-        ("InfiniBand (stock MVAPICH)", Network::InfiniBand, base),
-        ("Quadrics Elan-4 (stock)", Network::Elan4, base),
+        ("InfiniBand (stock MVAPICH)", Network::InfiniBand, base.clone()),
+        ("Quadrics Elan-4 (stock)", Network::Elan4, base.clone()),
     ];
     // IB + independent progress.
-    let mut c = base;
+    let mut c = base.clone();
     c.verbs.async_progress = true;
     variants.push(("IB + async progress engine", Network::InfiniBand, c));
     // IB + free registration.
-    let mut c = base;
+    let mut c = base.clone();
     c.hca.reg_base = Dur::ZERO;
     c.hca.reg_per_page = Dur::ZERO;
     c.verbs.reg_check = Dur::ZERO;
     variants.push(("IB + free (implicit) registration", Network::InfiniBand, c));
     // IB + deep eager threshold.
-    let mut c = base;
+    let mut c = base.clone();
     c.verbs.eager_threshold = 16 * 1024;
     variants.push(("IB + 16 KB eager threshold", Network::InfiniBand, c));
     // IB + both headline mechanisms.
-    let mut c = base;
+    let mut c = base.clone();
     c.verbs.async_progress = true;
     c.hca.reg_base = Dur::ZERO;
     c.hca.reg_per_page = Dur::ZERO;
     c.verbs.reg_check = Dur::ZERO;
     variants.push(("IB + async progress + free registration", Network::InfiniBand, c));
     // Elan + explicit registration.
-    let mut c = base;
+    let mut c = base.clone();
     c.tports.explicit_registration = true;
     variants.push(("Elan-4 + explicit registration", Network::Elan4, c));
 
@@ -73,8 +73,8 @@ fn main() {
         .flat_map(|v| [(v, 1usize), (v, nodes)])
         .collect();
     let (times, var_stats) = sweep_with_stats(&grid, |&(v, n)| {
-        let (_, net, cfg) = variants[v];
-        md_step_time_cfg(net, p, n, ppn, &cfg)
+        let (_, net, ref cfg) = variants[v];
+        md_step_time_cfg(net, p, n, ppn, cfg)
     });
 
     let mut t = TextTable::new(vec![

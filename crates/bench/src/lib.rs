@@ -68,10 +68,11 @@ fn record_regen(name: &str) {
         simcache::Mode::Disk(_) => "disk",
     };
     eprintln!(
-        "[regen {name}: {:.2} s wall, cache {} hits / {} misses ({:.0}% hit rate, mode {mode})]",
+        "[regen {name}: {:.2} s wall, cache {} hits / {} misses / {} corrupt ({:.0}% hit rate, mode {mode})]",
         wall.as_secs_f64(),
         delta.hits,
         delta.misses,
+        delta.corrupt,
         delta.hit_rate() * 100.0,
     );
     if let Ok(path) = std::env::var("ELANIB_BENCH_JSON") {
@@ -81,12 +82,13 @@ fn record_regen(name: &str) {
                 .map(|d| d.as_secs())
                 .unwrap_or(0);
             let line = format!(
-                "{{\"kind\":\"regen\",\"exhibit\":\"{}\",\"wall_s\":{:.6},\"cache_mode\":\"{mode}\",\"cache_hits\":{},\"cache_misses\":{},\"cache_stores\":{},\"hit_rate\":{:.4},\"unix_ts\":{ts}}}",
+                "{{\"kind\":\"regen\",\"exhibit\":\"{}\",\"wall_s\":{:.6},\"cache_mode\":\"{mode}\",\"cache_hits\":{},\"cache_misses\":{},\"cache_stores\":{},\"cache_corrupt\":{},\"hit_rate\":{:.4},\"unix_ts\":{ts}}}",
                 name.replace('\\', "\\\\").replace('"', "\\\""),
                 wall.as_secs_f64(),
                 delta.hits,
                 delta.misses,
                 delta.stores,
+                delta.corrupt,
                 delta.hit_rate(),
             );
             let _ =
@@ -100,6 +102,9 @@ fn record_regen(name: &str) {
                 tr.add("cache.hits", delta.hits);
                 tr.add("cache.misses", delta.misses);
                 tr.add("cache.stores", delta.stores);
+                if delta.corrupt > 0 {
+                    tr.add("cache.corrupt", delta.corrupt);
+                }
             }
         }
     }
@@ -240,6 +245,178 @@ pub fn md_figure(id: &str, name: &str, problem: elanib_apps::md::MdProblem) {
     let (t, stats) = md_figure_table(problem, &STUDY_NODES);
     emit(id, name, &t);
     report_sweep(name, &stats);
+}
+
+/// Loss rates of the fault-injection latency study. Index 0 is the
+/// clean baseline (an effectless plan, byte-identical to no plan).
+pub const FAULT_RATES: [f64; 4] = [0.0, 1e-3, 1e-2, 3e-2];
+
+/// Message sizes of the fault-injection latency study.
+pub const FAULT_SIZES: [u64; 3] = [64, 4096, 65_536];
+
+fn fault_cell(p: &elanib_microbench::FaultPoint) -> String {
+    use elanib_core::f;
+    if p.failed {
+        "QP-ERR".to_string()
+    } else {
+        f(p.latency_us)
+    }
+}
+
+fn fault_slowdown(p: &elanib_microbench::FaultPoint, base: &elanib_microbench::FaultPoint) -> String {
+    use elanib_core::f;
+    if p.failed || base.latency_us <= 0.0 {
+        "-".to_string()
+    } else {
+        f(p.latency_us / base.latency_us)
+    }
+}
+
+/// The fault-rate × message-size latency grid: ping-pong on both
+/// networks under seeded per-packet loss. Shows Elan's link-level
+/// retry degrading latency by microseconds while IB's end-to-end ACK
+/// timeout cliffs it by orders of magnitude — and, at the most
+/// aggressive rate, kills the QP outright (`QP-ERR` cells).
+///
+/// The whole `rate × size × network` grid is ONE flattened sweep;
+/// rates enter as indices into a prebuilt plan table so the sweep
+/// items stay integer-valued (`f64` grid values would leak formatting
+/// into the cache keys).
+pub fn faults_latency_table() -> (TextTable, elanib_core::SweepStats) {
+    use elanib_core::f;
+    use elanib_fabric::FaultPlan;
+    use elanib_microbench::fault_pingpong;
+    use elanib_mpi::Network;
+    use std::sync::Arc;
+
+    let iters = 30u32;
+    let plans: Vec<Arc<FaultPlan>> = FAULT_RATES
+        .iter()
+        .map(|&r| Arc::new(FaultPlan::parse(&format!("loss={r},seed=11")).unwrap()))
+        .collect();
+    let jobs: Vec<(Network, usize, u64)> = Network::BOTH
+        .iter()
+        .flat_map(|&net| {
+            (0..FAULT_RATES.len())
+                .flat_map(move |ri| FAULT_SIZES.iter().map(move |&b| (net, ri, b)))
+        })
+        .collect();
+    let plans_ref = &plans;
+    let (points, stats) = elanib_core::sweep_with_stats(&jobs, |&(net, ri, bytes)| {
+        fault_pingpong(net, bytes, iters, &plans_ref[ri])
+    });
+    // points[net_idx * rates*sizes + ri * sizes + si]
+    let idx = |net: usize, ri: usize, si: usize| {
+        net * FAULT_RATES.len() * FAULT_SIZES.len() + ri * FAULT_SIZES.len() + si
+    };
+    let mut t = TextTable::new(vec![
+        "bytes",
+        "loss rate",
+        "IB us",
+        "Elan us",
+        "IB slowdown",
+        "Elan slowdown",
+        "IB retransmits",
+        "Elan link retries",
+    ]);
+    for (ri, &rate) in FAULT_RATES.iter().enumerate() {
+        for (si, &bytes) in FAULT_SIZES.iter().enumerate() {
+            let ib = &points[idx(0, ri, si)];
+            let el = &points[idx(1, ri, si)];
+            let (ib0, el0) = (&points[idx(0, 0, si)], &points[idx(1, 0, si)]);
+            t.row(vec![
+                bytes.to_string(),
+                f(rate),
+                fault_cell(ib),
+                fault_cell(el),
+                fault_slowdown(ib, ib0),
+                fault_slowdown(el, el0),
+                ib.retries.to_string(),
+                el.retries.to_string(),
+            ]);
+        }
+    }
+    (t, stats)
+}
+
+/// The link-outage recovery study: stream 100 × 64 KiB across the full
+/// diameter of a 16-node fabric while a link on the clean static route
+/// goes down for 1 ms / 3 ms. Elan's adaptive routing detours around
+/// the outage (reroutes > 0, near-clean time); InfiniBand's static
+/// route stalls on timeout-paced whole-message retransmits.
+pub fn faults_outage_table() -> (TextTable, elanib_core::SweepStats) {
+    use elanib_core::f;
+    use elanib_fabric::{elan_fabric, ib_fabric, FaultPlan};
+    use elanib_microbench::outage_stream;
+    use elanib_mpi::Network;
+    use std::sync::Arc;
+
+    let (msgs, bytes) = (100u32, 65_536u64);
+    const OUTAGE_US: [u64; 3] = [0, 1_000, 3_000]; // 0 = clean baseline
+    // Fault the first switch-side link on each network's own clean
+    // 0 -> 15 route, so the outage provably intersects the static path.
+    let probe_edge = |net: Network| -> usize {
+        let fabric = match net {
+            Network::InfiniBand => ib_fabric(16),
+            Network::Elan4 => elan_fabric(16),
+        };
+        fabric.routes().path(0, 15)[1]
+    };
+    let plans: Vec<Arc<FaultPlan>> = Network::BOTH
+        .iter()
+        .flat_map(|&net| {
+            let edge = probe_edge(net);
+            OUTAGE_US.iter().map(move |&us| {
+                // Start at 2 ms: past InfiniBand's per-peer QP setup
+                // (~2.25 ms at 16 nodes), so the window intersects the
+                // data phase of both networks' streams.
+                let spec = if us == 0 {
+                    "loss=0,seed=11".to_string()
+                } else {
+                    format!("outage=link{edge}@2ms+{us}us,seed=11")
+                };
+                Arc::new(FaultPlan::parse(&spec).unwrap())
+            })
+        })
+        .collect();
+    let jobs: Vec<(Network, usize)> = Network::BOTH
+        .iter()
+        .flat_map(|&net| (0..OUTAGE_US.len()).map(move |oi| (net, oi)))
+        .collect();
+    let plans_ref = &plans;
+    let (points, stats) = elanib_core::sweep_with_stats(&jobs, |&(net, oi)| {
+        let pi = match net {
+            Network::InfiniBand => oi,
+            Network::Elan4 => OUTAGE_US.len() + oi,
+        };
+        outage_stream(net, msgs, bytes, &plans_ref[pi])
+    });
+    let idx = |net: usize, oi: usize| net * OUTAGE_US.len() + oi;
+    let mut t = TextTable::new(vec![
+        "network",
+        "outage ms",
+        "stream time us",
+        "slowdown",
+        "reroutes",
+        "outage waits",
+        "retries",
+    ]);
+    for (ni, net) in Network::BOTH.iter().enumerate() {
+        let base = &points[idx(ni, 0)];
+        for (oi, &us) in OUTAGE_US.iter().enumerate() {
+            let p = &points[idx(ni, oi)];
+            t.row(vec![
+                net.label().to_string(),
+                f(us as f64 / 1e3),
+                fault_cell(p),
+                fault_slowdown(p, base),
+                p.reroutes.to_string(),
+                p.outage_waits.to_string(),
+                p.retries.to_string(),
+            ]);
+        }
+    }
+    (t, stats)
 }
 
 #[cfg(test)]

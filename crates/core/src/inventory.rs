@@ -124,6 +124,13 @@ pub const EXHIBITS: &[Exhibit] = &[
         modules: "elanib-mpi (async_progress, explicit_registration), elanib-apps::md",
         bin: "ablations",
     },
+    Exhibit {
+        id: "Faults",
+        title: "Fault injection: link-level vs end-to-end recovery (§3.1)",
+        workload: "seeded loss/outage plans; ping-pong grid + 16-node stream",
+        modules: "elanib-fabric::faults, elanib-nic::transfer, elanib-microbench::faultpoint",
+        bin: "faults",
+    },
 ];
 
 /// Look up an exhibit by id.
@@ -145,8 +152,9 @@ mod tests {
         ] {
             assert!(exhibit(id).is_some(), "missing exhibit {id}");
         }
-        assert_eq!(EXHIBITS.len(), 15);
+        assert_eq!(EXHIBITS.len(), 16);
         assert!(exhibit("Ablations (§7)").is_some());
+        assert!(exhibit("Faults").is_some());
     }
 
     #[test]

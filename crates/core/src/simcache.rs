@@ -120,6 +120,7 @@ pub fn mode() -> Mode {
 static HITS: AtomicU64 = AtomicU64::new(0);
 static MISSES: AtomicU64 = AtomicU64::new(0);
 static STORES: AtomicU64 = AtomicU64::new(0);
+static CORRUPT: AtomicU64 = AtomicU64::new(0);
 
 /// Cumulative process-wide lookup counts. Callers wanting per-exhibit
 /// numbers sample before/after and subtract.
@@ -128,6 +129,9 @@ pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
     pub stores: u64,
+    /// Disk entries rejected by integrity checks (bad magic, short
+    /// read, checksum mismatch) and silently recomputed.
+    pub corrupt: u64,
 }
 
 impl CacheStats {
@@ -136,6 +140,7 @@ impl CacheStats {
             hits: self.hits - earlier.hits,
             misses: self.misses - earlier.misses,
             stores: self.stores - earlier.stores,
+            corrupt: self.corrupt - earlier.corrupt,
         }
     }
 
@@ -155,6 +160,7 @@ pub fn stats() -> CacheStats {
         hits: HITS.load(Ordering::Relaxed),
         misses: MISSES.load(Ordering::Relaxed),
         stores: STORES.load(Ordering::Relaxed),
+        corrupt: CORRUPT.load(Ordering::Relaxed),
     }
 }
 
@@ -229,9 +235,25 @@ pub fn clear_memo() {
 /// version.
 fn key_of<P: Debug + ?Sized>(domain: &str, params: &P) -> String {
     format!(
-        "{domain}|v{}|{params:?}",
-        env!("CARGO_PKG_VERSION")
+        "{domain}|v{}|{params:?}{}",
+        env!("CARGO_PKG_VERSION"),
+        faults_key_suffix()
     )
+}
+
+/// Environment-driven fault plans change every simulated number
+/// without appearing in any parameter struct, so `ELANIB_FAULTS` is
+/// folded into the key (explicit `NetConfig::faults` plans already
+/// show up in the params `Debug` rendering). Read once per process,
+/// like the mode.
+fn faults_key_suffix() -> &'static str {
+    static SUFFIX: LazyLock<String> = LazyLock::new(|| {
+        match std::env::var("ELANIB_FAULTS") {
+            Ok(v) if !v.is_empty() => format!("|faults:{v}"),
+            _ => String::new(),
+        }
+    });
+    &SUFFIX
 }
 
 fn hash_of(key: &str) -> u64 {
@@ -240,20 +262,58 @@ fn hash_of(key: &str) -> u64 {
     h.finish()
 }
 
-/// On-disk entry layout: `[key_len: u32 LE][key bytes][value bytes]`.
-/// The embedded key guards against 64-bit filename-hash collisions.
+/// On-disk entry layout:
+/// `[magic "ELC2"][key_len: u32 LE][key bytes][value bytes][FxHash64 LE]`.
+/// The trailing checksum covers everything before it, so truncation,
+/// bit rot, and format drift are all detected; the embedded key guards
+/// against 64-bit filename-hash collisions.
+const DISK_MAGIC: &[u8; 4] = b"ELC2";
+
 fn disk_path(dir: &Path, domain: &str, key: &str) -> PathBuf {
     dir.join(format!("{domain}-{:016x}.bin", hash_of(key)))
 }
 
-fn disk_read(path: &Path, key: &str) -> Option<Vec<u8>> {
-    let raw = fs::read(path).ok()?;
-    let (len_bytes, rest) = raw.split_first_chunk::<4>()?;
-    let key_len = u32::from_le_bytes(*len_bytes) as usize;
-    if rest.len() < key_len || &rest[..key_len] != key.as_bytes() {
-        return None; // truncated, or a different point hashed here
+fn blob_checksum(body: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(body);
+    h.finish()
+}
+
+/// Validate framing and checksum; returns `(embedded key, value)`.
+fn verify_entry(raw: &[u8]) -> Option<(&[u8], &[u8])> {
+    if raw.len() < 4 + 4 + 8 || &raw[..4] != DISK_MAGIC {
+        return None;
     }
-    Some(rest[key_len..].to_vec())
+    let (body, sum) = raw.split_at(raw.len() - 8);
+    if blob_checksum(body) != u64::from_le_bytes(sum.try_into().unwrap()) {
+        return None;
+    }
+    let key_len = u32::from_le_bytes(body[4..8].try_into().unwrap()) as usize;
+    let rest = &body[8..];
+    if rest.len() < key_len {
+        return None;
+    }
+    Some((&rest[..key_len], &rest[key_len..]))
+}
+
+fn disk_read(path: &Path, key: &str) -> Option<Vec<u8>> {
+    // Absent entry: a plain miss, not damage.
+    let raw = fs::read(path).ok()?;
+    let Some((entry_key, value)) = verify_entry(&raw) else {
+        // Truncated / bit-flipped / pre-checksum format: recompute
+        // silently (the store overwrites the bad entry) but leave an
+        // audit trail.
+        CORRUPT.fetch_add(1, Ordering::Relaxed);
+        eprintln!(
+            "[simcache] corrupt cache entry {} — ignoring and recomputing",
+            path.display()
+        );
+        return None;
+    };
+    if entry_key != key.as_bytes() {
+        return None; // intact entry for a different point (hash collision)
+    }
+    Some(value.to_vec())
 }
 
 fn disk_write(path: &Path, key: &str, value: &[u8]) {
@@ -264,10 +324,13 @@ fn disk_write(path: &Path, key: &str, value: &[u8]) {
     if fs::create_dir_all(dir).is_err() {
         return;
     }
-    let mut blob = Vec::with_capacity(4 + key.len() + value.len());
+    let mut blob = Vec::with_capacity(4 + 4 + key.len() + value.len() + 8);
+    blob.extend_from_slice(DISK_MAGIC);
     blob.extend_from_slice(&(key.len() as u32).to_le_bytes());
     blob.extend_from_slice(key.as_bytes());
     blob.extend_from_slice(value);
+    let sum = blob_checksum(&blob);
+    blob.extend_from_slice(&sum.to_le_bytes());
     // Atomic publish: concurrent sweep threads and concurrent regen
     // processes may store the same point; rename makes readers see
     // either nothing or a complete entry.
@@ -401,15 +464,61 @@ mod tests {
         let v: f64 = get_or_compute(&domain, &7u64, || unreachable!("disk hit expected"));
         assert_eq!(v, 3.25);
 
-        // A corrupted entry (wrong embedded key) is a miss, not a
-        // wrong answer.
+        // An intact entry whose embedded key names a different point
+        // (filename-hash collision) is a plain miss, not corruption.
         MEMO.lock().unwrap().remove(&key);
-        let mut blob = (3u32).to_le_bytes().to_vec();
-        blob.extend_from_slice(b"xyz");
-        put_f64(&mut blob, 99.0);
-        fs::write(&path, blob).unwrap();
+        let corrupt_before = stats().corrupt;
+        disk_write(&path, "other|key", &99.0f64.encode());
         let v: f64 = get_or_compute(&domain, &7u64, || 3.25);
         assert_eq!(v, 3.25);
+        assert_eq!(stats().corrupt, corrupt_before, "collision is not corruption");
+
+        set_override(None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_and_truncation_are_detected_and_recomputed() {
+        let _g = LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!(
+            "elanib-simcache-test-{}-{}",
+            std::process::id(),
+            unique_domain("c")
+        ));
+        set_override(Some(Mode::Disk(dir.clone())));
+        let domain = unique_domain("corrupt");
+        let key = key_of(&domain, &11u64);
+        let path = disk_path(&dir, &domain, &key);
+
+        let v: f64 = get_or_compute(&domain, &11u64, || 1.75);
+        assert_eq!(v, 1.75);
+
+        // Flip one bit in the stored value region: the checksum must
+        // reject the entry, the point recomputes, and the recomputed
+        // answer is byte-identical to the original.
+        let mut blob = fs::read(&path).unwrap();
+        let mid = blob.len() - 10; // inside the value bytes
+        blob[mid] ^= 0x40;
+        fs::write(&path, &blob).unwrap();
+        MEMO.lock().unwrap().remove(&key);
+        let corrupt_before = stats().corrupt;
+        let v: f64 = get_or_compute(&domain, &11u64, || 1.75);
+        assert_eq!(v, 1.75);
+        assert_eq!(stats().corrupt, corrupt_before + 1);
+        // The recompute overwrote the damaged entry; a fresh lookup is
+        // a clean disk hit again.
+        MEMO.lock().unwrap().remove(&key);
+        let v: f64 = get_or_compute(&domain, &11u64, || unreachable!("disk hit expected"));
+        assert_eq!(v, 1.75);
+
+        // Truncation (e.g. a torn write surviving a crash) is also
+        // corruption, not a wrong answer.
+        let blob = fs::read(&path).unwrap();
+        fs::write(&path, &blob[..blob.len() / 2]).unwrap();
+        MEMO.lock().unwrap().remove(&key);
+        let v: f64 = get_or_compute(&domain, &11u64, || 1.75);
+        assert_eq!(v, 1.75);
+        assert_eq!(stats().corrupt, corrupt_before + 2);
 
         set_override(None);
         let _ = fs::remove_dir_all(&dir);

@@ -54,6 +54,9 @@ pub struct SweepStats {
     pub events: u64,
     /// Wall-clock duration of the whole sweep.
     pub wall: Duration,
+    /// Points that panicked and were isolated (always 0 unless the
+    /// sweep ran with [`SweepOpts::isolate_panics`]).
+    pub failed: usize,
 }
 
 impl SweepStats {
@@ -75,6 +78,7 @@ impl SweepStats {
         self.events += other.events;
         self.wall += other.wall;
         self.threads = self.threads.max(other.threads);
+        self.failed += other.failed;
     }
 
     /// Append a `{"kind":"sweep",...}` JSON record for this sweep to
@@ -98,11 +102,12 @@ impl SweepStats {
             .map(|d| d.as_secs())
             .unwrap_or(0);
         let line = format!(
-            "{{\"kind\":\"sweep\",\"label\":\"{}\",\"jobs\":{},\"threads\":{},\"events\":{},\"wall_s\":{:.6},\"events_per_sec\":{:.1},\"unix_ts\":{}}}",
+            "{{\"kind\":\"sweep\",\"label\":\"{}\",\"jobs\":{},\"threads\":{},\"events\":{},\"failed\":{},\"wall_s\":{:.6},\"events_per_sec\":{:.1},\"unix_ts\":{}}}",
             label.replace('\\', "\\\\").replace('"', "\\\""),
             self.jobs,
             self.threads,
             self.events,
+            self.failed,
             self.wall.as_secs_f64(),
             self.events_per_sec(),
             ts
@@ -210,8 +215,91 @@ where
         threads,
         events: events.into_inner(),
         wall: t0.elapsed(),
+        failed: 0,
     };
     (results, stats)
+}
+
+/// Execution options for [`sweep_with_opts`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SweepOpts {
+    /// Catch a panicking point instead of propagating it: the point
+    /// becomes [`PointResult::Failed`], every other point still runs,
+    /// and the failure count lands in [`SweepStats::failed`] (and the
+    /// JSONL perf record). Off by default — a panic in a *trusted*
+    /// exhibit grid is a bug and should abort loudly.
+    pub isolate_panics: bool,
+}
+
+/// Outcome of one sweep point under [`SweepOpts::isolate_panics`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum PointResult<T> {
+    Ok(T),
+    /// The point panicked. `payload` is the panic message;
+    /// `params_hash` fingerprints the item's `Debug` form so a driver
+    /// can report *which* grid cell died without carrying the item.
+    Failed { payload: String, params_hash: u64 },
+}
+
+impl<T> PointResult<T> {
+    pub fn ok(self) -> Option<T> {
+        match self {
+            PointResult::Ok(t) => Some(t),
+            PointResult::Failed { .. } => None,
+        }
+    }
+
+    pub fn is_failed(&self) -> bool {
+        matches!(self, PointResult::Failed { .. })
+    }
+}
+
+/// Fingerprint a sweep item for failure reports.
+fn params_hash<I: std::fmt::Debug>(item: &I) -> u64 {
+    use std::hash::Hasher;
+    let mut h = elanib_simcore::FxHasher::default();
+    h.write(format!("{item:?}").as_bytes());
+    h.finish()
+}
+
+/// [`sweep_with_stats`] with per-point panic isolation available. With
+/// `opts.isolate_panics` a panicking job is caught on its worker
+/// thread, recorded as [`PointResult::Failed`], and the sweep finishes
+/// every remaining point; without it the semantics are exactly
+/// [`sweep_with_stats`] (panics propagate after the scope joins).
+pub fn sweep_with_opts<I, T, F>(items: &[I], opts: SweepOpts, f: F) -> (Vec<PointResult<T>>, SweepStats)
+where
+    I: Sync + std::fmt::Debug,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    if !opts.isolate_panics {
+        let (out, stats) = sweep_with_stats(items, f);
+        return (out.into_iter().map(PointResult::Ok).collect(), stats);
+    }
+    let failed = AtomicUsize::new(0);
+    let (out, mut stats) = sweep_with_stats(items, |item| {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))) {
+            Ok(t) => PointResult::Ok(t),
+            Err(p) => {
+                let payload = if let Some(s) = p.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = p.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                failed.fetch_add(1, Ordering::Relaxed);
+                eprintln!("[sweep] point {item:?} failed: {payload}");
+                PointResult::Failed {
+                    payload,
+                    params_hash: params_hash(item),
+                }
+            }
+        }
+    });
+    stats.failed = failed.into_inner();
+    (out, stats)
 }
 
 #[cfg(test)]
@@ -291,17 +379,58 @@ mod tests {
             threads: 4,
             events: 100,
             wall: Duration::from_millis(10),
+            failed: 1,
         };
         let b = SweepStats {
             jobs: 3,
             threads: 2,
             events: 50,
             wall: Duration::from_millis(5),
+            failed: 2,
         };
         a.absorb(&b);
         assert_eq!(a.jobs, 5);
         assert_eq!(a.events, 150);
         assert_eq!(a.threads, 4);
         assert_eq!(a.wall, Duration::from_millis(15));
+        assert_eq!(a.failed, 3);
+    }
+
+    #[test]
+    fn isolated_panic_completes_every_other_point() {
+        let items: Vec<u32> = (0..12).collect();
+        let opts = SweepOpts {
+            isolate_panics: true,
+        };
+        let (out, stats) = sweep_with_opts(&items, opts, |&i| {
+            if i == 5 {
+                panic!("boom at {i}");
+            }
+            i * 2
+        });
+        assert_eq!(out.len(), 12);
+        assert_eq!(stats.failed, 1);
+        for (i, r) in out.into_iter().enumerate() {
+            if i == 5 {
+                match r {
+                    PointResult::Failed { payload, params_hash } => {
+                        assert!(payload.contains("boom at 5"), "{payload}");
+                        assert_eq!(params_hash, super::params_hash(&5u32));
+                    }
+                    PointResult::Ok(_) => panic!("point 5 should have failed"),
+                }
+            } else {
+                assert_eq!(r.ok(), Some(i as u32 * 2));
+            }
+        }
+    }
+
+    #[test]
+    fn opts_without_isolation_match_plain_sweep() {
+        let items: Vec<u32> = (0..6).collect();
+        let (out, stats) = sweep_with_opts(&items, SweepOpts::default(), |&i| i + 1);
+        let flat: Vec<u32> = out.into_iter().map(|r| r.ok().unwrap()).collect();
+        assert_eq!(flat, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(stats.failed, 0);
     }
 }

@@ -9,11 +9,36 @@
 //! messages pay serialization roughly once, not per hop) and
 //! contention (two messages crossing the same directed link serialize).
 
+use std::rc::Rc;
+use std::sync::Arc;
+
 use elanib_simcore::{Dur, FifoChannel, Sim, SimTime};
 
+use crate::faults::{self, FaultPlan, FaultState, FaultStats};
 use crate::params::FabricParams;
 use crate::routing::Routes;
 use crate::topology::Topology;
+
+/// Outcome of one wire attempt under fault injection
+/// ([`Fabric::deliver_attempt`]).
+#[derive(Clone, Copy, Debug)]
+pub enum WireOutcome {
+    /// The message crossed the fabric. `lost`/`corrupted` count the
+    /// packets the fault process hit en route (the *transport* decides
+    /// what that means: IB retransmits the whole message, Elan pays a
+    /// per-packet hardware retry). `rerouted` marks an adaptive detour
+    /// around a downed link; `hops` is the path length actually taken.
+    Delivered {
+        arrives: SimTime,
+        lost: u64,
+        corrupted: u64,
+        hops: u32,
+        rerouted: bool,
+    },
+    /// Every usable route crosses a downed link; `until` is when the
+    /// blocking outage window ends.
+    LinkDown { until: SimTime },
+}
 
 /// A fabric ready to carry traffic in one simulation.
 pub struct Fabric {
@@ -23,20 +48,53 @@ pub struct Fabric {
     /// Two directed channels per undirected edge: `2*edge + dir`,
     /// where `dir = 0` carries a→b and `dir = 1` carries b→a.
     channels: Vec<FifoChannel>,
+    /// Fault-injection state; `None` (the overwhelmingly common case)
+    /// keeps the zero-fault hot path untouched.
+    faults: Option<Rc<FaultState>>,
 }
 
 impl Fabric {
+    /// Build a fabric, picking up the process-wide `ELANIB_FAULTS`
+    /// plan if one is set (see [`faults::env_plan`]).
     pub fn new(topo: Topology, params: FabricParams) -> Fabric {
+        Self::with_faults(topo, params, faults::env_plan())
+    }
+
+    /// Build a fabric with an explicit fault plan (or none). An
+    /// effectless plan is dropped so the fault-free hot path stays
+    /// byte-identical to a plan-free run.
+    pub fn with_faults(
+        topo: Topology,
+        params: FabricParams,
+        plan: Option<Arc<FaultPlan>>,
+    ) -> Fabric {
         let routes = Routes::compute(&topo);
-        let channels = (0..topo.edges.len() * 2)
+        let channels: Vec<FifoChannel> = (0..topo.edges.len() * 2)
             .map(|_| FifoChannel::new(params.link.data_rate, Dur::ZERO))
             .collect();
+        let faults = plan
+            .filter(|p| !p.is_effectless())
+            .map(|p| Rc::new(FaultState::new(p, channels.len())));
         Fabric {
             topo,
             params,
             routes,
             channels,
+            faults,
         }
+    }
+
+    /// The fault-injection state, when a plan is active.
+    pub fn faults(&self) -> Option<&Rc<FaultState>> {
+        self.faults.as_ref()
+    }
+
+    /// End-of-run fault/recovery totals (all-zero when no plan).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults
+            .as_ref()
+            .map(|f| f.stats())
+            .unwrap_or_default()
     }
 
     pub fn n_endpoints(&self) -> usize {
@@ -101,6 +159,139 @@ impl Fabric {
         head + ser
     }
 
+    /// One wire attempt under the active fault plan: like
+    /// [`Fabric::deliver_at`], but the path may cross outage windows
+    /// (→ [`WireOutcome::LinkDown`], or an adaptive detour when
+    /// `adaptive` — the Elan behaviour), links may be degraded
+    /// (serialization stretched by the reciprocal of the factor), and
+    /// each MTU packet is drawn against the loss/corruption rates.
+    ///
+    /// Without an active plan this is exactly `deliver_at` — same
+    /// reservations, same timing, zero extra work.
+    ///
+    /// Modelling notes: outage/degradation windows are evaluated at
+    /// the attempt's start time (windows are µs–ms, message flight
+    /// times ns–µs, so the head never straddles a window edge in
+    /// practice), and a `LinkDown` attempt reserves nothing — the
+    /// message never entered the fabric.
+    pub fn deliver_attempt(
+        &self,
+        sim: &Sim,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        adaptive: bool,
+    ) -> WireOutcome {
+        let fs = match &self.faults {
+            Some(fs) => fs,
+            None => {
+                return WireOutcome::Delivered {
+                    arrives: self.deliver_at(sim, src, dst, bytes),
+                    lost: 0,
+                    corrupted: 0,
+                    hops: self.routes.hops(src, dst),
+                    rerouted: false,
+                }
+            }
+        };
+        assert_ne!(src, dst, "fabric loopback is handled above the NIC");
+        let now = sim.now();
+
+        let mut verts = self.routes.vertex_path(&self.topo, src, dst);
+        let mut edges = self.routes.path(src, dst);
+        let mut rerouted = false;
+        let down_until = edges
+            .iter()
+            .filter_map(|&e| fs.link_down(e, now))
+            .fold(None::<SimTime>, |acc, t| {
+                Some(acc.map_or(t, |a| a.max_t(t)))
+            });
+        if let Some(until) = down_until {
+            let detour = if adaptive {
+                self.routes
+                    .path_avoiding(&self.topo, src, dst, &|e| fs.link_down(e, now).is_some())
+            } else {
+                None
+            };
+            match detour {
+                Some((v, e)) => {
+                    fs.note_reroute();
+                    if let Some(tr) = sim.tracer() {
+                        tr.add("fault.reroutes", 1);
+                    }
+                    verts = v;
+                    edges = e;
+                    rerouted = true;
+                }
+                None => {
+                    fs.note_down_hit();
+                    if let Some(tr) = sim.tracer() {
+                        tr.add("fault.link_down_hits", 1);
+                    }
+                    return WireOutcome::LinkDown { until };
+                }
+            }
+        }
+
+        let wire = self.params.link.wire_bytes(bytes);
+        let ser = self.params.link.serialize(bytes);
+        let hop = self.params.switch.hop_latency;
+        let prop = self.params.link.propagation;
+        let packets = bytes.div_ceil(self.params.link.mtu as u64).max(1);
+
+        let mut head = now;
+        let mut stall = Dur::ZERO;
+        let (mut lost, mut corrupted) = (0u64, 0u64);
+        let mut min_factor = 1.0f64;
+        for (i, &edge) in edges.iter().enumerate() {
+            let from = verts[i];
+            let chan_idx = directed_channel(&self.topo, edge, from);
+            let ch = &self.channels[chan_idx];
+            let factor = fs.degrade(edge, now);
+            min_factor = min_factor.min(factor);
+            let wire_eff = if factor < 1.0 {
+                (wire as f64 / factor).ceil() as u64
+            } else {
+                wire
+            };
+            let free = ch.next_free();
+            if free > head {
+                stall += free.since(head);
+            }
+            head = head.max_t(free);
+            let _ = ch.reserve_from(head, wire_eff);
+            let (l, c) = fs.sample_link(chan_idx, packets);
+            lost += l;
+            corrupted += c;
+            head += prop;
+            if i + 1 < edges.len() {
+                head += hop;
+            }
+        }
+        if let Some(tr) = sim.tracer() {
+            tr.add("fabric.messages", 1);
+            tr.add("fabric.wire_bytes", wire * edges.len() as u64);
+            if !stall.is_zero() {
+                tr.add("fabric.contention_stalls", 1);
+                tr.observe("fabric.stall_ps", stall.as_ps());
+            }
+        }
+        // Cut-through still pays serialization once; a degraded link on
+        // the path throttles the whole pipeline to its rate.
+        let ser_eff = if min_factor < 1.0 {
+            ser.scale(1.0 / min_factor)
+        } else {
+            ser
+        };
+        WireOutcome::Delivered {
+            arrives: head + ser_eff,
+            lost,
+            corrupted,
+            hops: edges.len() as u32,
+            rerouted,
+        }
+    }
+
     /// Hop count between endpoints (for latency accounting / tests).
     pub fn hops(&self, src: usize, dst: usize) -> u32 {
         self.routes.hops(src, dst)
@@ -132,6 +323,24 @@ impl Fabric {
         }
         tr.add("fabric.links_used", self.per_link_bytes().iter().filter(|&&b| b > 0).count() as u64);
         tr.gauge("fabric.busiest_link_bytes", busiest as i64);
+        if let Some(fs) = &self.faults {
+            let st = fs.stats();
+            for (key, v) in [
+                ("fault.drops", st.drops),
+                ("fault.corrupts", st.corrupts),
+                ("fault.reroutes", st.reroutes),
+                ("fault.link_down_hits", st.down_hits),
+                ("fault.outage_waits", st.outage_waits),
+                ("ib.retransmits", st.ib_retransmits),
+                ("ib.rnr_naks", st.rnr_naks),
+                ("ib.qp_errors", st.qp_errors),
+                ("elan.link_retries", st.elan_link_retries),
+            ] {
+                if v > 0 {
+                    tr.add(key, v);
+                }
+            }
+        }
     }
 }
 
@@ -219,6 +428,136 @@ mod tests {
         });
         sim.run().unwrap();
         assert!(done.get());
+    }
+
+    #[test]
+    fn attempt_without_plan_matches_deliver_at() {
+        let sim = Sim::new(1);
+        let a = ib_crossbar(4);
+        let b = ib_crossbar(4);
+        let direct = a.deliver_at(&sim, 0, 1, 4096);
+        match b.deliver_attempt(&sim, 0, 1, 4096, false) {
+            WireOutcome::Delivered {
+                arrives,
+                lost,
+                corrupted,
+                hops,
+                rerouted,
+            } => {
+                assert_eq!(arrives, direct);
+                assert_eq!((lost, corrupted), (0, 0));
+                assert_eq!(hops, 2);
+                assert!(!rerouted);
+            }
+            WireOutcome::LinkDown { .. } => panic!("no plan, no outage"),
+        }
+        assert_eq!(b.per_link_bytes(), a.per_link_bytes());
+        assert_eq!(b.fault_stats(), crate::faults::FaultStats::default());
+    }
+
+    #[test]
+    fn outage_blocks_static_route_without_adaptivity() {
+        use crate::faults::FaultPlan;
+        use std::sync::Arc;
+        let sim = Sim::new(1);
+        let base = Fabric::new(Topology::fat_tree(12, 2, 16), infiniband_4x());
+        let dead = base.routes().path(0, 15)[1];
+        let plan = FaultPlan::parse(&format!("outage=link{dead}@0+1ms")).unwrap();
+        let f = Fabric::with_faults(
+            Topology::fat_tree(12, 2, 16),
+            infiniband_4x(),
+            Some(Arc::new(plan)),
+        );
+        match f.deliver_attempt(&sim, 0, 15, 4096, false) {
+            WireOutcome::LinkDown { until } => {
+                assert_eq!(until, SimTime::ZERO + Dur::from_ms(1));
+            }
+            WireOutcome::Delivered { .. } => panic!("static route must hit the outage"),
+        }
+        // A blocked attempt reserves nothing.
+        assert_eq!(f.total_link_bytes(), 0);
+        assert_eq!(f.fault_stats().down_hits, 1);
+    }
+
+    #[test]
+    fn adaptive_attempt_reroutes_around_outage() {
+        use crate::faults::FaultPlan;
+        use std::sync::Arc;
+        let sim = Sim::new(1);
+        let base = Fabric::new(Topology::fat_tree(4, 3, 16), elan4());
+        let dead = base.routes().path(0, 15)[1];
+        let plan = FaultPlan::parse(&format!("outage=link{dead}@0+1ms")).unwrap();
+        let f = Fabric::with_faults(
+            Topology::fat_tree(4, 3, 16),
+            elan4(),
+            Some(Arc::new(plan)),
+        );
+        let expected_hops = f.hops(0, 15);
+        match f.deliver_attempt(&sim, 0, 15, 4096, true) {
+            WireOutcome::Delivered { rerouted, hops, .. } => {
+                assert!(rerouted);
+                // Fat-tree up-phase has equal-cost siblings: the
+                // detour keeps the hop count.
+                assert_eq!(hops, expected_hops);
+            }
+            WireOutcome::LinkDown { .. } => panic!("adaptive routing must detour"),
+        }
+        // The dead edge carried nothing in either direction.
+        let per_link = f.per_link_bytes();
+        assert_eq!(per_link[2 * dead] + per_link[2 * dead + 1], 0);
+        assert_eq!(f.fault_stats().reroutes, 1);
+    }
+
+    #[test]
+    fn degraded_link_stretches_serialization() {
+        use crate::faults::FaultPlan;
+        use std::sync::Arc;
+        let sim = Sim::new(1);
+        let clean = ib_crossbar(4);
+        let plan = FaultPlan::parse("degrade=link0@0+1s*0.5").unwrap();
+        let slow = Fabric::with_faults(
+            Topology::single_crossbar(4),
+            infiniband_4x(),
+            Some(Arc::new(plan)),
+        );
+        let t_clean = clean.deliver_at(&sim, 0, 1, 1_000_000);
+        let t_slow = match slow.deliver_attempt(&sim, 0, 1, 1_000_000, false) {
+            WireOutcome::Delivered { arrives, .. } => arrives,
+            WireOutcome::LinkDown { .. } => panic!("degrade is not an outage"),
+        };
+        let ser = clean.params.link.serialize(1_000_000);
+        // Half rate on the first cable throttles the pipeline: one
+        // extra serialization time, give or take fixed latencies.
+        assert!(t_slow >= t_clean + (ser - Dur::from_us(1)), "{t_clean:?} vs {t_slow:?}");
+    }
+
+    #[test]
+    fn lossy_plan_draws_are_counted() {
+        use crate::faults::FaultPlan;
+        use std::sync::Arc;
+        let sim = Sim::new(1);
+        let plan = FaultPlan::parse("loss=0.5, seed=3").unwrap();
+        let f = Fabric::with_faults(
+            Topology::single_crossbar(4),
+            infiniband_4x(),
+            Some(Arc::new(plan)),
+        );
+        let (mut lost_total, mut corrupted_total) = (0u64, 0u64);
+        for _ in 0..100 {
+            match f.deliver_attempt(&sim, 0, 1, 2048, false) {
+                WireOutcome::Delivered {
+                    lost, corrupted, ..
+                } => {
+                    lost_total += lost;
+                    corrupted_total += corrupted;
+                }
+                WireOutcome::LinkDown { .. } => unreachable!(),
+            }
+        }
+        // 100 messages × 1 packet × 2 links at p=0.5 — some must drop.
+        assert!(lost_total > 50, "lost {lost_total}");
+        assert_eq!(corrupted_total, 0);
+        assert_eq!(f.fault_stats().drops, lost_total);
     }
 
     #[test]

@@ -1,0 +1,898 @@
+//! Deterministic fault injection for the simulated fabric.
+//!
+//! A [`FaultPlan`] schedules faults in *simulated* time: per-link packet
+//! loss probability, CRC corruption probability, transient link outage
+//! windows, bandwidth degradation windows, and NIC stall intervals. All
+//! probabilistic draws are a stateless hash of
+//! `(plan seed, directed channel index, per-channel packet counter)`, so
+//! a given plan produces bit-identical faults regardless of thread
+//! count, tracing, caching, or the order unrelated simulations run in.
+//!
+//! Plans come from `ELANIB_FAULTS=<spec>` (see [`FaultPlan::parse`] for
+//! the grammar) or are passed explicitly to
+//! [`crate::Fabric::with_faults`]. A plan that injects nothing —
+//! zero rates and no scheduled windows — is treated exactly like no
+//! plan at all, so the fault layer is provably zero-effect when off.
+
+use std::cell::Cell;
+use std::sync::{Arc, LazyLock};
+
+use elanib_simcore::{Dur, SimTime};
+
+/// A scheduled link outage: the undirected edge `link` carries nothing
+/// during `[start, start + dur)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Outage {
+    pub link: usize,
+    pub start: Dur,
+    pub dur: Dur,
+}
+
+/// A scheduled bandwidth degradation: edge `link` serializes slower by
+/// `factor` (0 < factor <= 1) during `[start, start + dur)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Degrade {
+    pub link: usize,
+    pub start: Dur,
+    pub dur: Dur,
+    pub factor: f64,
+}
+
+/// A scheduled NIC stall: endpoint `ep` neither sends nor receives
+/// during `[start, start + dur)` (models a hiccupping host / firmware).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NicStall {
+    pub ep: usize,
+    pub start: Dur,
+    pub dur: Dur,
+}
+
+/// A complete, deterministic fault schedule for one fabric.
+///
+/// `Debug` output is part of the cache-key contract: two plans that
+/// render identically inject identical faults.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed folded into every probabilistic draw.
+    pub seed: u64,
+    /// Per-packet loss probability on every directed link.
+    pub loss: f64,
+    /// Per-packet CRC-corruption probability (detected at the
+    /// receiver; same recovery path as a loss, but counted apart).
+    pub corrupt: f64,
+    pub outages: Vec<Outage>,
+    pub degrades: Vec<Degrade>,
+    pub stalls: Vec<NicStall>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 1,
+            loss: 0.0,
+            corrupt: 0.0,
+            outages: Vec::new(),
+            degrades: Vec::new(),
+            stalls: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// True when the plan injects nothing at all — such a plan is
+    /// equivalent to running without one.
+    pub fn is_effectless(&self) -> bool {
+        self.loss <= 0.0
+            && self.corrupt <= 0.0
+            && self.outages.is_empty()
+            && self.degrades.is_empty()
+            && self.stalls.is_empty()
+    }
+
+    /// Parse a fault spec. Two forms:
+    ///
+    /// * `@/path/to/plan` — load the file at that path and parse its
+    ///   contents (JSON if the first non-space byte is `{`, otherwise
+    ///   the directive grammar below; `#` starts a line comment).
+    /// * a comma/newline-separated directive list:
+    ///
+    /// ```text
+    /// seed=7                        fold 7 into every draw (default 1)
+    /// loss=1e-3                     per-packet loss probability
+    /// corrupt=1e-4                  per-packet CRC-corruption probability
+    /// outage=link3@500us+200us      edge 3 down during [500us, 700us)
+    /// degrade=link2@1ms+2ms*0.5     edge 2 at half rate during [1ms, 3ms)
+    /// stall=ep1@300us+50us          endpoint 1 stalled during [300us, 350us)
+    /// ```
+    ///
+    /// Durations are a float plus `ns`/`us`/`ms`/`s`; a bare number
+    /// means microseconds.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let spec = spec.trim();
+        if let Some(path) = spec.strip_prefix('@') {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read fault plan {path}: {e}"))?;
+            return Self::parse_text(&text);
+        }
+        Self::parse_text(spec)
+    }
+
+    fn parse_text(text: &str) -> Result<FaultPlan, String> {
+        if text.trim_start().starts_with('{') {
+            return Self::from_json(text);
+        }
+        let mut plan = FaultPlan::default();
+        for raw in text.split(['\n', ',']) {
+            let line = match raw.find('#') {
+                Some(i) => &raw[..i],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, val) = line
+                .split_once('=')
+                .ok_or_else(|| format!("fault directive without '=': {line:?}"))?;
+            let (key, val) = (key.trim(), val.trim());
+            match key {
+                "seed" => {
+                    plan.seed = val
+                        .parse()
+                        .map_err(|e| format!("bad seed {val:?}: {e}"))?;
+                }
+                "loss" => plan.loss = parse_prob("loss", val)?,
+                "corrupt" => plan.corrupt = parse_prob("corrupt", val)?,
+                "outage" => {
+                    let (link, start, dur) = parse_window("link", val)?;
+                    plan.outages.push(Outage { link, start, dur });
+                }
+                "degrade" => {
+                    let (head, factor) = val
+                        .rsplit_once('*')
+                        .ok_or_else(|| format!("degrade without '*factor': {val:?}"))?;
+                    let factor: f64 = factor
+                        .trim()
+                        .parse()
+                        .map_err(|e| format!("bad degrade factor {factor:?}: {e}"))?;
+                    if !(factor > 0.0 && factor <= 1.0) {
+                        return Err(format!("degrade factor must be in (0, 1], got {factor}"));
+                    }
+                    let (link, start, dur) = parse_window("link", head)?;
+                    plan.degrades.push(Degrade {
+                        link,
+                        start,
+                        dur,
+                        factor,
+                    });
+                }
+                "stall" => {
+                    let (ep, start, dur) = parse_window("ep", val)?;
+                    plan.stalls.push(NicStall { ep, start, dur });
+                }
+                _ => return Err(format!("unknown fault directive {key:?}")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Parse the JSON form:
+    ///
+    /// ```text
+    /// {"seed": 7, "loss": 1e-3, "corrupt": 0,
+    ///  "outages":  [{"link": 3, "start_us": 500, "dur_us": 200}],
+    ///  "degrades": [{"link": 2, "start_us": 1000, "dur_us": 2000, "factor": 0.5}],
+    ///  "stalls":   [{"ep": 1, "start_us": 300, "dur_us": 50}]}
+    /// ```
+    fn from_json(text: &str) -> Result<FaultPlan, String> {
+        let v = json::parse(text)?;
+        let obj = v.as_obj().ok_or("fault plan JSON must be an object")?;
+        let mut plan = FaultPlan::default();
+        for (key, val) in obj {
+            match key.as_str() {
+                "seed" => {
+                    plan.seed = val.as_f64().ok_or("seed must be a number")? as u64;
+                }
+                "loss" => {
+                    plan.loss = val.as_f64().ok_or("loss must be a number")?;
+                    parse_prob("loss", &plan.loss.to_string())?;
+                }
+                "corrupt" => {
+                    plan.corrupt = val.as_f64().ok_or("corrupt must be a number")?;
+                    parse_prob("corrupt", &plan.corrupt.to_string())?;
+                }
+                "outages" => {
+                    for o in val.as_arr().ok_or("outages must be an array")? {
+                        let (link, start, dur) = json_window(o, "link")?;
+                        plan.outages.push(Outage { link, start, dur });
+                    }
+                }
+                "degrades" => {
+                    for o in val.as_arr().ok_or("degrades must be an array")? {
+                        let (link, start, dur) = json_window(o, "link")?;
+                        let factor = o
+                            .get("factor")
+                            .and_then(|f| f.as_f64())
+                            .ok_or("degrade entry needs a numeric \"factor\"")?;
+                        if !(factor > 0.0 && factor <= 1.0) {
+                            return Err(format!(
+                                "degrade factor must be in (0, 1], got {factor}"
+                            ));
+                        }
+                        plan.degrades.push(Degrade {
+                            link,
+                            start,
+                            dur,
+                            factor,
+                        });
+                    }
+                }
+                "stalls" => {
+                    for o in val.as_arr().ok_or("stalls must be an array")? {
+                        let (ep, start, dur) = json_window(o, "ep")?;
+                        plan.stalls.push(NicStall { ep, start, dur });
+                    }
+                }
+                other => return Err(format!("unknown fault plan key {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_prob(what: &str, val: &str) -> Result<f64, String> {
+    let p: f64 = val
+        .parse()
+        .map_err(|e| format!("bad {what} probability {val:?}: {e}"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("{what} probability must be in [0, 1], got {p}"));
+    }
+    Ok(p)
+}
+
+/// Parse `<prefix><idx>@<start>+<dur>`, e.g. `link3@500us+200us`.
+fn parse_window(prefix: &str, val: &str) -> Result<(usize, Dur, Dur), String> {
+    let rest = val
+        .strip_prefix(prefix)
+        .ok_or_else(|| format!("expected {prefix}<idx>@<start>+<dur>, got {val:?}"))?;
+    let (idx, times) = rest
+        .split_once('@')
+        .ok_or_else(|| format!("expected {prefix}<idx>@<start>+<dur>, got {val:?}"))?;
+    let idx: usize = idx
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad {prefix} index {idx:?}: {e}"))?;
+    let (start, dur) = times
+        .split_once('+')
+        .ok_or_else(|| format!("expected <start>+<dur> in {val:?}"))?;
+    Ok((idx, parse_dur(start)?, parse_dur(dur)?))
+}
+
+/// Parse a duration: float + `ns`/`us`/`ms`/`s` suffix; bare = µs.
+fn parse_dur(s: &str) -> Result<Dur, String> {
+    let s = s.trim();
+    let (num, scale_ps) = if let Some(n) = s.strip_suffix("ns") {
+        (n, 1e3)
+    } else if let Some(n) = s.strip_suffix("us") {
+        (n, 1e6)
+    } else if let Some(n) = s.strip_suffix("ms") {
+        (n, 1e9)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1e12)
+    } else {
+        (s, 1e6)
+    };
+    let v: f64 = num
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad duration {s:?}: {e}"))?;
+    if v < 0.0 {
+        return Err(format!("duration must be non-negative, got {s:?}"));
+    }
+    Ok(Dur((v * scale_ps).round() as u64))
+}
+
+fn json_window(o: &json::Value, idx_key: &str) -> Result<(usize, Dur, Dur), String> {
+    let obj_err = || format!("entry must be an object with {idx_key:?}/start_us/dur_us");
+    let idx = o
+        .get(idx_key)
+        .and_then(|v| v.as_f64())
+        .ok_or_else(obj_err)? as usize;
+    let start = o
+        .get("start_us")
+        .and_then(|v| v.as_f64())
+        .ok_or_else(obj_err)?;
+    let dur = o
+        .get("dur_us")
+        .and_then(|v| v.as_f64())
+        .ok_or_else(obj_err)?;
+    if start < 0.0 || dur < 0.0 {
+        return Err("start_us/dur_us must be non-negative".into());
+    }
+    Ok((idx, Dur::from_us_f64(start), Dur::from_us_f64(dur)))
+}
+
+/// The process-wide plan from `ELANIB_FAULTS`, if one is set, parses,
+/// and is not effectless. A malformed spec is reported once on stderr
+/// and ignored (fail-open: exhibits keep producing their baseline
+/// numbers rather than aborting mid-regeneration).
+pub fn env_plan() -> Option<Arc<FaultPlan>> {
+    static PLAN: LazyLock<Option<Arc<FaultPlan>>> = LazyLock::new(|| {
+        let spec = std::env::var("ELANIB_FAULTS").ok()?;
+        if spec.trim().is_empty() {
+            return None;
+        }
+        match FaultPlan::parse(&spec) {
+            Ok(p) if p.is_effectless() => None,
+            Ok(p) => Some(Arc::new(p)),
+            Err(e) => {
+                eprintln!("warning: ignoring ELANIB_FAULTS: {e}");
+                None
+            }
+        }
+    });
+    PLAN.clone()
+}
+
+/// End-of-run fault and recovery totals for one fabric.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Packets dropped by the loss process.
+    pub drops: u64,
+    /// Packets corrupted by the CRC process.
+    pub corrupts: u64,
+    /// Messages that found their static route down and took an
+    /// adaptive detour (Elan only).
+    pub reroutes: u64,
+    /// Messages that found a route down with no detour available.
+    pub down_hits: u64,
+    /// IB whole-message retransmissions (timeout-driven).
+    pub ib_retransmits: u64,
+    /// IB receiver-not-ready NAKs taken.
+    pub rnr_naks: u64,
+    /// IB queue pairs driven into the error state.
+    pub qp_errors: u64,
+    /// Elan link-level hardware packet retries.
+    pub elan_link_retries: u64,
+    /// Elan waits for an outage window to end (no detour existed).
+    pub outage_waits: u64,
+}
+
+/// Per-fabric runtime fault state: the plan plus deterministic draw
+/// counters and recovery totals. Lives behind `Rc` inside [`crate::Fabric`];
+/// the NIC layer calls the `note_*` hooks as it exercises recovery.
+pub struct FaultState {
+    plan: Arc<FaultPlan>,
+    /// Per-directed-channel packet sequence numbers: the draw index.
+    pkt_seq: Vec<Cell<u64>>,
+    drops: Cell<u64>,
+    corrupts: Cell<u64>,
+    reroutes: Cell<u64>,
+    down_hits: Cell<u64>,
+    ib_retransmits: Cell<u64>,
+    rnr_naks: Cell<u64>,
+    qp_errors: Cell<u64>,
+    elan_link_retries: Cell<u64>,
+    outage_waits: Cell<u64>,
+}
+
+impl FaultState {
+    pub fn new(plan: Arc<FaultPlan>, n_directed_channels: usize) -> FaultState {
+        FaultState {
+            plan,
+            pkt_seq: (0..n_directed_channels).map(|_| Cell::new(0)).collect(),
+            drops: Cell::new(0),
+            corrupts: Cell::new(0),
+            reroutes: Cell::new(0),
+            down_hits: Cell::new(0),
+            ib_retransmits: Cell::new(0),
+            rnr_naks: Cell::new(0),
+            qp_errors: Cell::new(0),
+            elan_link_retries: Cell::new(0),
+            outage_waits: Cell::new(0),
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Draw the loss/corruption outcome for `packets` consecutive
+    /// packets crossing directed channel `chan`. Returns
+    /// `(lost, corrupted)` counts. The per-channel sequence number
+    /// advances by `packets` even when both rates are zero, so adding
+    /// a rate later never perturbs unrelated draws.
+    pub fn sample_link(&self, chan: usize, packets: u64) -> (u64, u64) {
+        let seq = &self.pkt_seq[chan];
+        let base = seq.get();
+        seq.set(base + packets);
+        if self.plan.loss <= 0.0 && self.plan.corrupt <= 0.0 {
+            return (0, 0);
+        }
+        let (mut lost, mut corrupted) = (0u64, 0u64);
+        for n in base..base + packets {
+            let r = unit_draw(self.plan.seed, chan as u64, n);
+            if r < self.plan.loss {
+                lost += 1;
+            } else if r < self.plan.loss + self.plan.corrupt {
+                corrupted += 1;
+            }
+        }
+        self.drops.set(self.drops.get() + lost);
+        self.corrupts.set(self.corrupts.get() + corrupted);
+        (lost, corrupted)
+    }
+
+    /// If edge `edge` is inside an outage window at `t`, the instant
+    /// the *latest* covering window ends.
+    pub fn link_down(&self, edge: usize, t: SimTime) -> Option<SimTime> {
+        let mut until: Option<SimTime> = None;
+        for o in &self.plan.outages {
+            if o.link != edge {
+                continue;
+            }
+            let start = SimTime::ZERO + o.start;
+            let end = start + o.dur;
+            if t >= start && t < end {
+                until = Some(match until {
+                    Some(u) => u.max_t(end),
+                    None => end,
+                });
+            }
+        }
+        until
+    }
+
+    /// Effective bandwidth factor for edge `edge` at `t` (1.0 = full
+    /// rate). Overlapping degradations multiply.
+    pub fn degrade(&self, edge: usize, t: SimTime) -> f64 {
+        let mut f = 1.0;
+        for d in &self.plan.degrades {
+            if d.link != edge {
+                continue;
+            }
+            let start = SimTime::ZERO + d.start;
+            if t >= start && t < start + d.dur {
+                f *= d.factor;
+            }
+        }
+        f
+    }
+
+    /// If endpoint `ep`'s NIC is stalled at `t`, the instant the
+    /// latest covering stall ends.
+    pub fn stall_until(&self, ep: usize, t: SimTime) -> Option<SimTime> {
+        let mut until: Option<SimTime> = None;
+        for s in &self.plan.stalls {
+            if s.ep != ep {
+                continue;
+            }
+            let start = SimTime::ZERO + s.start;
+            let end = start + s.dur;
+            if t >= start && t < end {
+                until = Some(match until {
+                    Some(u) => u.max_t(end),
+                    None => end,
+                });
+            }
+        }
+        until
+    }
+
+    pub fn note_reroute(&self) {
+        self.reroutes.set(self.reroutes.get() + 1);
+    }
+    pub fn note_down_hit(&self) {
+        self.down_hits.set(self.down_hits.get() + 1);
+    }
+    pub fn note_ib_retransmit(&self) {
+        self.ib_retransmits.set(self.ib_retransmits.get() + 1);
+    }
+    pub fn note_rnr_nak(&self) {
+        self.rnr_naks.set(self.rnr_naks.get() + 1);
+    }
+    pub fn note_qp_error(&self) {
+        self.qp_errors.set(self.qp_errors.get() + 1);
+    }
+    pub fn note_elan_link_retries(&self, n: u64) {
+        self.elan_link_retries.set(self.elan_link_retries.get() + n);
+    }
+    pub fn note_outage_wait(&self) {
+        self.outage_waits.set(self.outage_waits.get() + 1);
+    }
+
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            drops: self.drops.get(),
+            corrupts: self.corrupts.get(),
+            reroutes: self.reroutes.get(),
+            down_hits: self.down_hits.get(),
+            ib_retransmits: self.ib_retransmits.get(),
+            rnr_naks: self.rnr_naks.get(),
+            qp_errors: self.qp_errors.get(),
+            elan_link_retries: self.elan_link_retries.get(),
+            outage_waits: self.outage_waits.get(),
+        }
+    }
+}
+
+/// SplitMix64-based stateless draw in `[0, 1)` — the fault layer's
+/// only randomness. Independent of the kernel's RNG, thread count, and
+/// evaluation order by construction.
+fn unit_draw(seed: u64, chan: u64, n: u64) -> f64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(chan.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(n.wrapping_mul(0x94D0_49BB_1331_11EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Minimal JSON reader for fault-plan files — numbers, strings, bools,
+/// null, arrays, objects. Kept here (not a dependency) because the
+/// container vendors no serde and the plan schema is tiny.
+mod json {
+    pub enum Value {
+        Num(f64),
+        // Strings/bools/null are parsed for grammar completeness; the
+        // plan schema itself only consumes numbers, arrays, objects.
+        #[allow(dead_code)]
+        Str(String),
+        #[allow(dead_code)]
+        Bool(bool),
+        Null,
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+        pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(o) => Some(o),
+                _ => None,
+            }
+        }
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            self.as_obj()?
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let b = text.as_bytes();
+        let mut pos = 0;
+        let v = value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing bytes at offset {pos} in fault plan JSON"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if b.get(*pos) == Some(&c) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at offset {} in fault plan JSON",
+                c as char, *pos
+            ))
+        }
+    }
+
+    fn value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => {
+                *pos += 1;
+                let mut obj = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(obj));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let k = string(b, pos)?;
+                    expect(b, pos, b':')?;
+                    obj.push((k, value(b, pos)?));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(obj));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at offset {}", *pos)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut arr = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(arr));
+                }
+                loop {
+                    arr.push(value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(arr));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at offset {}", *pos)),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Value::Str(string(b, pos)?)),
+            Some(b't') if b[*pos..].starts_with(b"true") => {
+                *pos += 4;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') if b[*pos..].starts_with(b"false") => {
+                *pos += 5;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') if b[*pos..].starts_with(b"null") => {
+                *pos += 4;
+                Ok(Value::Null)
+            }
+            Some(_) => {
+                let start = *pos;
+                while *pos < b.len()
+                    && matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+                {
+                    *pos += 1;
+                }
+                let s = std::str::from_utf8(&b[start..*pos]).unwrap();
+                s.parse()
+                    .map(Value::Num)
+                    .map_err(|e| format!("bad JSON number {s:?}: {e}"))
+            }
+            None => Err("unexpected end of fault plan JSON".into()),
+        }
+    }
+
+    fn string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at offset {}", *pos));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        while let Some(&c) = b.get(*pos) {
+            *pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = b.get(*pos).ok_or("unterminated escape")?;
+                    *pos += 1;
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        other => {
+                            return Err(format!("unsupported escape \\{}", *other as char))
+                        }
+                    });
+                }
+                _ => out.push(c as char),
+            }
+        }
+        Err("unterminated string in fault plan JSON".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_grammar_parses_every_directive() {
+        let p = FaultPlan::parse(
+            "seed=7, loss=1e-3, corrupt=1e-4, outage=link3@500us+200us, \
+             degrade=link2@1ms+2ms*0.5, stall=ep1@300us+50us",
+        )
+        .unwrap();
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.loss, 1e-3);
+        assert_eq!(p.corrupt, 1e-4);
+        assert_eq!(
+            p.outages,
+            vec![Outage {
+                link: 3,
+                start: Dur::from_us(500),
+                dur: Dur::from_us(200),
+            }]
+        );
+        assert_eq!(p.degrades.len(), 1);
+        assert_eq!(p.degrades[0].link, 2);
+        assert_eq!(p.degrades[0].start, Dur::from_ms(1));
+        assert_eq!(p.degrades[0].dur, Dur::from_ms(2));
+        assert_eq!(p.degrades[0].factor, 0.5);
+        assert_eq!(
+            p.stalls,
+            vec![NicStall {
+                ep: 1,
+                start: Dur::from_us(300),
+                dur: Dur::from_us(50),
+            }]
+        );
+    }
+
+    #[test]
+    fn newlines_and_comments_accepted() {
+        let p = FaultPlan::parse("seed=3 # the seed\nloss=0.01\n# whole-line comment\n").unwrap();
+        assert_eq!(p.seed, 3);
+        assert_eq!(p.loss, 0.01);
+    }
+
+    #[test]
+    fn durations_parse_all_units() {
+        assert_eq!(parse_dur("5ns").unwrap(), Dur::from_ns(5));
+        assert_eq!(parse_dur("5us").unwrap(), Dur::from_us(5));
+        assert_eq!(parse_dur("5ms").unwrap(), Dur::from_ms(5));
+        assert_eq!(parse_dur("1s").unwrap(), Dur(1_000_000_000_000));
+        assert_eq!(parse_dur("2.5").unwrap(), Dur::from_us_f64(2.5)); // bare = µs
+    }
+
+    #[test]
+    fn json_form_parses() {
+        let p = FaultPlan::parse(
+            r#"{"seed": 7, "loss": 0.001,
+                "outages":  [{"link": 3, "start_us": 500, "dur_us": 200}],
+                "degrades": [{"link": 2, "start_us": 1000, "dur_us": 2000, "factor": 0.5}],
+                "stalls":   [{"ep": 1, "start_us": 300, "dur_us": 50}]}"#,
+        )
+        .unwrap();
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.loss, 0.001);
+        assert_eq!(p.outages[0].link, 3);
+        assert_eq!(p.outages[0].start, Dur::from_us(500));
+        assert_eq!(p.degrades[0].factor, 0.5);
+        assert_eq!(p.stalls[0].ep, 1);
+    }
+
+    #[test]
+    fn parse_errors_are_reported_not_panics() {
+        assert!(FaultPlan::parse("loss=2.0").is_err()); // out of range
+        assert!(FaultPlan::parse("frob=1").is_err()); // unknown key
+        assert!(FaultPlan::parse("outage=link3").is_err()); // no window
+        assert!(FaultPlan::parse("degrade=link1@0+1ms*1.5").is_err()); // factor > 1
+        assert!(FaultPlan::parse("{\"nope\": 1}").is_err());
+        assert!(FaultPlan::parse("{bad json").is_err());
+    }
+
+    #[test]
+    fn effectless_detection() {
+        assert!(FaultPlan::parse("").unwrap().is_effectless());
+        assert!(FaultPlan::parse("seed=9, loss=0").unwrap().is_effectless());
+        assert!(!FaultPlan::parse("loss=1e-6").unwrap().is_effectless());
+        assert!(!FaultPlan::parse("outage=link0@0+1us").unwrap().is_effectless());
+    }
+
+    #[test]
+    fn draws_are_deterministic_and_seed_sensitive() {
+        let plan = Arc::new(FaultPlan {
+            loss: 0.3,
+            ..FaultPlan::default()
+        });
+        let a = FaultState::new(plan.clone(), 4);
+        let b = FaultState::new(plan.clone(), 4);
+        for chan in 0..4 {
+            assert_eq!(a.sample_link(chan, 100), b.sample_link(chan, 100));
+        }
+        let other = FaultState::new(
+            Arc::new(FaultPlan {
+                seed: 2,
+                ..(*plan).clone()
+            }),
+            4,
+        );
+        let a2 = FaultState::new(plan, 4);
+        let mut diff = false;
+        for chan in 0..4 {
+            if a2.sample_link(chan, 100) != other.sample_link(chan, 100) {
+                diff = true;
+            }
+        }
+        assert!(diff, "different seeds should change at least one draw");
+    }
+
+    #[test]
+    fn loss_rate_roughly_matches_probability() {
+        let plan = Arc::new(FaultPlan {
+            loss: 0.1,
+            ..FaultPlan::default()
+        });
+        let fs = FaultState::new(plan, 1);
+        let (lost, _) = fs.sample_link(0, 100_000);
+        let rate = lost as f64 / 100_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "observed loss rate {rate}");
+        assert_eq!(fs.stats().drops, lost);
+    }
+
+    #[test]
+    fn sequence_advances_even_at_zero_rate() {
+        // A zero-rate channel must consume the same draw indices as a
+        // lossy one, so turning a rate on later never shifts other
+        // channels' draws.
+        let lossy = Arc::new(FaultPlan {
+            loss: 0.5,
+            ..FaultPlan::default()
+        });
+        let clean = Arc::new(FaultPlan::default());
+        let a = FaultState::new(lossy.clone(), 1);
+        let b = FaultState::new(clean, 1);
+        b.sample_link(0, 50); // advance past 50 packets at zero rate
+        let a_ref = FaultState::new(lossy, 1);
+        a_ref.sample_link(0, 50);
+        let skipped = a_ref.sample_link(0, 10);
+        a.sample_link(0, 50);
+        assert_eq!(a.sample_link(0, 10), skipped);
+        assert_eq!(b.pkt_seq[0].get(), 50);
+    }
+
+    #[test]
+    fn outage_window_edges() {
+        let plan = Arc::new(
+            FaultPlan::parse("outage=link1@100us+50us, outage=link1@120us+100us").unwrap(),
+        );
+        let fs = FaultState::new(plan, 4);
+        let t = |us: u64| SimTime::ZERO + Dur::from_us(us);
+        assert_eq!(fs.link_down(1, t(99)), None);
+        assert_eq!(fs.link_down(1, t(100)), Some(t(150))); // first window
+        assert_eq!(fs.link_down(1, t(130)), Some(t(220))); // overlapping: latest end
+        assert_eq!(fs.link_down(1, t(150)), Some(t(220)));
+        assert_eq!(fs.link_down(1, t(220)), None); // end-exclusive
+        assert_eq!(fs.link_down(0, t(130)), None); // other link unaffected
+    }
+
+    #[test]
+    fn degrade_and_stall_windows() {
+        let plan = Arc::new(
+            FaultPlan::parse("degrade=link0@100us+100us*0.5, degrade=link0@150us+100us*0.5, \
+                              stall=ep2@10us+5us")
+                .unwrap(),
+        );
+        let fs = FaultState::new(plan, 2);
+        let t = |us: u64| SimTime::ZERO + Dur::from_us(us);
+        assert_eq!(fs.degrade(0, t(50)), 1.0);
+        assert_eq!(fs.degrade(0, t(120)), 0.5);
+        assert_eq!(fs.degrade(0, t(180)), 0.25); // overlap multiplies
+        assert_eq!(fs.degrade(1, t(120)), 1.0);
+        assert_eq!(fs.stall_until(2, t(12)), Some(t(15)));
+        assert_eq!(fs.stall_until(2, t(15)), None);
+        assert_eq!(fs.stall_until(0, t(12)), None);
+    }
+}

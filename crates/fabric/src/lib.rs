@@ -18,11 +18,13 @@
 //! plus queueing wherever a directed link is already busy.
 
 pub mod fabric;
+pub mod faults;
 pub mod params;
 pub mod routing;
 pub mod topology;
 
-pub use fabric::Fabric;
+pub use fabric::{Fabric, WireOutcome};
+pub use faults::{FaultPlan, FaultStats};
 pub use params::{elan4, infiniband_4x, FabricParams, LinkParams, SwitchParams};
 pub use routing::Routes;
 pub use topology::{Edge, NodeRef, Topology};
@@ -39,4 +41,24 @@ pub fn ib_fabric(nodes: usize) -> Fabric {
 
 pub fn elan_fabric(nodes: usize) -> Fabric {
     Fabric::new(Topology::fat_tree(4, 3, nodes), elan4())
+}
+
+/// [`ib_fabric`] with an explicit fault plan (`None` still honours
+/// `ELANIB_FAULTS`, matching `Fabric::new`).
+pub fn ib_fabric_with(
+    nodes: usize,
+    plan: Option<std::sync::Arc<FaultPlan>>,
+) -> Fabric {
+    let plan = plan.or_else(faults::env_plan);
+    Fabric::with_faults(Topology::fat_tree(12, 2, nodes), infiniband_4x(), plan)
+}
+
+/// [`elan_fabric`] with an explicit fault plan (`None` still honours
+/// `ELANIB_FAULTS`).
+pub fn elan_fabric_with(
+    nodes: usize,
+    plan: Option<std::sync::Arc<FaultPlan>>,
+) -> Fabric {
+    let plan = plan.or_else(faults::env_plan);
+    Fabric::with_faults(Topology::fat_tree(4, 3, nodes), elan4(), plan)
 }

@@ -97,6 +97,65 @@ impl Routes {
         }
     }
 
+    /// A shortest path from `src` to `dst` that avoids every edge for
+    /// which `avoid` returns true, or `None` when the avoided edges
+    /// disconnect the pair. Returns `(vertices, edges)` with
+    /// `vertices.len() == edges.len() + 1`.
+    ///
+    /// Used by the Elan adaptive-routing recovery path to detour
+    /// around a downed link; recomputed per call (outages are rare)
+    /// with a plain BFS whose first-parent tie-break is deterministic.
+    pub fn path_avoiding(
+        &self,
+        topo: &Topology,
+        src: usize,
+        dst: usize,
+        avoid: &dyn Fn(usize) -> bool,
+    ) -> Option<(Vec<usize>, Vec<usize>)> {
+        assert!(src < self.n_endpoints && dst < self.n_endpoints);
+        if src == dst {
+            return Some((vec![src], Vec::new()));
+        }
+        let adj = topo.adjacency();
+        let nv = topo.n_vertices();
+        // parent[v] = (previous vertex, edge taken into v).
+        let mut parent: Vec<Option<(usize, usize)>> = vec![None; nv];
+        let mut seen = vec![false; nv];
+        let mut q = VecDeque::new();
+        seen[src] = true;
+        q.push_back(src);
+        while let Some(v) = q.pop_front() {
+            if v == dst {
+                break;
+            }
+            for &(nbr, edge) in &adj[v] {
+                if avoid(edge) {
+                    continue;
+                }
+                let ni = topo.vertex_index(nbr);
+                if !seen[ni] {
+                    seen[ni] = true;
+                    parent[ni] = Some((v, edge));
+                    q.push_back(ni);
+                }
+            }
+        }
+        if !seen[dst] {
+            return None;
+        }
+        let mut verts = vec![dst];
+        let mut edges = Vec::new();
+        let mut v = dst;
+        while let Some((prev, edge)) = parent[v] {
+            verts.push(prev);
+            edges.push(edge);
+            v = prev;
+        }
+        verts.reverse();
+        edges.reverse();
+        Some((verts, edges))
+    }
+
     /// Sequence of vertices visited (including both endpoints).
     pub fn vertex_path(&self, topo: &Topology, src: usize, dst: usize) -> Vec<usize> {
         let mut verts = vec![src];
@@ -158,6 +217,35 @@ mod tests {
                 assert_eq!(verts.len() as u32 - 1, r.hops(s, d));
             }
         }
+    }
+
+    #[test]
+    fn path_avoiding_detours_around_a_dead_edge() {
+        let t = Topology::fat_tree(4, 3, 64);
+        let r = Routes::compute(&t);
+        let static_path = r.path(0, 63);
+        let dead = static_path[1]; // the leaf's chosen up-link
+        let (verts, edges) = r
+            .path_avoiding(&t, 0, 63, &|e| e == dead)
+            .expect("fat tree has alternate up-links");
+        assert!(!edges.contains(&dead));
+        assert_eq!(verts.first(), Some(&0));
+        assert_eq!(verts.last(), Some(&63));
+        assert_eq!(verts.len(), edges.len() + 1);
+        // A fat tree's up-phase has equal-cost alternatives: the
+        // detour is no longer than the static route.
+        assert_eq!(edges.len() as u32, r.hops(0, 63));
+    }
+
+    #[test]
+    fn path_avoiding_none_when_disconnected() {
+        // Killing an endpoint's only cable disconnects it.
+        let t = Topology::single_crossbar(4);
+        let r = Routes::compute(&t);
+        assert!(r.path_avoiding(&t, 0, 3, &|e| e == 0).is_none());
+        // With nothing avoided it matches the static route length.
+        let (_, edges) = r.path_avoiding(&t, 0, 3, &|_| false).unwrap();
+        assert_eq!(edges.len() as u32, r.hops(0, 3));
     }
 
     #[test]

@@ -18,12 +18,14 @@
 //! `elanib-bench` crate assembles them into the paper's figures.
 
 pub mod beff;
+pub mod faultpoint;
 pub mod init_time;
 pub mod pingpong;
 pub mod reuse;
 pub mod streaming;
 
 pub use beff::{beff, beff_sizes, beff_sweep, BeffPoint};
+pub use faultpoint::{fault_pingpong, outage_stream, FaultPoint};
 pub use init_time::{init_time, InitPoint};
 pub use pingpong::{figure1_sizes, latency_sweep, pingpong, PingPongPoint};
 pub use reuse::{pingpong_reuse, ReusePoint};

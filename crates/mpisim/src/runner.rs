@@ -56,13 +56,17 @@ impl JobSpec {
 
 /// Every tunable of both stacks in one bundle — the handle the
 /// ablation studies turn.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct NetConfig {
     pub node: NodeParams,
     pub hca: HcaParams,
     pub verbs: VerbsParams,
     pub elan: ElanParams,
     pub tports: TportsMpiParams,
+    /// Deterministic fault-injection plan threaded down to the fabric.
+    /// `None` falls back to the `ELANIB_FAULTS` environment plan (or
+    /// no faults at all) — the hot path stays untouched either way.
+    pub faults: Option<std::sync::Arc<elanib_fabric::FaultPlan>>,
 }
 
 /// Run `program` on every rank of a fresh cluster; returns the final
@@ -88,7 +92,7 @@ pub fn run_job_configured<P: RankProgram>(
     }
     match spec.network {
         Network::InfiniBand => {
-            let w = IbWorld::with_params(&sim, spec.nodes, spec.ppn, cfg.node, cfg.hca, cfg.verbs);
+            let w = IbWorld::with_config(&sim, spec.nodes, spec.ppn, cfg);
             w.spawn_ranks("job", move |c| program.clone().run(c));
             let t = sim
                 .run()
@@ -100,9 +104,7 @@ pub fn run_job_configured<P: RankProgram>(
             t
         }
         Network::Elan4 => {
-            let w = ElanWorld::with_params(
-                &sim, spec.nodes, spec.ppn, cfg.node, cfg.elan, cfg.tports,
-            );
+            let w = ElanWorld::with_config(&sim, spec.nodes, spec.ppn, cfg);
             w.spawn_ranks("job", move |c| program.clone().run(c));
             let t = sim
                 .run()

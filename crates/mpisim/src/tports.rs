@@ -10,7 +10,7 @@ use std::rc::Rc;
 
 use std::cell::RefCell;
 
-use elanib_fabric::elan_fabric;
+use elanib_fabric::{elan_fabric_with, faults::FaultPlan};
 use elanib_nic::{
     Bytes, ElanNet, ElanParams, HcaParams, RegCache, TportHeader, TportRecvHandle, TportSel,
 };
@@ -81,8 +81,34 @@ impl ElanWorld {
         elan_params: ElanParams,
         mpi_params: TportsMpiParams,
     ) -> Rc<ElanWorld> {
+        ElanWorld::with_faults(sim, n_nodes, ppn, node_params, elan_params, mpi_params, None)
+    }
+
+    /// [`ElanWorld::with_params`] plus the full [`crate::NetConfig`]
+    /// bundle (fault plan included).
+    pub fn with_config(sim: &Sim, n_nodes: usize, ppn: usize, cfg: &crate::NetConfig) -> Rc<ElanWorld> {
+        ElanWorld::with_faults(
+            sim,
+            n_nodes,
+            ppn,
+            cfg.node,
+            cfg.elan,
+            cfg.tports,
+            cfg.faults.clone(),
+        )
+    }
+
+    fn with_faults(
+        sim: &Sim,
+        n_nodes: usize,
+        ppn: usize,
+        node_params: NodeParams,
+        elan_params: ElanParams,
+        mpi_params: TportsMpiParams,
+        faults: Option<std::sync::Arc<FaultPlan>>,
+    ) -> Rc<ElanWorld> {
         let nodes: Vec<_> = (0..n_nodes).map(|i| Node::new(i, node_params)).collect();
-        let fabric = Rc::new(elan_fabric(n_nodes));
+        let fabric = Rc::new(elan_fabric_with(n_nodes, faults));
         let net = ElanNet::new(&nodes, fabric, ppn, elan_params);
         let reg_params = HcaParams::default();
         let regcaches = (0..n_nodes * ppn)

@@ -28,10 +28,10 @@ use elanib_simcore::FxHashMap;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use elanib_fabric::ib_fabric;
+use elanib_fabric::{faults::FaultPlan, ib_fabric_with};
 use elanib_nic::{Bytes, HcaParams, IbNet};
 use elanib_nodesim::{Node, NodeParams};
-use elanib_simcore::{Dur, Flag, Sim};
+use elanib_simcore::{Dur, Flag, Race2, Sim};
 
 use crate::{Communicator, RecvMsg};
 
@@ -241,8 +241,35 @@ impl IbWorld {
         hca_params: HcaParams,
         mpi_params: VerbsParams,
     ) -> Rc<IbWorld> {
+        IbWorld::with_faults(sim, n_nodes, ppn, node_params, hca_params, mpi_params, None)
+    }
+
+    /// [`IbWorld::with_params`] plus the full [`crate::NetConfig`]
+    /// bundle (fault plan included).
+    pub fn with_config(sim: &Sim, n_nodes: usize, ppn: usize, cfg: &crate::NetConfig) -> Rc<IbWorld> {
+        IbWorld::with_faults(
+            sim,
+            n_nodes,
+            ppn,
+            cfg.node,
+            cfg.hca,
+            cfg.verbs,
+            cfg.faults.clone(),
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn with_faults(
+        sim: &Sim,
+        n_nodes: usize,
+        ppn: usize,
+        node_params: NodeParams,
+        hca_params: HcaParams,
+        mpi_params: VerbsParams,
+        faults: Option<std::sync::Arc<FaultPlan>>,
+    ) -> Rc<IbWorld> {
         let nodes: Vec<_> = (0..n_nodes).map(|i| Node::new(i, node_params)).collect();
-        let fabric = Rc::new(ib_fabric(n_nodes));
+        let fabric = Rc::new(ib_fabric_with(n_nodes, faults));
         let net = Rc::new(IbNet::new(&nodes, fabric, ppn, hca_params));
         let ranks = (0..n_nodes * ppn).map(|_| Rc::new(RankState::new())).collect();
         let w = Rc::new(IbWorld {
@@ -390,9 +417,15 @@ impl VerbsComm {
     /// call; drains the HCA inbox, handling each protocol message on
     /// the host CPU, until `done` is set.
     async fn progress_until(&self, done: Flag) {
-        let sim = self.w.sim.clone();
         let hca = self.w.net.hca(self.rank).clone();
         loop {
+            // Transport retries are exhausted: the QP is in the error
+            // state and every outstanding work request is flushed.
+            // MVAPICH 0.9.2 had no recovery path for this — the job
+            // dies with the (typed) transport error.
+            if let Some(e) = hca.qp_error() {
+                panic!("InfiniBand QP error at rank {}: {e}", self.rank);
+            }
             // Drain whatever has already landed.
             while let Some((_src, m)) = hca.inbox.try_recv() {
                 self.charge(hca.params.poll_detect).await;
@@ -404,13 +437,17 @@ impl VerbsComm {
             // Nothing pending and not done: block on the next arrival.
             // (A real implementation spins; the spin occupies only this
             // rank's own CPU, so the block is time-equivalent.)
-            let recv = hca.inbox.recv();
             // The wait may race with our own completion (e.g. a send
-            // completing via local DMA). Wake on either.
-            let done2 = done.clone();
-            let got = race_msg(&sim, recv, done2).await;
-            match got {
-                Some((_src, m)) => {
+            // completing via local DMA) or a QP failure. Poll order is
+            // message, then done, then error — deterministic, and
+            // identical to the pre-fault behaviour when no plan is
+            // active (the error flag never fires then).
+            let race = elanib_simcore::race2(
+                hca.inbox.recv(),
+                elanib_simcore::race2(done.wait(), hca.qp_error_flag.wait()),
+            );
+            match race.await {
+                Race2::First((_src, m)) => {
                     // One poll sweep across all per-peer buffers to
                     // find it (cost scales with connections), plus the
                     // detection itself.
@@ -418,7 +455,8 @@ impl VerbsComm {
                     self.charge(hca.params.poll_detect).await;
                     self.handle(m).await;
                 }
-                None => return, // done flag fired
+                Race2::Second(Race2::First(())) => return, // done flag fired
+                Race2::Second(Race2::Second(())) => continue, // loop top surfaces the QP error
             }
         }
     }
@@ -490,7 +528,7 @@ impl VerbsComm {
                     .expect("CTS for unknown send");
                 // RDMA-write the payload with the FIN; the send request
                 // completes when the source DMA drains.
-                let local = self.w.net.post(
+                let h = self.w.net.post(
                     &self.w.sim,
                     self.rank,
                     pending.hdr.dst,
@@ -505,7 +543,7 @@ impl VerbsComm {
                 let done = pending.done;
                 let sim = self.w.sim.clone();
                 sim.clone().spawn("ib-send-complete", async move {
-                    local.wait().await;
+                    h.local.wait().await;
                     done.set();
                 });
             }
@@ -586,31 +624,6 @@ impl VerbsComm {
         });
         slot.done.set();
     }
-}
-
-/// Await either the next inbox message or the `done` flag, whichever
-/// fires first (deterministically: at equal times the message wins so
-/// it is not lost).
-async fn race_msg<T>(
-    _sim: &Sim,
-    recv: elanib_simcore::sync::MailboxRecv<T>,
-    done: Flag,
-) -> Option<T> {
-    use std::future::Future;
-    use std::pin::pin;
-    use std::task::Poll;
-    let mut recv = pin!(recv);
-    let mut done_fut = pin!(done.wait());
-    std::future::poll_fn(move |cx| {
-        if let Poll::Ready(v) = recv.as_mut().poll(cx) {
-            return Poll::Ready(Some(v));
-        }
-        if let Poll::Ready(()) = done_fut.as_mut().poll(cx) {
-            return Poll::Ready(None);
-        }
-        Poll::Pending
-    })
-    .await
 }
 
 impl Communicator for VerbsComm {

@@ -32,7 +32,7 @@ use elanib_simcore::{Dur, Flag, Sim};
 
 use crate::common::{Bytes, SerialEngine};
 use crate::params::ElanParams;
-use crate::transfer::{launch, PairChains};
+use crate::transfer::{launch, PairChains, RecoveryPolicy};
 
 /// Message envelope: MPI-level addressing carried by every Tports
 /// transaction.
@@ -406,7 +406,14 @@ impl ElanNet {
             local_done,
             prev,
             tail,
-            move |sim| {
+            RecoveryPolicy::elan(&self.params),
+            move |sim, result| {
+                // Elan's link layer hides transient faults in hardware;
+                // a surfaced transport error means the path is
+                // persistently dead, which QsNet treats as fatal.
+                if let Err(e) = result {
+                    panic!("Elan transport failure {src_ep}->{dst_ep}: {e}");
+                }
                 net.on_arrival(sim, &dst_port, msg);
             },
         );

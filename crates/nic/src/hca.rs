@@ -30,7 +30,24 @@ use elanib_simcore::{Dur, Flag, Mailbox, Sim};
 use crate::common::SerialEngine;
 use crate::params::HcaParams;
 use crate::regcache::{RegCache, RegionId};
-use crate::transfer::{launch, PairChains};
+use crate::transfer::{launch, PairChains, RecoveryPolicy, TransportError};
+
+/// Handle returned by [`IbNet::post`]: the buffer-reuse flag plus the
+/// transport outcome of this specific work request.
+pub struct PostHandle {
+    /// Set when the source buffer is reusable (source DMA drained) —
+    /// also set on failure (flush semantics).
+    pub local: Flag,
+    err: Rc<RefCell<Option<TransportError>>>,
+}
+
+impl PostHandle {
+    /// The typed transport failure of this WQE, if recovery gave up.
+    /// `None` until completion, and forever on success.
+    pub fn error(&self) -> Option<TransportError> {
+        self.err.borrow().clone()
+    }
+}
 
 /// Per-node HCA hardware: the engines and ordering chains shared by
 /// every rank on the node.
@@ -68,6 +85,13 @@ pub struct Hca<M> {
     /// engine (the §7 independent-progress ablation). Default: unset,
     /// i.e. the faithful passive-inbox behaviour.
     hook: RefCell<Option<ArrivalHook<M>>>,
+    /// First transport error on any of this rank's connections: the
+    /// QP error state. Further sends flush; the progress engine
+    /// surfaces it instead of spinning forever.
+    qp_error: RefCell<Option<TransportError>>,
+    /// Set the instant [`qp_error`](Hca::qp_error) becomes `Some` —
+    /// lets the progress engine race on it without polling.
+    pub qp_error_flag: Flag,
 }
 
 /// A whole InfiniBand network: fabric + one HCA view per rank.
@@ -111,6 +135,8 @@ impl<M: 'static> IbNet<M> {
                     inbox: Mailbox::new(),
                     connections: RefCell::new(0),
                     hook: RefCell::new(None),
+                    qp_error: RefCell::new(None),
+                    qp_error_flag: Flag::new(),
                 })
             })
             .collect();
@@ -161,15 +187,22 @@ impl<M: 'static> IbNet<M> {
     }
 
     /// Transmit `m` with `bytes` of wire payload from `src` rank to
-    /// `dst` rank (must be on different nodes). Returns a flag that is
-    /// set when the source buffer is reusable (source DMA drained).
-    /// Delivery pushes `(src, m)` into the destination inbox after the
-    /// destination HCA's receive-engine slot — and nothing more: the
-    /// destination host discovers it only by polling.
-    pub fn post(&self, sim: &Sim, src: usize, dst: usize, m: M, bytes: u64) -> Flag {
+    /// `dst` rank (must be on different nodes). Returns a
+    /// [`PostHandle`]: `local` is set when the source buffer is
+    /// reusable (source DMA drained). Delivery pushes `(src, m)` into
+    /// the destination inbox after the destination HCA's
+    /// receive-engine slot — and nothing more: the destination host
+    /// discovers it only by polling.
+    ///
+    /// If the transport gives up (fault plan + `retry_cnt`/`rnr_retry`
+    /// exhausted), the message is never delivered; the error is stored
+    /// on the handle and the *source* rank's QP enters the error state
+    /// ([`Hca::qp_error`]).
+    pub fn post(&self, sim: &Sim, src: usize, dst: usize, m: M, bytes: u64) -> PostHandle {
         let src_port = &self.ports[self.rank_ep[src]];
         let dst_port = self.ports[self.rank_ep[dst]].clone();
         let dst_hca = self.hcas[dst].clone();
+        let src_hca = self.hcas[src].clone();
         let local_done = Flag::new();
         // The send engine serializes all WQEs on this node's HCA —
         // including the sibling rank's in 2 PPN mode.
@@ -181,6 +214,8 @@ impl<M: 'static> IbNet<M> {
             tr.add("hca.posts", 1);
             tr.add("hca.post_bytes", bytes);
         }
+        let err: Rc<RefCell<Option<TransportError>>> = Rc::new(RefCell::new(None));
+        let err2 = err.clone();
         launch(
             sim,
             &self.fabric,
@@ -193,7 +228,16 @@ impl<M: 'static> IbNet<M> {
             local_done.clone(),
             prev,
             tail,
-            move |sim| {
+            RecoveryPolicy::ib(&self.params),
+            move |sim, result| {
+                if let Err(e) = result {
+                    *err2.borrow_mut() = Some(e.clone());
+                    src_hca.fail_qp(e);
+                    if let Some(tr) = sim.tracer() {
+                        tr.add("hca.qp_errors", 1);
+                    }
+                    return;
+                }
                 // Receive-side HCA processing (CQE/steering) is serial
                 // per port, then the record becomes host-visible.
                 let slot = dst_port.rx_engine.next_slot(sim, rx_cost);
@@ -214,11 +258,30 @@ impl<M: 'static> IbNet<M> {
                 });
             },
         );
-        local_done
+        PostHandle {
+            local: local_done,
+            err,
+        }
     }
 }
 
 impl<M> Hca<M> {
+    /// The first transport error observed on this rank's connections
+    /// (the QP error state), if any.
+    pub fn qp_error(&self) -> Option<TransportError> {
+        self.qp_error.borrow().clone()
+    }
+
+    /// Drive this rank's QP into the error state. First error wins;
+    /// the flag wakes anything racing on it.
+    pub fn fail_qp(&self, e: TransportError) {
+        let mut slot = self.qp_error.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(e);
+            self.qp_error_flag.set();
+        }
+    }
+
     /// Install an interrupt-style delivery hook: arrivals bypass the
     /// inbox and invoke `h` at hardware-delivery time. Used only by
     /// the independent-progress ablation.
@@ -359,11 +422,12 @@ mod tests {
     #[test]
     fn local_done_signals_buffer_reuse() {
         let (sim, net) = net(2, 1);
-        let f = net.post(&sim, 0, 1, TestMsg(9), 1_000_000);
+        let h = net.post(&sim, 0, 1, TestMsg(9), 1_000_000);
         let seen = Rc::new(Cell::new(false));
         let (s2, seen2) = (sim.clone(), seen.clone());
         sim.spawn("wait-local", async move {
-            f.wait().await;
+            h.local.wait().await;
+            assert!(h.error().is_none());
             assert!(s2.now().as_us_f64() > 0.0);
             seen2.set(true);
         });
@@ -374,6 +438,45 @@ mod tests {
         });
         sim.run().unwrap();
         assert!(seen.get());
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_qp_error_not_hang() {
+        use elanib_fabric::faults::FaultPlan;
+        use std::sync::Arc;
+        let sim = Sim::new(1);
+        let nn: Vec<_> = (0..2).map(|i| Node::new(i, NodeParams::default())).collect();
+        // Endpoint 1's only cable is down for the whole run.
+        let plan = Arc::new(FaultPlan::parse("outage=link1@0+10s").unwrap());
+        let fabric = Rc::new(Fabric::with_faults(
+            Topology::single_crossbar(2),
+            infiniband_4x(),
+            Some(plan),
+        ));
+        let params = HcaParams {
+            retry_cnt: 2,
+            ack_timeout: Dur::from_us(100),
+            ..HcaParams::default()
+        };
+        let net: Rc<IbNet<TestMsg>> = Rc::new(IbNet::new(&nn, fabric, 1, params));
+        let h = net.post(&sim, 0, 1, TestMsg(1), 64);
+        // The run terminates (no deadlock): delivery never happens but
+        // the flush still returns the buffer and records the error.
+        sim.run().unwrap();
+        assert!(h.local.is_set());
+        assert_eq!(
+            h.error(),
+            Some(TransportError::RetryExceeded {
+                src: 0,
+                dst: 1,
+                bytes: 64,
+                attempts: 3,
+            })
+        );
+        assert_eq!(net.hca(0).qp_error(), h.error());
+        assert!(net.hca(0).qp_error_flag.is_set());
+        assert!(net.hca(1).qp_error().is_none());
+        assert_eq!(net.hca(1).inbox.len(), 0);
     }
 
     #[test]

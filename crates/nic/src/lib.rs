@@ -24,6 +24,7 @@ pub mod transfer;
 
 pub use common::{no_bytes, Bytes, SerialEngine};
 pub use elan::{ElanNet, ElanPort, TportArrival, TportHeader, TportRecvHandle, TportSel};
-pub use hca::{Hca, HcaPort, IbNet};
+pub use hca::{Hca, HcaPort, IbNet, PostHandle};
 pub use params::{ElanParams, HcaParams};
 pub use regcache::{RegCache, RegionId};
+pub use transfer::{RecoveryPolicy, TransportError};

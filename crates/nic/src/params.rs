@@ -40,6 +40,19 @@ pub struct HcaParams {
     /// One-time queue-pair connection setup cost per peer (charged at
     /// init: InfiniBand is connection-oriented, §3.3.1).
     pub qp_setup: Dur,
+    /// RC transport ACK timeout: how long the requester waits for an
+    /// acknowledgement before retransmitting the whole message. IB's
+    /// Local ACK Timeout is coarse (4.096 µs × 2^n steps); 2004-era
+    /// stacks ran it in the 100 µs+ range — this granularity is what
+    /// makes IB latency *cliff* under loss rather than degrade.
+    pub ack_timeout: Dur,
+    /// Bounded transport retries; on exhaustion the QP enters the
+    /// error state (IBTA RC semantics; 7 is the verbs maximum).
+    pub retry_cnt: u32,
+    /// Receiver-not-ready NAK back-off before the requester retries.
+    pub rnr_timer: Dur,
+    /// Bounded RNR retries before the QP errors out.
+    pub rnr_retry: u32,
 }
 
 impl Default for HcaParams {
@@ -53,6 +66,10 @@ impl Default for HcaParams {
             reg_per_page: Dur::from_ns(1200),
             reg_cache_bytes: 6 * 1024 * 1024,
             qp_setup: Dur::from_us(150),
+            ack_timeout: Dur::from_us(100),
+            retry_cnt: 7,
+            rnr_timer: Dur::from_us(50),
+            rnr_retry: 7,
         }
     }
 }
@@ -86,6 +103,14 @@ pub struct ElanParams {
     /// software measured through MPI) uses the software dissemination
     /// barrier.
     pub hw_barrier: Option<Dur>,
+    /// Link-level hardware retry turnaround per lost/corrupt packet
+    /// (Elan detects per-packet CRC failure in the link layer and
+    /// retransmits immediately — three orders of magnitude finer than
+    /// IB's end-to-end ACK timeout, §3.1's reliability-in-hardware).
+    pub link_retry: Dur,
+    /// Bounded link retries per message before the NIC gives up (a
+    /// persistently-dead path is a fatal network error on QsNet).
+    pub link_retry_limit: u32,
 }
 
 impl Default for ElanParams {
@@ -98,6 +123,8 @@ impl Default for ElanParams {
             host_wakeup: Dur::from_ns(400),
             eager_threshold: 4096,
             hw_barrier: None,
+            link_retry: Dur::from_us(1),
+            link_retry_limit: 64,
         }
     }
 }
@@ -114,6 +141,16 @@ mod tests {
         // cost must be well below InfiniBand's.
         assert!(e.pio_issue < h.doorbell + h.wqe_engine);
         assert!(e.host_wakeup < h.poll_detect);
+    }
+
+    #[test]
+    fn recovery_granularity_gap_is_orders_of_magnitude() {
+        // The architectural claim behind the faults exhibit: IB's
+        // end-to-end ACK timeout is vastly coarser than Elan's
+        // link-level hardware retry.
+        let h = HcaParams::default();
+        let e = ElanParams::default();
+        assert!(h.ack_timeout.as_ps() >= 100 * e.link_retry.as_ps());
     }
 
     #[test]

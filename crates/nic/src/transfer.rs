@@ -15,14 +15,284 @@
 
 use std::cell::RefCell;
 use elanib_simcore::FxHashMap;
+use std::fmt;
 use std::rc::Rc;
 
-use elanib_fabric::Fabric;
+use elanib_fabric::faults::FaultState;
+use elanib_fabric::{Fabric, WireOutcome};
 use elanib_nodesim::Node;
-use elanib_simcore::{Flag, Sim, SimTime};
+use elanib_simcore::{Dur, Flag, Sim, SimTime};
+
+use crate::params::{ElanParams, HcaParams};
 
 /// NIC-internal turnaround latency for loopback (intra-node) messages.
 const LOOPBACK_TURNAROUND: elanib_simcore::Dur = elanib_simcore::Dur(300_000); // 300 ns
+
+/// A transport-level failure surfaced by the recovery machinery —
+/// the typed alternative to hanging when a fault plan kills a path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// IB RC: `retry_cnt` timeouts exhausted; the QP is in the error
+    /// state and every later WQE on it flushes.
+    RetryExceeded {
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        attempts: u32,
+    },
+    /// IB RC: the receiver NAKed receiver-not-ready more than
+    /// `rnr_retry` times.
+    RnrRetryExceeded { src: usize, dst: usize, retries: u32 },
+    /// Elan: the route stayed down (no detour existed) past the link
+    /// retry limit.
+    LinkDead { src: usize, dst: usize, waited: u32 },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::RetryExceeded {
+                src,
+                dst,
+                bytes,
+                attempts,
+            } => write!(
+                f,
+                "retry_cnt exhausted after {attempts} attempts sending {bytes} B {src}->{dst}"
+            ),
+            TransportError::RnrRetryExceeded { src, dst, retries } => write!(
+                f,
+                "rnr_retry exhausted after {retries} RNR NAKs {src}->{dst}"
+            ),
+            TransportError::LinkDead { src, dst, waited } => write!(
+                f,
+                "link dead {src}->{dst} after waiting out {waited} outage windows"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// How a transport recovers from injected wire faults. Constructed
+/// from the NIC parameter blocks so the recovery constants live next
+/// to the rest of the calibration.
+#[derive(Clone, Copy, Debug)]
+pub enum RecoveryPolicy {
+    /// IB reliable connection: whole-message retransmit on ACK
+    /// timeout with exponential backoff, bounded retries, RNR NAKs.
+    IbRc {
+        ack_timeout: Dur,
+        retry_cnt: u32,
+        rnr_timer: Dur,
+        rnr_retry: u32,
+    },
+    /// Elan-4: link-level per-packet hardware retry plus adaptive
+    /// rerouting (handled inside the fabric attempt); a fully downed
+    /// route is waited out, boundedly.
+    ElanLink { link_retry: Dur, retry_limit: u32 },
+}
+
+impl RecoveryPolicy {
+    pub fn ib(p: &HcaParams) -> RecoveryPolicy {
+        RecoveryPolicy::IbRc {
+            ack_timeout: p.ack_timeout,
+            retry_cnt: p.retry_cnt,
+            rnr_timer: p.rnr_timer,
+            rnr_retry: p.rnr_retry,
+        }
+    }
+
+    pub fn elan(p: &ElanParams) -> RecoveryPolicy {
+        RecoveryPolicy::ElanLink {
+            link_retry: p.link_retry,
+            retry_limit: p.link_retry_limit,
+        }
+    }
+}
+
+/// Drive one message across a faulty fabric under `policy`, returning
+/// the instant the last byte (including any retry penalty) is at the
+/// destination port, or the typed error when recovery gives up.
+///
+/// Only called when a fault plan is active; the fault-free path in
+/// [`launch`] goes straight to [`Fabric::deliver_at`].
+async fn deliver_with_recovery(
+    sim: &Sim,
+    fabric: &Rc<Fabric>,
+    fs: &Rc<FaultState>,
+    src_ep: usize,
+    dst_ep: usize,
+    bytes: u64,
+    policy: RecoveryPolicy,
+) -> Result<SimTime, TransportError> {
+    match policy {
+        RecoveryPolicy::IbRc {
+            ack_timeout,
+            retry_cnt,
+            rnr_timer,
+            rnr_retry,
+        } => {
+            let first_sent = sim.now();
+            let mut retries = 0u32;
+            let mut rnr_taken = 0u32;
+            loop {
+                // A stalled sender NIC issues nothing until it recovers.
+                if let Some(until) = fs.stall_until(src_ep, sim.now()) {
+                    sim.sleep_until(until).await;
+                }
+                let sent_at = sim.now();
+                let arrives = match fabric.deliver_attempt(sim, src_ep, dst_ep, bytes, false) {
+                    // Static routing: a downed link on the route is
+                    // indistinguishable from loss — the ACK never comes.
+                    WireOutcome::LinkDown { .. } => None,
+                    WireOutcome::Delivered {
+                        arrives,
+                        lost,
+                        corrupted,
+                        ..
+                    } => {
+                        // RC retransmits the *whole message* if any
+                        // packet was lost or failed its ICRC.
+                        if lost + corrupted > 0 {
+                            None
+                        } else {
+                            Some(arrives)
+                        }
+                    }
+                };
+                if let Some(arrives) = arrives {
+                    if fs.stall_until(dst_ep, arrives).is_some() {
+                        // Receiver NIC stalled: RNR NAK, bounded.
+                        if rnr_taken >= rnr_retry {
+                            fs.note_qp_error();
+                            if let Some(tr) = sim.tracer() {
+                                tr.add("ib.qp_errors", 1);
+                            }
+                            return Err(TransportError::RnrRetryExceeded {
+                                src: src_ep,
+                                dst: dst_ep,
+                                retries: rnr_taken,
+                            });
+                        }
+                        rnr_taken += 1;
+                        fs.note_rnr_nak();
+                        if let Some(tr) = sim.tracer() {
+                            tr.add("ib.rnr_naks", 1);
+                        }
+                        // Back off for the advertised RNR timer from
+                        // the NAK's arrival, then retransmit. If the
+                        // stall outlives the timer the next attempt
+                        // NAKs again (still bounded by rnr_retry).
+                        sim.sleep_until(arrives + rnr_timer).await;
+                        continue;
+                    }
+                    if retries > 0 {
+                        if let Some(tr) = sim.tracer() {
+                            tr.span(
+                                "fault",
+                                "ib_retransmit",
+                                first_sent.as_ps(),
+                                arrives.as_ps(),
+                                src_ep as u32,
+                                retries as i64,
+                            );
+                        }
+                    }
+                    return Ok(arrives);
+                }
+                if retries >= retry_cnt {
+                    fs.note_qp_error();
+                    if let Some(tr) = sim.tracer() {
+                        tr.add("ib.qp_errors", 1);
+                    }
+                    return Err(TransportError::RetryExceeded {
+                        src: src_ep,
+                        dst: dst_ep,
+                        bytes,
+                        attempts: retries + 1,
+                    });
+                }
+                // Exponential backoff at ACK-timeout granularity:
+                // timeout << retries, capped at 64x (IBTA's coarse
+                // 4.096 µs × 2^n ladder has the same shape).
+                let backoff = Dur(ack_timeout.as_ps() << retries.min(6));
+                fs.note_ib_retransmit();
+                if let Some(tr) = sim.tracer() {
+                    tr.add("ib.retransmits", 1);
+                }
+                sim.sleep_until(sent_at + backoff).await;
+                retries += 1;
+            }
+        }
+        RecoveryPolicy::ElanLink {
+            link_retry,
+            retry_limit,
+        } => {
+            let mut waits = 0u32;
+            loop {
+                if let Some(until) = fs.stall_until(src_ep, sim.now()) {
+                    sim.sleep_until(until).await;
+                }
+                match fabric.deliver_attempt(sim, src_ep, dst_ep, bytes, true) {
+                    WireOutcome::LinkDown { until } => {
+                        // No detour existed; the NIC keeps retrying at
+                        // link granularity until the window clears.
+                        if waits >= retry_limit {
+                            return Err(TransportError::LinkDead {
+                                src: src_ep,
+                                dst: dst_ep,
+                                waited: waits,
+                            });
+                        }
+                        waits += 1;
+                        fs.note_outage_wait();
+                        if let Some(tr) = sim.tracer() {
+                            tr.add("fault.outage_waits", 1);
+                        }
+                        sim.sleep_until(until).await;
+                    }
+                    WireOutcome::Delivered {
+                        arrives,
+                        lost,
+                        corrupted,
+                        ..
+                    } => {
+                        let bad = lost + corrupted;
+                        let mut done = arrives;
+                        if bad > 0 {
+                            // Link-level hardware retry: each bad packet
+                            // costs one turnaround plus its
+                            // reserialization — microseconds, not an
+                            // end-to-end timeout.
+                            fs.note_elan_link_retries(bad);
+                            if let Some(tr) = sim.tracer() {
+                                tr.add("elan.link_retries", bad);
+                            }
+                            let pkt = bytes.min(fabric.params.link.mtu as u64).max(1);
+                            let pkt_ser = fabric.params.link.serialize(pkt);
+                            done = arrives + (link_retry + pkt_ser) * bad;
+                            if let Some(tr) = sim.tracer() {
+                                tr.span(
+                                    "fault",
+                                    "elan_link_retry",
+                                    arrives.as_ps(),
+                                    done.as_ps(),
+                                    src_ep as u32,
+                                    bad as i64,
+                                );
+                            }
+                        }
+                        if let Some(until) = fs.stall_until(dst_ep, done) {
+                            done = until;
+                        }
+                        return Ok(done);
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// Per-source bookkeeping that keeps each `(src, dst)` message stream
 /// in order.
@@ -52,10 +322,14 @@ impl PairChains {
 /// * `start_at` — instant the NIC engine injects the message (already
 ///   serialized by the caller's [`crate::common::SerialEngine`]).
 /// * `local_done` — set when the source-side DMA has drained (the
-///   send buffer is reusable).
+///   send buffer is reusable). Set even on transport failure (flush
+///   semantics: the buffer is always handed back).
 /// * `prev`/`tail` — per-pair ordering chain from [`PairChains`].
-/// * `on_delivered` — runs at the instant the last byte (and any
-///   predecessor in the chain) has arrived at the destination port.
+/// * `policy` — the transport's recovery behaviour when a fault plan
+///   is active (ignored, zero-cost, otherwise).
+/// * `on_complete` — runs at the instant the last byte (and any
+///   predecessor in the chain) has arrived at the destination port,
+///   or when recovery gives up with a typed [`TransportError`].
 #[allow(clippy::too_many_arguments)]
 pub fn launch(
     sim: &Sim,
@@ -69,7 +343,8 @@ pub fn launch(
     local_done: Flag,
     prev: Option<Flag>,
     tail: Flag,
-    on_delivered: impl FnOnce(&Sim) + 'static,
+    policy: RecoveryPolicy,
+    on_complete: impl FnOnce(&Sim, Result<(), TransportError>) + 'static,
 ) {
     // Control messages still move a minimal packet.
     let wire_bytes = bytes.max(16);
@@ -99,7 +374,7 @@ pub fn launch(
             if let Some(p) = prev {
                 p.wait().await;
             }
-            on_delivered(&sim);
+            on_complete(&sim, Ok(()));
             tail.set();
             return;
         }
@@ -107,7 +382,38 @@ pub fn launch(
         // streams from host memory onto the wire).
         let dma_start = sim.now();
         let f_src = src_node.pcix_start(&sim, wire_bytes);
-        let wire_done = fabric.deliver_at(&sim, src_ep, dst_ep, wire_bytes);
+        let wire_done = match fabric.faults() {
+            // Fault-free hot path: identical to the pre-fault-layer
+            // pipeline, one extra null check.
+            None => fabric.deliver_at(&sim, src_ep, dst_ep, wire_bytes),
+            Some(fs) => {
+                let fs = fs.clone();
+                match deliver_with_recovery(
+                    &sim, &fabric, &fs, src_ep, dst_ep, wire_bytes, policy,
+                )
+                .await
+                {
+                    Ok(t) => t,
+                    Err(e) => {
+                        // Failure flushes, it doesn't hang: the source
+                        // DMA already ran (the wire attempt consumed
+                        // the data), the send buffer comes back, and
+                        // the pair chain keeps its order. Retransmit
+                        // attempts are charged on the wire only — the
+                        // PCI-X crossing is paid once (the HCA
+                        // retransmits from its own staging).
+                        f_src.wait().await;
+                        local_done.set();
+                        if let Some(p) = prev {
+                            p.wait().await;
+                        }
+                        on_complete(&sim, Err(e));
+                        tail.set();
+                        return;
+                    }
+                }
+            }
+        };
         let ser = fabric.params.link.serialize(wire_bytes);
         // When does the head reach the destination port?
         let head_at_dst = if wire_done.as_ps() > sim.now().as_ps() + ser.as_ps() {
@@ -166,7 +472,7 @@ pub fn launch(
                 wire_bytes as i64,
             );
         }
-        on_delivered(&sim);
+        on_complete(&sim, Ok(()));
         tail.set();
     });
 }
@@ -174,15 +480,33 @@ pub fn launch(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use elanib_fabric::{infiniband_4x, Topology};
+    use elanib_fabric::faults::FaultPlan;
+    use elanib_fabric::{elan4, infiniband_4x, Topology};
     use elanib_nodesim::NodeParams;
     use std::cell::Cell;
+    use std::sync::Arc;
 
     fn setup(n: usize) -> (Sim, Rc<Fabric>, Vec<Rc<Node>>) {
         let sim = Sim::new(1);
         let fabric = Rc::new(Fabric::new(Topology::single_crossbar(n), infiniband_4x()));
         let nodes = (0..n).map(|i| Node::new(i, NodeParams::default())).collect();
         (sim, fabric, nodes)
+    }
+
+    fn faulty_setup(n: usize, spec: &str) -> (Sim, Rc<Fabric>, Vec<Rc<Node>>) {
+        let sim = Sim::new(1);
+        let plan = Arc::new(FaultPlan::parse(spec).unwrap());
+        let fabric = Rc::new(Fabric::with_faults(
+            Topology::single_crossbar(n),
+            infiniband_4x(),
+            Some(plan),
+        ));
+        let nodes = (0..n).map(|i| Node::new(i, NodeParams::default())).collect();
+        (sim, fabric, nodes)
+    }
+
+    fn ib_policy() -> RecoveryPolicy {
+        RecoveryPolicy::ib(&HcaParams::default())
     }
 
     #[test]
@@ -193,8 +517,11 @@ mod tests {
         let (p, t) = (None, Flag::new());
         launch(
             &sim, &fabric, &nodes[0], &nodes[1], 0, 1, 64,
-            sim.now(), Flag::new(), p, t,
-            move |s| a.set(s.now().as_us_f64()),
+            sim.now(), Flag::new(), p, t, ib_policy(),
+            move |s, r| {
+                r.unwrap();
+                a.set(s.now().as_us_f64());
+            },
         );
         sim.run().unwrap();
         // Must include wire (ser + 2 prop + hop) and both PCI-X shares.
@@ -208,8 +535,11 @@ mod tests {
         let a = arrived.clone();
         launch(
             &sim, &fabric, &nodes[0], &nodes[1], 0, 1, 10_000_000,
-            sim.now(), Flag::new(), None, Flag::new(),
-            move |s| a.set(s.now().as_us_f64()),
+            sim.now(), Flag::new(), None, Flag::new(), ib_policy(),
+            move |s, r| {
+                r.unwrap();
+                a.set(s.now().as_us_f64());
+            },
         );
         sim.run().unwrap();
         let bw = 10_000_000.0 / (arrived.get() * 1e-6);
@@ -232,8 +562,11 @@ mod tests {
         let d = deliver_t.clone();
         launch(
             &sim, &fabric, &nodes[0], &nodes[1], 0, 1, 1_000_000,
-            sim.now(), local, None, Flag::new(),
-            move |s| d.set(s.now().as_us_f64()),
+            sim.now(), local, None, Flag::new(), ib_policy(),
+            move |s, r| {
+                r.unwrap();
+                d.set(s.now().as_us_f64());
+            },
         );
         sim.run().unwrap();
         assert!(local_t.get() > 0.0 && local_t.get() < deliver_t.get());
@@ -250,8 +583,11 @@ mod tests {
             let o = order.clone();
             launch(
                 &sim, &fabric, &nodes[0], &nodes[1], 0, 1, bytes,
-                sim.now(), Flag::new(), prev, tail,
-                move |_| o.borrow_mut().push(i),
+                sim.now(), Flag::new(), prev, tail, ib_policy(),
+                move |_, r| {
+                    r.unwrap();
+                    o.borrow_mut().push(i);
+                },
             );
         }
         sim.run().unwrap();
@@ -269,8 +605,9 @@ mod tests {
             let (d, e) = (done.clone(), end.clone());
             launch(
                 &sim, &fabric, &nodes[src], &nodes[2], src, 2, 5_000_000,
-                sim.now(), Flag::new(), None, Flag::new(),
-                move |s| {
+                sim.now(), Flag::new(), None, Flag::new(), ib_policy(),
+                move |s, r| {
+                    r.unwrap();
                     d.set(d.get() + 1);
                     e.set(s.now().as_us_f64());
                 },
@@ -280,5 +617,226 @@ mod tests {
         assert_eq!(done.get(), 2);
         let agg_bw = 10_000_000.0 / (end.get() * 1e-6);
         assert!(agg_bw < 0.96e9, "aggregate {agg_bw} must be capped by dst PCI-X");
+    }
+
+    #[test]
+    fn ib_backoff_schedule_is_pinned() {
+        // A permanently-down link with retry_cnt = 2, ack = 100 µs:
+        // attempts at +0, +100 µs, +300 µs (backoff 1x then 2x), then
+        // the typed error at exactly (2^retry_cnt − 1) × ack_timeout
+        // after the first attempt, with attempts = retry_cnt + 1.
+        let (sim, fabric, nodes) = faulty_setup(2, "outage=link1@0+10s");
+        let policy = RecoveryPolicy::IbRc {
+            ack_timeout: Dur::from_us(100),
+            retry_cnt: 2,
+            rnr_timer: Dur::from_us(50),
+            rnr_retry: 7,
+        };
+        let outcome = Rc::new(RefCell::new(None));
+        let err_at = Rc::new(Cell::new(0u64));
+        let local = Flag::new();
+        let (o, e, l) = (outcome.clone(), err_at.clone(), local.clone());
+        launch(
+            &sim, &fabric, &nodes[0], &nodes[1], 0, 1, 64,
+            sim.now(), local, None, Flag::new(), policy,
+            move |s, r| {
+                assert!(l.is_set(), "flush must return the send buffer first");
+                e.set(s.now().as_ps());
+                *o.borrow_mut() = Some(r);
+            },
+        );
+        sim.run().unwrap();
+        let got = outcome.borrow_mut().take().expect("on_complete must run");
+        assert_eq!(
+            got,
+            Err(TransportError::RetryExceeded {
+                src: 0,
+                dst: 1,
+                bytes: 64,
+                attempts: 3,
+            })
+        );
+        let dma_setup = NodeParams::default().dma_setup;
+        let first_attempt = SimTime::ZERO + dma_setup;
+        assert_eq!(
+            SimTime(err_at.get()),
+            first_attempt + Dur::from_us(300),
+            "error must land at (2^retry_cnt - 1) x ack_timeout"
+        );
+        assert_eq!(fabric.fault_stats().ib_retransmits, 2);
+        assert_eq!(fabric.fault_stats().qp_errors, 1);
+    }
+
+    #[test]
+    fn ib_recovers_when_outage_clears_inside_retry_budget() {
+        // Outage covers the first two attempts; the third succeeds.
+        let (sim, fabric, nodes) = faulty_setup(2, "outage=link1@0+250us");
+        let policy = RecoveryPolicy::IbRc {
+            ack_timeout: Dur::from_us(100),
+            retry_cnt: 7,
+            rnr_timer: Dur::from_us(50),
+            rnr_retry: 7,
+        };
+        let done_at = Rc::new(Cell::new(0.0));
+        let d = done_at.clone();
+        launch(
+            &sim, &fabric, &nodes[0], &nodes[1], 0, 1, 64,
+            sim.now(), Flag::new(), None, Flag::new(), policy,
+            move |s, r| {
+                r.unwrap();
+                d.set(s.now().as_us_f64());
+            },
+        );
+        sim.run().unwrap();
+        // Third attempt goes out at first_attempt + 300 µs — the cliff:
+        // a 250 µs outage costs ~300 µs because recovery quantizes to
+        // the backoff ladder.
+        assert!(done_at.get() > 300.0, "{}", done_at.get());
+        assert_eq!(fabric.fault_stats().ib_retransmits, 2);
+        assert_eq!(fabric.fault_stats().qp_errors, 0);
+    }
+
+    #[test]
+    fn ib_rnr_nak_backs_off_and_recovers() {
+        // Receiver NIC stalled for the first 50 µs: the first attempt
+        // draws an RNR NAK, the retry after rnr_timer lands clear.
+        let (sim, fabric, nodes) = faulty_setup(2, "stall=ep1@0+50us");
+        let policy = RecoveryPolicy::IbRc {
+            ack_timeout: Dur::from_us(100),
+            retry_cnt: 7,
+            rnr_timer: Dur::from_us(60),
+            rnr_retry: 7,
+        };
+        let done_at = Rc::new(Cell::new(0.0));
+        let d = done_at.clone();
+        launch(
+            &sim, &fabric, &nodes[0], &nodes[1], 0, 1, 64,
+            sim.now(), Flag::new(), None, Flag::new(), policy,
+            move |s, r| {
+                r.unwrap();
+                d.set(s.now().as_us_f64());
+            },
+        );
+        sim.run().unwrap();
+        assert!(done_at.get() > 60.0, "{}", done_at.get());
+        let st = fabric.fault_stats();
+        assert_eq!(st.rnr_naks, 1);
+        assert_eq!(st.ib_retransmits, 0);
+    }
+
+    #[test]
+    fn elan_link_retry_penalty_is_per_packet_and_small() {
+        // Every packet corrupt (corrupt=1): Elan still delivers, paying
+        // one link turnaround + one packet reserialization per bad
+        // packet — microseconds, vs IB's 100 µs timeout for the same
+        // injected fault.
+        let sim = Sim::new(1);
+        let plan = Arc::new(FaultPlan::parse("corrupt=1").unwrap());
+        let clean = Rc::new(Fabric::new(Topology::single_crossbar(2), elan4()));
+        let faulty = Rc::new(Fabric::with_faults(
+            Topology::single_crossbar(2),
+            elan4(),
+            Some(plan),
+        ));
+        let nodes: Vec<Rc<Node>> =
+            (0..2).map(|i| Node::new(i, NodeParams::default())).collect();
+        let policy = RecoveryPolicy::ElanLink {
+            link_retry: Dur::from_us(1),
+            retry_limit: 64,
+        };
+        let (t_clean, t_faulty) = (Rc::new(Cell::new(0.0)), Rc::new(Cell::new(0.0)));
+        let c = t_clean.clone();
+        launch(
+            &sim, &clean, &nodes[0], &nodes[1], 0, 1, 4096,
+            sim.now(), Flag::new(), None, Flag::new(), policy,
+            move |s, r| {
+                r.unwrap();
+                c.set(s.now().as_us_f64());
+            },
+        );
+        let f = t_faulty.clone();
+        launch(
+            &sim, &faulty, &nodes[0], &nodes[1], 0, 1, 4096,
+            sim.now(), Flag::new(), None, Flag::new(), policy,
+            move |s, r| {
+                r.unwrap();
+                f.set(s.now().as_us_f64());
+            },
+        );
+        sim.run().unwrap();
+        // 4096 B fits one MTU: 1 packet x 2 links = 2 bad packets;
+        // each costs ~1 µs turnaround + ~3.2 µs of reserialization.
+        let penalty = t_faulty.get() - t_clean.get();
+        assert!(penalty > 4.0 && penalty < 25.0, "penalty {penalty} µs");
+        assert_eq!(faulty.fault_stats().elan_link_retries, 2);
+    }
+
+    #[test]
+    fn elan_waits_out_outage_on_only_path() {
+        // A crossbar has no detour: Elan waits the window out and
+        // delivers right after it clears — no timeout quantization.
+        let sim = Sim::new(1);
+        let plan = Arc::new(FaultPlan::parse("outage=link1@0+80us").unwrap());
+        let fabric = Rc::new(Fabric::with_faults(
+            Topology::single_crossbar(2),
+            elan4(),
+            Some(plan),
+        ));
+        let nodes: Vec<Rc<Node>> =
+            (0..2).map(|i| Node::new(i, NodeParams::default())).collect();
+        let policy = RecoveryPolicy::ElanLink {
+            link_retry: Dur::from_us(1),
+            retry_limit: 64,
+        };
+        let done_at = Rc::new(Cell::new(0.0));
+        let d = done_at.clone();
+        launch(
+            &sim, &fabric, &nodes[0], &nodes[1], 0, 1, 64,
+            sim.now(), Flag::new(), None, Flag::new(), policy,
+            move |s, r| {
+                r.unwrap();
+                d.set(s.now().as_us_f64());
+            },
+        );
+        sim.run().unwrap();
+        assert!(
+            done_at.get() > 80.0 && done_at.get() < 90.0,
+            "{}",
+            done_at.get()
+        );
+        assert_eq!(fabric.fault_stats().outage_waits, 1);
+    }
+
+    #[test]
+    fn elan_permanent_outage_surfaces_typed_error() {
+        let sim = Sim::new(1);
+        let plan = Arc::new(FaultPlan::parse("outage=link1@0+1s").unwrap());
+        let fabric = Rc::new(Fabric::with_faults(
+            Topology::single_crossbar(2),
+            elan4(),
+            Some(plan),
+        ));
+        let nodes: Vec<Rc<Node>> =
+            (0..2).map(|i| Node::new(i, NodeParams::default())).collect();
+        let policy = RecoveryPolicy::ElanLink {
+            link_retry: Dur::from_us(1),
+            retry_limit: 0,
+        };
+        let outcome = Rc::new(RefCell::new(None));
+        let o = outcome.clone();
+        launch(
+            &sim, &fabric, &nodes[0], &nodes[1], 0, 1, 64,
+            sim.now(), Flag::new(), None, Flag::new(), policy,
+            move |_, r| *o.borrow_mut() = Some(r),
+        );
+        sim.run().unwrap();
+        assert_eq!(
+            outcome.borrow_mut().take().unwrap(),
+            Err(TransportError::LinkDead {
+                src: 0,
+                dst: 1,
+                waited: 0,
+            })
+        );
     }
 }

@@ -67,6 +67,6 @@ pub use elanib_trace as trace;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use kernel::{thread_events, DeadlockDiag, Delay, Sim, SimError, StuckTask, TaskId};
 pub use resources::{ChannelStats, FifoChannel, PsResource};
-pub use sync::{Flag, Mailbox, Semaphore};
+pub use sync::{race2, Flag, Mailbox, Race2, Semaphore};
 pub use time::{Dur, SimTime};
 pub use wheel::TimerWheel;

@@ -176,6 +176,38 @@ impl<T> Future for MailboxRecv<T> {
     }
 }
 
+/// Which side of a [`race2`] finished first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Race2<A, B> {
+    First(A),
+    Second(B),
+}
+
+/// Await whichever of two futures completes first, with a fixed,
+/// deterministic priority: `a` is polled before `b` on every wake, so
+/// when both are ready at the same simulated instant `a` wins.
+///
+/// This is the kernel-level building block for timeout timers (work vs.
+/// deadline) and shutdown races (inbox vs. done-flag) — anywhere a task
+/// must wait on two conditions without a tie-break dependent on wake
+/// order.
+pub fn race2<A, B>(
+    a: impl Future<Output = A>,
+    b: impl Future<Output = B>,
+) -> impl Future<Output = Race2<A, B>> {
+    let mut a = Box::pin(a);
+    let mut b = Box::pin(b);
+    std::future::poll_fn(move |cx| {
+        if let Poll::Ready(v) = a.as_mut().poll(cx) {
+            return Poll::Ready(Race2::First(v));
+        }
+        if let Poll::Ready(v) = b.as_mut().poll(cx) {
+            return Poll::Ready(Race2::Second(v));
+        }
+        Poll::Pending
+    })
+}
+
 /// Counted semaphore with strict FIFO admission. Used to model finite
 /// hardware resources (send-queue slots, credits) where ordering
 /// fairness matters for determinism.
@@ -337,6 +369,48 @@ mod tests {
             assert!(m.try_recv().is_none());
         });
         sim.run().unwrap();
+    }
+
+    #[test]
+    fn race2_first_side_wins_ties() {
+        let sim = Sim::new(1);
+        let (fa, fb) = (Flag::new(), Flag::new());
+        fa.set();
+        fb.set();
+        let done = Rc::new(Cell::new(false));
+        let d = done.clone();
+        sim.spawn("racer", async move {
+            match race2(fa.wait(), fb.wait()).await {
+                Race2::First(()) => d.set(true),
+                Race2::Second(()) => panic!("first-ready side must win the tie"),
+            }
+        });
+        sim.run().unwrap();
+        assert!(done.get());
+    }
+
+    #[test]
+    fn race2_resolves_to_earlier_event() {
+        let sim = Sim::new(1);
+        let mb: Mailbox<u32> = Mailbox::new();
+        let stop = Flag::new();
+        let winner = Rc::new(Cell::new(0u32));
+        let (m, st, w) = (mb.clone(), stop.clone(), winner.clone());
+        sim.spawn("racer", async move {
+            match race2(m.recv(), st.wait()).await {
+                Race2::First(v) => w.set(v),
+                Race2::Second(()) => w.set(99),
+            }
+        });
+        let s = sim.clone();
+        sim.spawn("driver", async move {
+            s.sleep(Dur::from_us(1)).await;
+            mb.push(7);
+            s.sleep(Dur::from_us(1)).await;
+            stop.set();
+        });
+        sim.run().unwrap();
+        assert_eq!(winner.get(), 7);
     }
 
     #[test]

@@ -11,6 +11,16 @@
 #      exhibit twice against a scratch ELANIB_CACHE_DIR and assert the
 #      second (warm) run is answered by the cache and produces a
 #      byte-identical CSV
+#   6. fault-matrix smoke: one simulation-backed exhibit under a
+#      low-rate loss plan and under a link-outage plan (ELANIB_FAULTS)
+#      must complete cleanly — recovery paths must not hang or crash
+#   7. zero-fault identity: a rate-zero fault plan is filtered out at
+#      fabric build, so a full regen under ELANIB_FAULTS="loss=0,..."
+#      must reproduce every committed CSV byte-identically
+#
+# Every exhibit invocation runs under the ELANIB_REGEN_TIMEOUT watchdog
+# (default 300 s) so a livelocked simulation fails CI instead of
+# wedging it.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -29,13 +39,14 @@ echo "== determinism smoke check =="
 scripts/regen_all.sh --smoke
 
 echo "== point-cache consistency smoke =="
+wd="${ELANIB_REGEN_TIMEOUT:-300}"
 cache_tmp="$(mktemp -d)"
 trap 'rm -rf "$cache_tmp"' EXIT
 mkdir -p "$cache_tmp/cold" "$cache_tmp/warm"
 ELANIB_RESULTS_DIR="$cache_tmp/cold" ELANIB_CACHE_DIR="$cache_tmp/cache" \
-    ./target/release/fig2 > /dev/null 2> "$cache_tmp/cold.log"
+    timeout "$wd" ./target/release/fig2 > /dev/null 2> "$cache_tmp/cold.log"
 ELANIB_RESULTS_DIR="$cache_tmp/warm" ELANIB_CACHE_DIR="$cache_tmp/cache" \
-    ./target/release/fig2 > /dev/null 2> "$cache_tmp/warm.log"
+    timeout "$wd" ./target/release/fig2 > /dev/null 2> "$cache_tmp/warm.log"
 grep -q "cache 0 hits" "$cache_tmp/cold.log" \
     || { echo "FAIL: cold run unexpectedly hit the cache" >&2; cat "$cache_tmp/cold.log" >&2; exit 1; }
 grep -q "100% hit rate" "$cache_tmp/warm.log" \
@@ -45,5 +56,23 @@ cmp "$cache_tmp/cold/fig2_ljs.csv" "$cache_tmp/warm/fig2_ljs.csv" \
 cmp "$cache_tmp/cold/fig2_ljs.csv" results/fig2_ljs.csv \
     || { echo "FAIL: cached fig2 CSV differs from committed results/" >&2; exit 1; }
 echo "cache smoke OK: warm run fully cache-answered, CSVs byte-identical"
+
+echo "== fault-matrix smoke =="
+# The recovery machinery (IB retransmit/backoff, Elan link retry and
+# reroute) must terminate under representative plans. Exit status is
+# the assertion; the CSVs legitimately differ from results/ here.
+mkdir -p "$cache_tmp/loss" "$cache_tmp/outage"
+ELANIB_RESULTS_DIR="$cache_tmp/loss" ELANIB_FAULTS="loss=1e-4,seed=13" \
+    timeout "$wd" ./target/release/fig2 > /dev/null \
+    || { echo "FAIL: fig2 under a low-rate loss plan (status $?)" >&2; exit 1; }
+ELANIB_RESULTS_DIR="$cache_tmp/outage" ELANIB_FAULTS="outage=link0@200us+2ms,seed=13" \
+    timeout "$wd" ./target/release/fig2 > /dev/null \
+    || { echo "FAIL: fig2 under a link-outage plan (status $?)" >&2; exit 1; }
+echo "fault-matrix smoke OK: loss and outage plans both completed"
+
+echo "== zero-fault identity check =="
+# A rate-zero plan must be indistinguishable from no plan at all:
+# every exhibit CSV byte-identical to the committed results/.
+ELANIB_FAULTS="loss=0,seed=1" scripts/regen_all.sh
 
 echo "CI OK"

@@ -21,10 +21,14 @@
 #   ELANIB_TRACE / ELANIB_METRICS  also emit Chrome traces / metrics
 #                         summaries per exhibit (see EXPERIMENTS.md);
 #                         the CSV diff must still pass with these set
+#   ELANIB_REGEN_TIMEOUT  per-exhibit watchdog in seconds (default 300):
+#                         an exhibit that livelocks — e.g. a fault plan
+#                         that deadlocks a simulated rank — is killed
+#                         and reported instead of hanging the run
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BINS="table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 tables ablations"
+BINS="table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 tables ablations faults"
 SMOKE=0
 if [ "${1:-}" = "--smoke" ]; then
     # Smoke mode: the cheap cost-model exhibits plus one full MD study
@@ -46,7 +50,16 @@ total_start=$(date +%s%N)
 for b in $BINS; do
     echo "== regenerating $b =="
     t0=$(date +%s%N)
-    ELANIB_RESULTS_DIR="$out" "./target/release/$b" > "$out/$b.txt"
+    rc=0
+    ELANIB_RESULTS_DIR="$out" timeout "${ELANIB_REGEN_TIMEOUT:-300}" \
+        "./target/release/$b" > "$out/$b.txt" || rc=$?
+    if [ "$rc" -eq 124 ]; then
+        echo "TIMEOUT: $b exceeded ${ELANIB_REGEN_TIMEOUT:-300}s (livelocked sim?)" >&2
+        exit 124
+    elif [ "$rc" -ne 0 ]; then
+        echo "FAIL: $b exited with status $rc" >&2
+        exit "$rc"
+    fi
     t1=$(date +%s%N)
     echo "== $b done in $(( (t1 - t0) / 1000000 )) ms =="
 done

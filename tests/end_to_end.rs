@@ -92,7 +92,7 @@ fn numerics_survive_the_network() {
 /// real binary target.
 #[test]
 fn exhibit_inventory_names_real_binaries() {
-    let bins = ["table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "tables", "ablations"];
+    let bins = ["table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "tables", "ablations", "faults"];
     for e in EXHIBITS {
         assert!(
             bins.contains(&e.bin),
