@@ -49,11 +49,7 @@ impl LjSystem {
                         (j as f64 + 0.5) * a,
                         (k as f64 + 0.5) * a,
                     ]);
-                    vel.push([
-                        rand01() - 0.5,
-                        rand01() - 0.5,
-                        rand01() - 0.5,
-                    ]);
+                    vel.push([rand01() - 0.5, rand01() - 0.5, rand01() - 0.5]);
                 }
             }
         }

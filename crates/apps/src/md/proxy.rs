@@ -154,8 +154,7 @@ impl RankProgram for MdProxy {
             let sim = c.sim();
             let dims = decompose3(n);
             let neighbors = face_neighbors(me, dims);
-            let compute_total =
-                Dur::from_ps(p.time_per_atom_step.as_ps() * p.atoms_per_rank);
+            let compute_total = Dur::from_ps(p.time_per_atom_step.as_ps() * p.atoms_per_rank);
             let ghost = bytes_of_f64(&vec![me as f64; 32]);
 
             // Deterministic per-(rank, step) load imbalance in
@@ -170,10 +169,7 @@ impl RankProgram for MdProxy {
                 1.0 + p.jitter * ((h >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0)
             };
 
-            let step_fn = |c: C,
-                           ghost: elanib_mpi::Bytes,
-                           neighbors: Vec<usize>,
-                           step_no: u64| async move {
+            let step_fn = |c: C, ghost: elanib_mpi::Bytes, neighbors: Vec<usize>, step_no: u64| async move {
                 let total = compute_total.scale(imbalance(step_no));
                 let t_overlap = total.scale(p.overlap_fraction);
                 let t_rest = total - t_overlap;
@@ -233,30 +229,34 @@ pub fn md_step_time_cfg(
     // seed is fixed — so it is content-addressable.
     // `cfg` is part of the key; its Debug form includes any fault plan,
     // so fault-injected points never alias clean ones.
-    elanib_core::simcache::get_or_compute("md.step", &(network, problem, nodes, ppn, cfg.clone()), || {
-        let out = Rc::new(Cell::new(0.0));
-        let check = Rc::new(Cell::new(0.0));
-        elanib_mpi::run_job_configured(
-            JobSpec {
-                network,
-                nodes,
-                ppn,
-                seed: 21,
-            },
-            cfg,
-            MdProxy {
-                problem,
-                out_step_s: out.clone(),
-                out_checksum: check.clone(),
-            },
-        );
-        assert_eq!(
-            check.get(),
-            (nodes * ppn) as f64,
-            "allreduce checksum must equal the rank count"
-        );
-        out.get()
-    })
+    elanib_core::simcache::get_or_compute(
+        "md.step",
+        &(network, problem, nodes, ppn, cfg.clone()),
+        || {
+            let out = Rc::new(Cell::new(0.0));
+            let check = Rc::new(Cell::new(0.0));
+            elanib_mpi::run_job_configured(
+                JobSpec {
+                    network,
+                    nodes,
+                    ppn,
+                    seed: 21,
+                },
+                cfg,
+                MdProxy {
+                    problem,
+                    out_step_s: out.clone(),
+                    out_checksum: check.clone(),
+                },
+            );
+            assert_eq!(
+                check.get(),
+                (nodes * ppn) as f64,
+                "allreduce checksum must equal the rank count"
+            );
+            out.get()
+        },
+    )
 }
 
 /// The scaled-size scaling study of Figures 2/3: per-step time and

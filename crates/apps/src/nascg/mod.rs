@@ -22,7 +22,9 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use elanib_mpi::collectives::{allreduce, barrier, Op};
-use elanib_mpi::{bytes_of_f64, f64_of_bytes, recv, send, Communicator, JobSpec, Network, RankProgram};
+use elanib_mpi::{
+    bytes_of_f64, f64_of_bytes, recv, send, Communicator, JobSpec, Network, RankProgram,
+};
 use elanib_simcore::Dur;
 
 use crate::ScalingPoint;
@@ -200,10 +202,7 @@ pub fn class_a() -> CgProblem {
 /// Reduced-size variant for tests: real math on a small matrix, timing
 /// still modelled at class A scale.
 pub fn class_a_reduced(n: usize) -> CgProblem {
-    CgProblem {
-        n,
-        ..class_a()
-    }
+    CgProblem { n, ..class_a() }
 }
 
 /// Results of one distributed run.
@@ -284,9 +283,8 @@ impl RankProgram for CgProgram {
 
             // Compute-time model: real flops scaled to class A size.
             let scale = (p.model_n as f64 / p.n as f64).powi(1);
-            let flop_time = |flops: f64| {
-                Dur::from_secs_f64(flops * scale / (p.mflops_per_cpu * 1e6))
-            };
+            let flop_time =
+                |flops: f64| Dur::from_secs_f64(flops * scale / (p.mflops_per_cpu * 1e6));
             let seg_bytes = (p.model_n / nproc * 8) as u64;
 
             let mut x = vec![1.0f64; p.n];
@@ -307,11 +305,9 @@ impl RankProgram for CgProgram {
                     let mut q = vec![0.0; seg];
                     a.spmv_rows(rows.clone(), &pfull, &mut q);
                     // Charge the matvec + vector-op flops.
-                    let flops = 2.0 * (a.nnz() as f64 / nproc as f64)
-                        + 10.0 * seg as f64;
+                    let flops = 2.0 * (a.nnz() as f64 / nproc as f64) + 10.0 * seg as f64;
                     c.compute(flop_time(flops), p.mem_intensity).await;
-                    let pq_local: f64 =
-                        pvec_local.iter().zip(&q).map(|(a, b)| a * b).sum();
+                    let pq_local: f64 = pvec_local.iter().zip(&q).map(|(a, b)| a * b).sum();
                     let pq = allreduce(&c, Op::Sum, &[pq_local]).await[0];
                     let alpha = rho / pq;
                     let mut rho_local = 0.0;
@@ -328,11 +324,7 @@ impl RankProgram for CgProgram {
                     }
                 }
                 // zeta = shift + 1 / (x · z); then x = z/||z||.
-                let xz_local: f64 = x[rows.clone()]
-                    .iter()
-                    .zip(&z)
-                    .map(|(a, b)| a * b)
-                    .sum();
+                let xz_local: f64 = x[rows.clone()].iter().zip(&z).map(|(a, b)| a * b).sum();
                 let zn_local: f64 = z.iter().map(|v| v * v).sum();
                 let sums = allreduce(&c, Op::Sum, &[xz_local, zn_local]).await;
                 zeta = p.shift + 1.0 / sums[0];
@@ -534,7 +526,10 @@ mod tests {
         for p_count in [2usize, 4, 8] {
             let one_d = cg_run(
                 Network::Elan4,
-                CgProblem { two_d: false, ..base },
+                CgProblem {
+                    two_d: false,
+                    ..base
+                },
                 p_count,
                 1,
             );
@@ -587,7 +582,10 @@ mod tests {
         };
         let el = cg_study(Network::Elan4, p, &[1, 8], 1);
         let ib = cg_study(Network::InfiniBand, p, &[1, 8], 1);
-        assert!(el[1].0.efficiency < 0.9, "fixed-size CG must lose efficiency");
+        assert!(
+            el[1].0.efficiency < 0.9,
+            "fixed-size CG must lose efficiency"
+        );
         assert!(
             el[1].0.efficiency > ib[1].0.efficiency,
             "elan {} vs ib {}",

@@ -91,14 +91,21 @@ impl RankProgram for CgProgram2D {
                 let mut r_vec = x_row.clone();
                 let mut p_row = r_vec.clone();
                 let mut rho = {
-                    let local: f64 =
-                        r_vec.iter().map(|v| v * v).sum::<f64>() / npcols as f64;
+                    let local: f64 = r_vec.iter().map(|v| v * v).sum::<f64>() / npcols as f64;
                     allreduce(&c, Op::Sum, &[local]).await[0]
                 };
                 for inner in 0..p.inner {
                     // 1. Transpose p (row strips) into my column strip.
                     let p_col = transpose_exchange(
-                        &c, &p_row, row, col, nprows, npcols, partner, nc, nc_bytes,
+                        &c,
+                        &p_row,
+                        row,
+                        col,
+                        nprows,
+                        npcols,
+                        partner,
+                        nc,
+                        nc_bytes,
                         100 + inner as i64,
                     )
                     .await;
@@ -118,10 +125,9 @@ impl RankProgram for CgProgram2D {
                     let flops = 2.0 * (a.nnz() as f64 / nproc as f64) + 10.0 * nr as f64;
                     c.compute(flop_time(flops), p.mem_intensity).await;
                     // 3. Sum-reduce w across the row group -> q (replicated).
-                    let q = row_group_allreduce(
-                        &c, w, row, col, npcols, nr_bytes, 500 + inner as i64,
-                    )
-                    .await;
+                    let q =
+                        row_group_allreduce(&c, w, row, col, npcols, nr_bytes, 500 + inner as i64)
+                            .await;
                     // 4. Dots and vector updates on row strips
                     //    (each strip appears npcols times; npcols is a
                     //    power of two, so the division is exact).
@@ -135,8 +141,7 @@ impl RankProgram for CgProgram2D {
                         r_vec[i] -= alpha * q[i];
                         rho_local += r_vec[i] * r_vec[i];
                     }
-                    let rho_new =
-                        allreduce(&c, Op::Sum, &[rho_local / npcols as f64]).await[0];
+                    let rho_new = allreduce(&c, Op::Sum, &[rho_local / npcols as f64]).await[0];
                     let beta = rho_new / rho;
                     rho = rho_new;
                     for i in 0..nr {
@@ -145,8 +150,7 @@ impl RankProgram for CgProgram2D {
                 }
                 let xz_local: f64 =
                     x_row.iter().zip(&z).map(|(a, b)| a * b).sum::<f64>() / npcols as f64;
-                let zn_local: f64 =
-                    z.iter().map(|v| v * v).sum::<f64>() / npcols as f64;
+                let zn_local: f64 = z.iter().map(|v| v * v).sum::<f64>() / npcols as f64;
                 let sums = allreduce(&c, Op::Sum, &[xz_local, zn_local]).await;
                 zeta = p.shift + 1.0 / sums[0];
                 let znorm = sums[1].sqrt();

@@ -53,10 +53,7 @@ pub fn sweep150() -> SweepProblem {
 
 /// Variant used for the Figure 5 input-size family.
 pub fn sweep_cube(n: usize) -> SweepProblem {
-    SweepProblem {
-        n,
-        ..sweep150()
-    }
+    SweepProblem { n, ..sweep150() }
 }
 
 /// Near-square 2D factorization p = px × py with px ≥ py.
@@ -129,14 +126,26 @@ impl RankProgram for SweepProxy {
                 for octant in 0..8usize {
                     let sx = octant % 2 == 0; // sweep +i ?
                     let sy = (octant / 2) % 2 == 0; // sweep +j ?
-                    let up_i = if sx { mx.checked_sub(1).map(|x| my * px + x) }
-                               else { (mx + 1 < px).then(|| my * px + mx + 1) };
-                    let up_j = if sy { my.checked_sub(1).map(|y| (y) * px + mx) }
-                               else { (my + 1 < py).then(|| (my + 1) * px + mx) };
-                    let down_i = if sx { (mx + 1 < px).then(|| my * px + mx + 1) }
-                                 else { mx.checked_sub(1).map(|x| my * px + x) };
-                    let down_j = if sy { (my + 1 < py).then(|| (my + 1) * px + mx) }
-                                 else { my.checked_sub(1).map(|y| y * px + mx) };
+                    let up_i = if sx {
+                        mx.checked_sub(1).map(|x| my * px + x)
+                    } else {
+                        (mx + 1 < px).then(|| my * px + mx + 1)
+                    };
+                    let up_j = if sy {
+                        my.checked_sub(1).map(|y| (y) * px + mx)
+                    } else {
+                        (my + 1 < py).then(|| (my + 1) * px + mx)
+                    };
+                    let down_i = if sx {
+                        (mx + 1 < px).then(|| my * px + mx + 1)
+                    } else {
+                        mx.checked_sub(1).map(|x| my * px + x)
+                    };
+                    let down_j = if sy {
+                        (my + 1 < py).then(|| (my + 1) * px + mx)
+                    } else {
+                        my.checked_sub(1).map(|y| y * px + mx)
+                    };
                     let tag = octant as i64;
                     for _stage in 0..k_blocks * a_blocks {
                         if let Some(src) = up_i {
@@ -257,10 +266,7 @@ mod tests {
         let ws = 30u64 * 30 * 90;
         let cache = cache_speed_factor(512 * 1024, ws, 1.35);
         let expect = 30f64.powi(3) * 48.0 * 50e-9 * cache;
-        assert!(
-            (t - expect).abs() / expect < 0.02,
-            "t={t}, expect {expect}"
-        );
+        assert!((t - expect).abs() / expect < 0.02, "t={t}, expect {expect}");
     }
 
     #[test]

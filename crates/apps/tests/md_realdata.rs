@@ -95,12 +95,7 @@ impl RankProgram for DistributedMd {
                 let pack = |pred: &dyn Fn(&Atom) -> bool, shift: f64| -> Vec<f64> {
                     let mut v = Vec::new();
                     for a in mine.iter().filter(|a| pred(a)) {
-                        v.extend_from_slice(&[
-                            a.id as f64,
-                            a.pos[0] + shift,
-                            a.pos[1],
-                            a.pos[2],
-                        ]);
+                        v.extend_from_slice(&[a.id as f64, a.pos[0] + shift, a.pos[1], a.pos[2]]);
                     }
                     v
                 };
@@ -118,23 +113,47 @@ impl RankProgram for DistributedMd {
                     let tagr = 11 + step as i64 * 4;
                     // Exchange with both neighbors (distinct unless nr == 2).
                     let lmsg = if me.is_multiple_of(2) {
-                        send(&c, left, tagl, bytes_of_f64(&to_left), (to_left.len() * 8) as u64)
-                            .await;
+                        send(
+                            &c,
+                            left,
+                            tagl,
+                            bytes_of_f64(&to_left),
+                            (to_left.len() * 8) as u64,
+                        )
+                        .await;
                         recv(&c, Some(right), Some(tagl)).await
                     } else {
                         let m = recv(&c, Some(right), Some(tagl)).await;
-                        send(&c, left, tagl, bytes_of_f64(&to_left), (to_left.len() * 8) as u64)
-                            .await;
+                        send(
+                            &c,
+                            left,
+                            tagl,
+                            bytes_of_f64(&to_left),
+                            (to_left.len() * 8) as u64,
+                        )
+                        .await;
                         m
                     };
                     let rmsg = if me.is_multiple_of(2) {
-                        send(&c, right, tagr, bytes_of_f64(&to_right), (to_right.len() * 8) as u64)
-                            .await;
+                        send(
+                            &c,
+                            right,
+                            tagr,
+                            bytes_of_f64(&to_right),
+                            (to_right.len() * 8) as u64,
+                        )
+                        .await;
                         recv(&c, Some(left), Some(tagr)).await
                     } else {
                         let m = recv(&c, Some(left), Some(tagr)).await;
-                        send(&c, right, tagr, bytes_of_f64(&to_right), (to_right.len() * 8) as u64)
-                            .await;
+                        send(
+                            &c,
+                            right,
+                            tagr,
+                            bytes_of_f64(&to_right),
+                            (to_right.len() * 8) as u64,
+                        )
+                        .await;
                         m
                     };
                     for chunk in f64_of_bytes(&lmsg.data).chunks_exact(4) {

@@ -20,10 +20,22 @@ fn short(p: MdProblem) -> MdProblem {
 fn membrane_32_node_efficiencies() {
     let nodes = [1usize, 8, 32];
     let p = short(membrane());
-    let e1 = md_study(Network::Elan4, p, &nodes, 1).last().unwrap().efficiency;
-    let e2 = md_study(Network::Elan4, p, &nodes, 2).last().unwrap().efficiency;
-    let i1 = md_study(Network::InfiniBand, p, &nodes, 1).last().unwrap().efficiency;
-    let i2 = md_study(Network::InfiniBand, p, &nodes, 2).last().unwrap().efficiency;
+    let e1 = md_study(Network::Elan4, p, &nodes, 1)
+        .last()
+        .unwrap()
+        .efficiency;
+    let e2 = md_study(Network::Elan4, p, &nodes, 2)
+        .last()
+        .unwrap()
+        .efficiency;
+    let i1 = md_study(Network::InfiniBand, p, &nodes, 1)
+        .last()
+        .unwrap()
+        .efficiency;
+    let i2 = md_study(Network::InfiniBand, p, &nodes, 2)
+        .last()
+        .unwrap()
+        .efficiency;
     assert!((0.90..0.98).contains(&e1), "Elan 1PPN {e1} (paper: 0.93)");
     assert!((0.88..0.98).contains(&e2), "Elan 2PPN {e2} (paper: 0.91)");
     assert!((0.76..0.88).contains(&i1), "IB 1PPN {i1} (paper: 0.84)");
@@ -47,14 +59,20 @@ fn ljs_ppn_margins() {
     let t_e1 = md_step_time(Network::Elan4, p, 32, 1);
     let t_e2 = md_step_time(Network::Elan4, p, 32, 2);
     // 1 PPN beats 2 PPN on both networks (absolute time).
-    assert!(t_i2 > t_i1 * 1.05, "IB 2PPN must cost >5%: {t_i1} vs {t_i2}");
+    assert!(
+        t_i2 > t_i1 * 1.05,
+        "IB 2PPN must cost >5%: {t_i1} vs {t_i2}"
+    );
     assert!(t_e2 > t_e1 * 1.02, "Elan 2PPN must cost something");
     // Elan marginally ahead at 1 PPN (a few percent, not a blowout).
     let gap1 = t_i1 / t_e1;
     assert!((1.01..1.20).contains(&gap1), "1PPN time ratio {gap1}");
     // The 2 PPN margin is wider than the 1 PPN margin.
     let gap2 = t_i2 / t_e2;
-    assert!(gap2 > gap1, "2PPN ratio {gap2} must exceed 1PPN ratio {gap1}");
+    assert!(
+        gap2 > gap1,
+        "2PPN ratio {gap2} must exceed 1PPN ratio {gap1}"
+    );
     // IB loses more going to 2 PPN than Elan does.
     assert!(
         t_i2 / t_i1 > t_e2 / t_e1,
@@ -72,8 +90,16 @@ fn sweep3d_superlinear_and_elan_lead() {
     let counts = [1usize, 4, 9, 16];
     let el = sweep_study(Network::Elan4, p, &counts, 1);
     let ib = sweep_study(Network::InfiniBand, p, &counts, 1);
-    assert!(el[1].efficiency > 1.01, "superlinear at 4: {}", el[1].efficiency);
-    assert!(ib[1].efficiency > 1.01, "superlinear at 4 (IB): {}", ib[1].efficiency);
+    assert!(
+        el[1].efficiency > 1.01,
+        "superlinear at 4: {}",
+        el[1].efficiency
+    );
+    assert!(
+        ib[1].efficiency > 1.01,
+        "superlinear at 4 (IB): {}",
+        ib[1].efficiency
+    );
     // "the significant advantage Elan-4 holds at 9 and 16 nodes"
     for i in [2, 3] {
         assert!(

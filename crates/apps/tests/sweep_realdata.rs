@@ -11,7 +11,9 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use elanib_apps::sweep3d::SweepGrid;
-use elanib_mpi::{bytes_of_f64, f64_of_bytes, recv, send, Communicator, JobSpec, Network, RankProgram};
+use elanib_mpi::{
+    bytes_of_f64, f64_of_bytes, recv, send, Communicator, JobSpec, Network, RankProgram,
+};
 
 const NY: usize = 12;
 const NZ: usize = 10;
@@ -77,7 +79,11 @@ impl RankProgram for DistributedSweep {
     }
 }
 
-fn run_distributed(network: Network, ranks: usize, nx_total: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+fn run_distributed(
+    network: Network,
+    ranks: usize,
+    nx_total: usize,
+) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
     assert_eq!(nx_total % ranks, 0);
     let out = Rc::new(RefCell::new(vec![Vec::new(); ranks * ANGLES.len()]));
     let out_boundary = Rc::new(RefCell::new(vec![Vec::new(); ANGLES.len()]));

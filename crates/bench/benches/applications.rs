@@ -15,11 +15,9 @@ fn bench_md(c: &mut Criterion) {
     for (name, prob) in [("ljs", ljs()), ("membrane", membrane())] {
         let short = MdProblem { steps: 5, ..prob };
         for net in Network::BOTH {
-            g.bench_with_input(
-                BenchmarkId::new(name, net.label()),
-                &short,
-                |b, &p| b.iter(|| md_step_time(net, p, 8, 2)),
-            );
+            g.bench_with_input(BenchmarkId::new(name, net.label()), &short, |b, &p| {
+                b.iter(|| md_step_time(net, p, 8, 2))
+            });
         }
     }
     g.finish();

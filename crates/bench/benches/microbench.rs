@@ -11,11 +11,9 @@ fn bench_pingpong(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig1a_pingpong");
     for net in Network::BOTH {
         for bytes in [8u64, 8192, 1 << 20] {
-            g.bench_with_input(
-                BenchmarkId::new(net.label(), bytes),
-                &bytes,
-                |b, &bytes| b.iter(|| pingpong(net, bytes, 10)),
-            );
+            g.bench_with_input(BenchmarkId::new(net.label(), bytes), &bytes, |b, &bytes| {
+                b.iter(|| pingpong(net, bytes, 10))
+            });
         }
     }
     g.finish();

@@ -36,7 +36,11 @@ fn main() {
     let base = NetConfig::default();
 
     let mut variants: Vec<(&str, Network, NetConfig)> = vec![
-        ("InfiniBand (stock MVAPICH)", Network::InfiniBand, base.clone()),
+        (
+            "InfiniBand (stock MVAPICH)",
+            Network::InfiniBand,
+            base.clone(),
+        ),
         ("Quadrics Elan-4 (stock)", Network::Elan4, base.clone()),
     ];
     // IB + independent progress.
@@ -59,7 +63,11 @@ fn main() {
     c.hca.reg_base = Dur::ZERO;
     c.hca.reg_per_page = Dur::ZERO;
     c.verbs.reg_check = Dur::ZERO;
-    variants.push(("IB + async progress + free registration", Network::InfiniBand, c));
+    variants.push((
+        "IB + async progress + free registration",
+        Network::InfiniBand,
+        c,
+    ));
     // Elan + explicit registration.
     let mut c = base.clone();
     c.tports.explicit_registration = true;
@@ -77,11 +85,7 @@ fn main() {
         md_step_time_cfg(net, p, n, ppn, cfg)
     });
 
-    let mut t = TextTable::new(vec![
-        "configuration",
-        "ms/step @16 nodes",
-        "scaling eff %",
-    ]);
+    let mut t = TextTable::new(vec!["configuration", "ms/step @16 nodes", "scaling eff %"]);
     let mut baseline_gap: Option<(f64, f64)> = None;
     for (v, (name, _, _)) in variants.iter().enumerate() {
         let t1 = times[2 * v];
@@ -119,12 +123,7 @@ fn main() {
             pingpong_reuse(Net::Elan4, bytes, pct, 20),
         )
     });
-    let mut r = TextTable::new(vec![
-        "bytes",
-        "reuse %",
-        "IB us",
-        "Elan us",
-    ]);
+    let mut r = TextTable::new(vec!["bytes", "reuse %", "IB us", "Elan us"]);
     for (&(bytes, pct), (ib, el)) in cells.iter().zip(&reuse) {
         r.row(vec![
             bytes.to_string(),

@@ -1,0 +1,116 @@
+//! `conformance` — validate the committed `results/` against the
+//! paper-shape expectations in `expectations/*.toml`.
+//!
+//! Where `regen_all.sh` proves the exhibits are *deterministic* (byte
+//! diffs), this binary proves they still *say what the paper says*:
+//! who wins which regime, where the crossovers sit, which anomalies
+//! exist. Every expectation term is evaluated — never fail-fast — so a
+//! behavioral change shows its full blast radius in one run, then the
+//! process exits non-zero naming every violated term.
+//!
+//! ```text
+//! conformance [--expectations DIR] [--results DIR] [--json PATH]
+//!             [--bench-current FILE] [--bench-baseline FILE]...
+//!             [--bench-ratio N] [--strict] [--quiet]
+//! ```
+//!
+//! Exit codes: 0 = conformant; 1 = violated expectations, coverage
+//! gaps, or (with `--strict`) bench regressions; 2 = usage or setup
+//! error (unreadable directory, unparseable expectation file).
+//!
+//! The bench gate compares per-exhibit wall times in `--bench-current`
+//! (a JSONL file written via `ELANIB_BENCH_JSON` during this run)
+//! against the best baseline time per exhibit in each
+//! `--bench-baseline` (the committed `BENCH_regen.json` /
+//! `BENCH_sweep.json`). Records slower than `--bench-ratio` (default
+//! 8x) *and* over an absolute 0.25 s floor are reported — as warnings
+//! by default, as failures under `--strict`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use elanib_bench::conformance::{run, ConformanceOptions};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: conformance [--expectations DIR] [--results DIR] [--json PATH]\n\
+         \x20                  [--bench-current FILE] [--bench-baseline FILE]...\n\
+         \x20                  [--bench-ratio N] [--strict] [--quiet]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut opts = ConformanceOptions::new(PathBuf::from("expectations"), PathBuf::from("results"));
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> PathBuf {
+            match args.next() {
+                Some(v) => PathBuf::from(v),
+                None => {
+                    eprintln!("conformance: {name} needs a value");
+                    usage();
+                }
+            }
+        };
+        match arg.as_str() {
+            "--expectations" => opts.expectations = value("--expectations"),
+            "--results" => opts.results = value("--results"),
+            "--json" => opts.json = Some(value("--json")),
+            "--bench-current" => opts.bench_current = Some(value("--bench-current")),
+            "--bench-baseline" => opts.bench_baselines.push(value("--bench-baseline")),
+            "--bench-ratio" => {
+                let v = value("--bench-ratio");
+                opts.bench_ratio = match v.to_string_lossy().parse::<f64>() {
+                    Ok(r) if r > 1.0 => r,
+                    _ => {
+                        eprintln!("conformance: --bench-ratio must be a number > 1");
+                        usage();
+                    }
+                }
+            }
+            "--strict" => opts.strict = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("conformance: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    if opts.bench_current.is_some() && opts.bench_baselines.is_empty() {
+        // Default baselines: the committed BENCH records.
+        for name in ["BENCH_regen.json", "BENCH_sweep.json"] {
+            let p = PathBuf::from(name);
+            if p.exists() {
+                opts.bench_baselines.push(p);
+            }
+        }
+    }
+
+    let outcome = match run(&opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("conformance: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !quiet || !outcome.ok() {
+        print!("{}", outcome.render_text());
+    }
+    if let Some(path) = &opts.json {
+        if let Err(e) = std::fs::write(path, outcome.to_json()) {
+            eprintln!("conformance: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("[conformance report written to {}]", path.display());
+    }
+    if outcome.ok() {
+        println!("CONFORMANT: the committed results still reproduce the paper's shapes");
+        ExitCode::SUCCESS
+    } else {
+        println!("NOT CONFORMANT: see the violated terms above");
+        ExitCode::FAILURE
+    }
+}

@@ -11,7 +11,12 @@ fn main() {
     let counts = [4usize, 9, 16, 25];
     let sizes = [50usize, 75, 100, 125, 150];
     let mut t = TextTable::new(vec![
-        "procs", "50^3 eff%", "75^3 eff%", "100^3 eff%", "125^3 eff%", "150^3 eff%",
+        "procs",
+        "50^3 eff%",
+        "75^3 eff%",
+        "100^3 eff%",
+        "125^3 eff%",
+        "150^3 eff%",
     ]);
     let mut series = Vec::new();
     for &n in &sizes {

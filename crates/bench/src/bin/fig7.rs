@@ -4,8 +4,8 @@
 use elanib_bench::emit;
 use elanib_core::{f, TextTable};
 use elanib_cost::{
-    elan_network, figure7_series, ib96_network, ib_mixed_network, system_cost_per_node,
-    IbPrices, QuadricsPrices,
+    elan_network, figure7_series, ib96_network, ib_mixed_network, system_cost_per_node, IbPrices,
+    QuadricsPrices,
 };
 
 fn main() {

@@ -26,8 +26,7 @@ fn main() {
     for net in Network::BOTH {
         let pts = md_study(net, p, &STUDY_NODES, 1);
         let base_time = pts[0].time_s;
-        let measured: Vec<(usize, f64)> =
-            pts.iter().map(|s| (s.procs, s.efficiency)).collect();
+        let measured: Vec<(usize, f64)> = pts.iter().map(|s| (s.procs, s.efficiency)).collect();
         fitted.push(figure8_series(&measured, base_time, 8192));
     }
     let (ib, el) = (&fitted[0], &fitted[1]);

@@ -1,0 +1,326 @@
+//! Driver behind the `conformance` binary: expectation evaluation plus
+//! the two repo-level gates the dep-free `elanib-validate` crate cannot
+//! know about — exhibit *coverage* (every entry of
+//! [`elanib_core::EXHIBITS`] must be claimed by an expectation file)
+//! and BENCH *regression gating* (current `BENCH_*.json` wall times vs
+//! the committed baselines).
+//!
+//! Lives in the library (not the binary) so the integration tests can
+//! run the exact production code path against mutated CSV fixtures.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use elanib_validate::report::{escape, Report};
+
+/// Everything one conformance run needs.
+pub struct ConformanceOptions {
+    /// Directory of `*.toml` expectation files.
+    pub expectations: PathBuf,
+    /// Directory of exhibit CSVs to validate.
+    pub results: PathBuf,
+    /// Where to write `conformance.json` (`None` = don't).
+    pub json: Option<PathBuf>,
+    /// Fresh BENCH JSONL (e.g. produced during this CI run).
+    pub bench_current: Option<PathBuf>,
+    /// Committed baseline JSONL (`BENCH_regen.json` / `BENCH_sweep.json`).
+    pub bench_baselines: Vec<PathBuf>,
+    /// Wall-time ratio above which a record is flagged. Deliberately
+    /// generous: the gate exists to catch a 10x accidental slowdown
+    /// (an O(n^2) regression, a cache left off), not 20% noise.
+    pub bench_ratio: f64,
+    /// Promote bench warnings to failures.
+    pub strict: bool,
+}
+
+impl ConformanceOptions {
+    pub fn new(expectations: PathBuf, results: PathBuf) -> ConformanceOptions {
+        ConformanceOptions {
+            expectations,
+            results,
+            json: None,
+            bench_current: None,
+            bench_baselines: Vec::new(),
+            bench_ratio: 8.0,
+            strict: false,
+        }
+    }
+}
+
+/// Result of a full conformance run.
+pub struct Outcome {
+    pub report: Report,
+    /// Exhibit ids with no expectation file, and expectation files
+    /// naming unknown exhibits.
+    pub uncovered: Vec<String>,
+    pub unknown_exhibits: Vec<String>,
+    /// Bench-gate messages (warnings unless `strict`).
+    pub bench_flags: Vec<String>,
+    pub strict: bool,
+}
+
+impl Outcome {
+    /// Expectations + coverage verdict (bench flags only fail strict
+    /// runs).
+    pub fn ok(&self) -> bool {
+        self.report.ok()
+            && self.uncovered.is_empty()
+            && self.unknown_exhibits.is_empty()
+            && (self.bench_flags.is_empty() || !self.strict)
+    }
+
+    /// Full human-readable rendering: the expectation report, then
+    /// coverage, then the bench gate.
+    pub fn render_text(&self) -> String {
+        let mut out = self.report.render_text();
+        if !self.uncovered.is_empty() {
+            out.push_str(&format!(
+                "\nCOVERAGE: {} exhibit(s) have no expectation file: {}\n",
+                self.uncovered.len(),
+                self.uncovered.join(", ")
+            ));
+        }
+        if !self.unknown_exhibits.is_empty() {
+            out.push_str(&format!(
+                "\nCOVERAGE: expectation file(s) name unknown exhibits: {}\n",
+                self.unknown_exhibits.join(", ")
+            ));
+        }
+        for f in &self.bench_flags {
+            out.push_str(&format!(
+                "\nBENCH {}: {f}\n",
+                if self.strict { "FAIL" } else { "WARN" }
+            ));
+        }
+        out
+    }
+
+    /// `conformance.json`: the validator's JSON with the repo-level
+    /// gates appended, still deterministic.
+    pub fn to_json(&self) -> String {
+        let core = self.report.to_json();
+        // Splice our extra fields before the final closing brace.
+        let body = core.trim_end().trim_end_matches('}').trim_end();
+        let mut out = String::from(body);
+        out.push_str(",\n  \"coverage_ok\": ");
+        out.push_str(
+            if self.uncovered.is_empty() && self.unknown_exhibits.is_empty() {
+                "true"
+            } else {
+                "false"
+            },
+        );
+        out.push_str(&format!(
+            ",\n  \"uncovered\": [{}]",
+            self.uncovered
+                .iter()
+                .map(|s| format!("\"{}\"", escape(s)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str(&format!(
+            ",\n  \"unknown_exhibits\": [{}]",
+            self.unknown_exhibits
+                .iter()
+                .map(|s| format!("\"{}\"", escape(s)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str(&format!(
+            ",\n  \"bench_strict\": {},\n  \"bench_flags\": [{}]",
+            self.strict,
+            self.bench_flags
+                .iter()
+                .map(|s| format!("\"{}\"", escape(s)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        out.push_str(&format!(",\n  \"ok\": {}\n}}\n", self.ok()));
+        out
+    }
+}
+
+/// Run the whole conformance check. `Err` is reserved for setup
+/// problems (unreadable dirs, unparseable expectations) — evaluation
+/// findings land in the `Outcome`, never fail fast.
+pub fn run(opts: &ConformanceOptions) -> Result<Outcome, String> {
+    let files = elanib_validate::load_expect_dir(&opts.expectations)?;
+    let report = elanib_validate::run_files(&files, &opts.results);
+
+    // Coverage, both directions.
+    let covered: Vec<&str> = files.iter().map(|f| f.exhibit.as_str()).collect();
+    let uncovered: Vec<String> = elanib_core::EXHIBITS
+        .iter()
+        .filter(|e| !covered.contains(&e.id))
+        .map(|e| e.id.to_string())
+        .collect();
+    let unknown_exhibits: Vec<String> = files
+        .iter()
+        .filter(|f| elanib_core::exhibit(&f.exhibit).is_none())
+        .map(|f| format!("{} (from {})", f.exhibit, f.source))
+        .collect();
+
+    let bench_flags = match &opts.bench_current {
+        Some(current) => bench_gate(current, &opts.bench_baselines, opts.bench_ratio)?,
+        None => Vec::new(),
+    };
+
+    Ok(Outcome {
+        report,
+        uncovered,
+        unknown_exhibits,
+        bench_flags,
+        strict: opts.strict,
+    })
+}
+
+/// Records shorter than this are never gated: sub-quarter-second
+/// exhibits (the cost tables) have wall times dominated by process
+/// noise, and flagging a 0.4 ms -> 4 ms "regression" helps nobody.
+const BENCH_FLOOR_S: f64 = 0.25;
+
+/// Compare per-exhibit wall times in `current` against the best
+/// (minimum) wall time per exhibit across the `baselines`. Returns one
+/// message per flagged record.
+fn bench_gate(current: &Path, baselines: &[PathBuf], ratio: f64) -> Result<Vec<String>, String> {
+    let mut base: BTreeMap<String, f64> = BTreeMap::new();
+    for b in baselines {
+        for (key, wall) in parse_bench_jsonl(b)? {
+            let e = base.entry(key).or_insert(wall);
+            if wall < *e {
+                *e = wall;
+            }
+        }
+    }
+    if base.is_empty() {
+        return Err(format!(
+            "bench gate: no baseline records found in {}",
+            baselines
+                .iter()
+                .map(|p| p.display().to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    // Best current wall per key too: a warm-cache rerun in the same
+    // file must not be penalized by its cold predecessor.
+    let mut cur: BTreeMap<String, f64> = BTreeMap::new();
+    for (key, wall) in parse_bench_jsonl(current)? {
+        let e = cur.entry(key).or_insert(wall);
+        if wall < *e {
+            *e = wall;
+        }
+    }
+    let mut flags = Vec::new();
+    for (key, wall) in &cur {
+        let Some(b) = base.get(key) else { continue };
+        if *wall >= BENCH_FLOOR_S && *wall > b * ratio {
+            flags.push(format!(
+                "{key}: {wall:.2} s vs baseline {b:.2} s ({:.1}x > allowed {ratio}x)",
+                wall / b
+            ));
+        }
+    }
+    Ok(flags)
+}
+
+/// Minimal JSONL field extraction: each line is one flat record; we
+/// need its label (`"exhibit"` or `"label"`, prefixed with `kind` so
+/// sweep and regen records never collide) and its `wall_s`.
+fn parse_bench_jsonl(path: &Path) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("bench gate: cannot read {}: {e}", path.display()))?;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some(wall) = json_num_field(line, "wall_s") else {
+            continue;
+        };
+        let kind = json_str_field(line, "kind").unwrap_or_else(|| "?".into());
+        let Some(label) = json_str_field(line, "exhibit").or_else(|| json_str_field(line, "label"))
+        else {
+            continue;
+        };
+        out.push((format!("{kind}:{label}"), wall));
+    }
+    Ok(out)
+}
+
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    // BENCH labels never contain escaped quotes; a plain find is exact
+    // for everything the harness emits.
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    rest.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_field_extraction() {
+        let line = r#"{"kind":"regen","exhibit":"fig2_ljs","wall_s":0.531003,"cache_hits":0}"#;
+        assert_eq!(json_str_field(line, "kind").as_deref(), Some("regen"));
+        assert_eq!(json_str_field(line, "exhibit").as_deref(), Some("fig2_ljs"));
+        assert_eq!(json_num_field(line, "wall_s"), Some(0.531003));
+        assert_eq!(json_str_field(line, "label"), None);
+    }
+
+    #[test]
+    fn bench_gate_flags_only_large_slow_records() {
+        let dir = std::env::temp_dir().join("elanib-bench-gate-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let base = dir.join("base.json");
+        let cur = dir.join("cur.json");
+        std::fs::write(
+            &base,
+            concat!(
+                "{\"kind\":\"regen\",\"exhibit\":\"slow\",\"wall_s\":0.5}\n",
+                "{\"kind\":\"regen\",\"exhibit\":\"tiny\",\"wall_s\":0.0001}\n",
+            ),
+        )
+        .unwrap();
+        std::fs::write(
+            &cur,
+            concat!(
+                // 10x over the 0.5 s baseline -> flagged.
+                "{\"kind\":\"regen\",\"exhibit\":\"slow\",\"wall_s\":5.0}\n",
+                // 100x over baseline but under the absolute floor -> ignored.
+                "{\"kind\":\"regen\",\"exhibit\":\"tiny\",\"wall_s\":0.01}\n",
+                // No baseline -> ignored.
+                "{\"kind\":\"regen\",\"exhibit\":\"new\",\"wall_s\":9.0}\n",
+            ),
+        )
+        .unwrap();
+        let flags = bench_gate(&cur, std::slice::from_ref(&base), 8.0).unwrap();
+        assert_eq!(flags.len(), 1, "{flags:?}");
+        assert!(flags[0].starts_with("regen:slow"), "{}", flags[0]);
+        // A second, faster record for the same exhibit rescues it.
+        std::fs::write(
+            &cur,
+            concat!(
+                "{\"kind\":\"regen\",\"exhibit\":\"slow\",\"wall_s\":5.0}\n",
+                "{\"kind\":\"regen\",\"exhibit\":\"slow\",\"wall_s\":0.6}\n",
+            ),
+        )
+        .unwrap();
+        assert!(bench_gate(&cur, &[base], 8.0).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -5,6 +5,8 @@
 //! [`elanib_core::inventory`]. Set `ELANIB_RESULTS_DIR` to also write
 //! each table as CSV for plotting.
 
+pub mod conformance;
+
 use std::fs;
 use std::path::PathBuf;
 use std::sync::{LazyLock, Mutex};
@@ -91,8 +93,7 @@ fn record_regen(name: &str) {
                 delta.corrupt,
                 delta.hit_rate(),
             );
-            let _ =
-                elanib_simcore::trace::jsonl::append_line(std::path::Path::new(&path), &line);
+            let _ = elanib_simcore::trace::jsonl::append_line(std::path::Path::new(&path), &line);
         }
     }
     if delta.hits + delta.misses > 0 {
@@ -263,7 +264,10 @@ fn fault_cell(p: &elanib_microbench::FaultPoint) -> String {
     }
 }
 
-fn fault_slowdown(p: &elanib_microbench::FaultPoint, base: &elanib_microbench::FaultPoint) -> String {
+fn fault_slowdown(
+    p: &elanib_microbench::FaultPoint,
+    base: &elanib_microbench::FaultPoint,
+) -> String {
     use elanib_core::f;
     if p.failed || base.latency_us <= 0.0 {
         "-".to_string()
@@ -353,8 +357,8 @@ pub fn faults_outage_table() -> (TextTable, elanib_core::SweepStats) {
 
     let (msgs, bytes) = (100u32, 65_536u64);
     const OUTAGE_US: [u64; 3] = [0, 1_000, 3_000]; // 0 = clean baseline
-    // Fault the first switch-side link on each network's own clean
-    // 0 -> 15 route, so the outage provably intersects the static path.
+                                                   // Fault the first switch-side link on each network's own clean
+                                                   // 0 -> 15 route, so the outage provably intersects the static path.
     let probe_edge = |net: Network| -> usize {
         let fabric = match net {
             Network::InfiniBand => ib_fabric(16),

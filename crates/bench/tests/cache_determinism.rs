@@ -23,7 +23,10 @@ use elanib_core::simcache::{self, Mode};
 fn tables() -> (String, String) {
     let nodes = [1usize, 2, 4];
     let fig2 = MdProblem { steps: 4, ..ljs() };
-    let fig3 = MdProblem { steps: 4, ..membrane() };
+    let fig3 = MdProblem {
+        steps: 4,
+        ..membrane()
+    };
     let (t2, _) = md_figure_table(fig2, &nodes);
     let (t3, _) = md_figure_table(fig3, &nodes);
     (t2.to_csv(), t3.to_csv())
@@ -33,10 +36,7 @@ fn tables() -> (String, String) {
 fn fig2_fig3_identical_across_disabled_cold_and_warm_cache() {
     // 24 points: 2 figures × 4 series × 3 node counts, all distinct.
     let points = 24;
-    let dir = std::env::temp_dir().join(format!(
-        "elanib-cache-determinism-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("elanib-cache-determinism-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 
     simcache::set_override(Some(Mode::Off));

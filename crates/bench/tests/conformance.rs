@@ -1,0 +1,181 @@
+//! Paper-conformance acceptance tests: the committed `results/` must
+//! satisfy every expectation file with full exhibit coverage, and a
+//! mutated CSV must flip the run (library outcome *and* binary exit
+//! code) to failure with the violated terms named — all of them, not
+//! just the first.
+
+use std::path::{Path, PathBuf};
+
+use elanib_bench::conformance::{run, ConformanceOptions};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap()
+}
+
+fn options(results: PathBuf) -> ConformanceOptions {
+    ConformanceOptions::new(repo_root().join("expectations"), results)
+}
+
+/// Copy every committed CSV into a scratch results dir.
+fn scratch_results(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("elanib-conformance-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for entry in std::fs::read_dir(repo_root().join("results")).unwrap() {
+        let p = entry.unwrap().path();
+        if p.extension().is_some_and(|e| e == "csv") {
+            std::fs::copy(&p, dir.join(p.file_name().unwrap())).unwrap();
+        }
+    }
+    dir
+}
+
+#[test]
+fn committed_results_conform_with_full_coverage() {
+    let outcome = run(&options(repo_root().join("results"))).unwrap();
+    assert!(
+        outcome.report.ok(),
+        "committed results violate expectations:\n{}",
+        outcome.render_text()
+    );
+    assert!(
+        outcome.uncovered.is_empty(),
+        "exhibits without expectation files: {:?}",
+        outcome.uncovered
+    );
+    assert!(
+        outcome.unknown_exhibits.is_empty(),
+        "expectation files naming unknown exhibits: {:?}",
+        outcome.unknown_exhibits
+    );
+    assert!(outcome.ok());
+    // Every exhibit in the inventory is claimed by exactly one file.
+    assert_eq!(outcome.report.files.len(), elanib_core::EXHIBITS.len());
+}
+
+#[test]
+fn mutated_csvs_flip_to_failure_listing_every_violation() {
+    let dir = scratch_results("mutated");
+    // Mutation 1: make InfiniBand win small-message latency (swap the
+    // two series in fig1a) — breaks the headline 2x claim.
+    let fig1a = dir.join("fig1a_latency.csv");
+    let text = std::fs::read_to_string(&fig1a).unwrap();
+    let swapped: String = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| {
+            if i == 0 {
+                l.to_string()
+            } else {
+                let c: Vec<&str> = l.split(',').collect();
+                format!("{},{},{}", c[0], c[2], c[1])
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    std::fs::write(&fig1a, swapped + "\n").unwrap();
+    // Mutation 2: flatten the Figure 6 CG dive in an *unrelated* file,
+    // to prove the run reports both and doesn't stop at the first.
+    let fig6 = dir.join("fig6_nascg.csv");
+    let text = std::fs::read_to_string(&fig6).unwrap();
+    std::fs::write(
+        &fig6,
+        text.replace("2,227.1,239.8,53.4,56.4", "2,400.0,410.0,94.1,96.4"),
+    )
+    .unwrap();
+
+    let outcome = run(&options(dir.clone())).unwrap();
+    assert!(!outcome.ok());
+    let text = outcome.render_text();
+    let failing_files: Vec<&str> = outcome
+        .report
+        .files
+        .iter()
+        .filter(|f| !f.ok())
+        .map(|f| f.source.as_str())
+        .collect();
+    assert!(
+        failing_files.contains(&"fig1a.toml") && failing_files.contains(&"fig6.toml"),
+        "both mutated exhibits must be reported, got {failing_files:?}\n{text}"
+    );
+    // The violated terms are named with their claims.
+    assert!(text.contains("VIOLATED fig1a.toml"), "{text}");
+    assert!(text.contains("VIOLATED fig6.toml"), "{text}");
+    assert!(
+        text.contains("`Elan us` beats `IB us`"),
+        "violation must state the broken claim\n{text}"
+    );
+    // And the machine-readable report agrees.
+    let json = outcome.to_json();
+    assert!(json.contains("\"pass\": false"), "{json}");
+    assert!(json.contains("\"ok\": false"), "{json}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn conformance_binary_exit_codes() {
+    let bin = env!("CARGO_BIN_EXE_conformance");
+    let root = repo_root();
+    // Against the committed results: exit 0.
+    let ok = std::process::Command::new(bin)
+        .current_dir(&root)
+        .output()
+        .unwrap();
+    assert!(
+        ok.status.success(),
+        "conformance failed on committed results:\n{}",
+        String::from_utf8_lossy(&ok.stdout)
+    );
+    // Against a mutated fixture: exit 1 and the violated term is named
+    // on stdout.
+    let dir = scratch_results("binexit");
+    let fig4 = dir.join("fig4_sweep3d.csv");
+    let text = std::fs::read_to_string(&fig4).unwrap();
+    // Kill the superlinear anomaly: IB eff at 4 procs drops below 100.
+    std::fs::write(
+        &fig4,
+        text.replace("4,52.5,52.0,116.8,118.1", "4,52.5,52.0,96.8,118.1"),
+    )
+    .unwrap();
+    let bad = std::process::Command::new(bin)
+        .current_dir(&root)
+        .args(["--results", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(stdout.contains("VIOLATED fig4.toml"), "{stdout}");
+    assert!(stdout.contains("NOT CONFORMANT"), "{stdout}");
+    // Missing expectations dir: setup error, exit 2.
+    let missing = std::process::Command::new(bin)
+        .current_dir(&root)
+        .args(["--expectations", "/nonexistent-expectations"])
+        .output()
+        .unwrap();
+    assert_eq!(missing.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn missing_results_file_is_reported_per_term() {
+    let dir = scratch_results("missing");
+    std::fs::remove_file(dir.join("fig5_sweep_inputs.csv")).unwrap();
+    let outcome = run(&options(dir.clone())).unwrap();
+    assert!(!outcome.ok());
+    let f = outcome
+        .report
+        .files
+        .iter()
+        .find(|f| f.source == "fig5.toml")
+        .unwrap();
+    assert_eq!(f.failed(), f.terms.len(), "every fig5 term should fail");
+    assert!(
+        f.terms[0].violations[0].message.contains("cannot read"),
+        "{}",
+        f.terms[0].violations[0].message
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}

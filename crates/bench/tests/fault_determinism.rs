@@ -47,10 +47,7 @@ fn fault_tables_identical_serial_vs_parallel_and_across_cache_modes() {
     );
 
     // Cold disk cache, then warm from disk: still the same bytes.
-    let dir = std::env::temp_dir().join(format!(
-        "elanib-fault-determinism-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("elanib-fault-determinism-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     simcache::set_override(Some(Mode::Disk(dir.clone())));
     let cold = tables();
@@ -111,17 +108,13 @@ fn panicking_point_and_corrupt_cache_entry_are_both_survived_and_reported() {
     use elanib_core::{sweep_with_opts, PointResult, SweepOpts};
 
     let _g = LOCK.lock().unwrap();
-    let dir = std::env::temp_dir().join(format!(
-        "elanib-fault-harness-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("elanib-fault-harness-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     simcache::set_override(Some(Mode::Disk(dir.clone())));
 
     // Populate the disk tier, then flip a bit in one entry.
-    let warm = |x: &u32| -> f64 {
-        simcache::get_or_compute("fault.harness", x, || *x as f64 * 2.0)
-    };
+    let warm =
+        |x: &u32| -> f64 { simcache::get_or_compute("fault.harness", x, || *x as f64 * 2.0) };
     let items: Vec<u32> = (0..8).collect();
     for x in &items {
         warm(x);

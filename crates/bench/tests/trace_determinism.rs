@@ -107,9 +107,7 @@ fn value(b: &[u8], i: &mut usize) -> bool {
         b'n' => eat(b, i, b"null"),
         b'-' | b'0'..=b'9' => {
             let start = *i;
-            while *i < b.len()
-                && matches!(b[*i], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
-            {
+            while *i < b.len() && matches!(b[*i], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
                 *i += 1;
             }
             std::str::from_utf8(&b[start..*i])
@@ -202,7 +200,10 @@ fn fig2_csv_identical_traced_vs_untraced_and_sinks_are_loadable() {
         *prev = ts;
         seen += 1;
     }
-    assert!(seen > 100, "expected a real event stream, got {seen} events");
+    assert!(
+        seen > 100,
+        "expected a real event stream, got {seen} events"
+    );
 
     // Metrics summary: the headline counters of the acceptance surface.
     let mc = files.metrics_csv.expect("metrics were recorded");
@@ -215,7 +216,10 @@ fn fig2_csv_identical_traced_vs_untraced_and_sinks_are_loadable() {
         "world.unexpected",
         "coll.count",
     ] {
-        assert!(csv.contains(needle), "metrics csv must mention {needle}:\n{csv}");
+        assert!(
+            csv.contains(needle),
+            "metrics csv must mention {needle}:\n{csv}"
+        );
     }
 
     elanib_core::simcache::set_override(None);

@@ -146,9 +146,20 @@ mod tests {
     fn every_paper_exhibit_is_covered() {
         // The evaluation has figures 1-8 and tables 1-3.
         for id in [
-            "Table 1", "Table 2", "Table 3", "Figure 1(a)", "Figure 1(b)", "Figure 1(c)",
-            "Figure 1(d)", "Figure 2", "Figure 3", "Figure 4", "Figure 5", "Figure 6",
-            "Figure 7", "Figure 8",
+            "Table 1",
+            "Table 2",
+            "Table 3",
+            "Figure 1(a)",
+            "Figure 1(b)",
+            "Figure 1(c)",
+            "Figure 1(d)",
+            "Figure 2",
+            "Figure 3",
+            "Figure 4",
+            "Figure 5",
+            "Figure 6",
+            "Figure 7",
+            "Figure 8",
         ] {
             assert!(exhibit(id).is_some(), "missing exhibit {id}");
         }

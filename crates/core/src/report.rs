@@ -63,7 +63,14 @@ impl TextTable {
                 s.to_string()
             }
         };
-        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for r in &self.rows {
             out.push_str(&r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));

@@ -247,11 +247,9 @@ fn key_of<P: Debug + ?Sized>(domain: &str, params: &P) -> String {
 /// show up in the params `Debug` rendering). Read once per process,
 /// like the mode.
 fn faults_key_suffix() -> &'static str {
-    static SUFFIX: LazyLock<String> = LazyLock::new(|| {
-        match std::env::var("ELANIB_FAULTS") {
-            Ok(v) if !v.is_empty() => format!("|faults:{v}"),
-            _ => String::new(),
-        }
+    static SUFFIX: LazyLock<String> = LazyLock::new(|| match std::env::var("ELANIB_FAULTS") {
+        Ok(v) if !v.is_empty() => format!("|faults:{v}"),
+        _ => String::new(),
     });
     &SUFFIX
 }
@@ -471,7 +469,11 @@ mod tests {
         disk_write(&path, "other|key", &99.0f64.encode());
         let v: f64 = get_or_compute(&domain, &7u64, || 3.25);
         assert_eq!(v, 3.25);
-        assert_eq!(stats().corrupt, corrupt_before, "collision is not corruption");
+        assert_eq!(
+            stats().corrupt,
+            corrupt_before,
+            "collision is not corruption"
+        );
 
         set_override(None);
         let _ = fs::remove_dir_all(&dir);

@@ -160,10 +160,7 @@ where
     let run_one = |i: usize| -> T {
         let ev0 = elanib_simcore::thread_events();
         let out = f(&items[i]);
-        events.fetch_add(
-            elanib_simcore::thread_events() - ev0,
-            Ordering::Relaxed,
-        );
+        events.fetch_add(elanib_simcore::thread_events() - ev0, Ordering::Relaxed);
         out
     };
 
@@ -238,7 +235,10 @@ pub enum PointResult<T> {
     /// The point panicked. `payload` is the panic message;
     /// `params_hash` fingerprints the item's `Debug` form so a driver
     /// can report *which* grid cell died without carrying the item.
-    Failed { payload: String, params_hash: u64 },
+    Failed {
+        payload: String,
+        params_hash: u64,
+    },
 }
 
 impl<T> PointResult<T> {
@@ -267,7 +267,11 @@ fn params_hash<I: std::fmt::Debug>(item: &I) -> u64 {
 /// thread, recorded as [`PointResult::Failed`], and the sweep finishes
 /// every remaining point; without it the semantics are exactly
 /// [`sweep_with_stats`] (panics propagate after the scope joins).
-pub fn sweep_with_opts<I, T, F>(items: &[I], opts: SweepOpts, f: F) -> (Vec<PointResult<T>>, SweepStats)
+pub fn sweep_with_opts<I, T, F>(
+    items: &[I],
+    opts: SweepOpts,
+    f: F,
+) -> (Vec<PointResult<T>>, SweepStats)
 where
     I: Sync + std::fmt::Debug,
     T: Send,
@@ -413,7 +417,10 @@ mod tests {
         for (i, r) in out.into_iter().enumerate() {
             if i == 5 {
                 match r {
-                    PointResult::Failed { payload, params_hash } => {
+                    PointResult::Failed {
+                        payload,
+                        params_hash,
+                    } => {
                         assert!(payload.contains("boom at 5"), "{payload}");
                         assert_eq!(params_hash, super::params_hash(&5u32));
                     }

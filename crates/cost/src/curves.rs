@@ -78,9 +78,8 @@ pub fn elan_network(q: &QuadricsPrices, nodes: usize) -> NetworkCost {
 pub fn ib96_network(p: &IbPrices, nodes: usize) -> NetworkCost {
     let chassis = fat_tree_chassis(96, nodes);
     let inter = if nodes <= 96 { 0 } else { nodes }; // uplink cables
-    let total = (p.hca + p.cable) * nodes as f64
-        + chassis as f64 * p.switch_96
-        + inter as f64 * p.cable;
+    let total =
+        (p.hca + p.cable) * nodes as f64 + chassis as f64 * p.switch_96 + inter as f64 * p.cable;
     plan(nodes, total)
 }
 
@@ -96,9 +95,7 @@ pub fn ib_mixed_network(p: &IbPrices, nodes: usize) -> NetworkCost {
         let chassis = fat_tree_chassis(288, nodes);
         (chassis as f64 * p.switch_288, nodes)
     };
-    let total = (p.hca + p.cable) * nodes as f64
-        + switch_cost
-        + inter_cables as f64 * p.cable;
+    let total = (p.hca + p.cable) * nodes as f64 + switch_cost + inter_cables as f64 * p.cable;
     plan(nodes, total)
 }
 

@@ -92,7 +92,11 @@ pub fn table2_rows(p: &IbPrices) -> Vec<(String, f64, bool)> {
 pub fn table3_rows(p: &QuadricsPrices) -> Vec<(String, f64, bool)> {
     vec![
         ("QM500 network adapter".into(), p.qm500, true),
-        ("QS5A node-level chassis (64 ports)".into(), p.node_chassis, false),
+        (
+            "QS5A node-level chassis (64 ports)".into(),
+            p.node_chassis,
+            false,
+        ),
         ("Top-level switch".into(), p.top_switch, false),
         ("QM580 clock source".into(), p.clock_source, false),
         ("QM581 EOP link cable, 3M".into(), p.cable, false),

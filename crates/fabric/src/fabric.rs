@@ -91,10 +91,7 @@ impl Fabric {
 
     /// End-of-run fault/recovery totals (all-zero when no plan).
     pub fn fault_stats(&self) -> FaultStats {
-        self.faults
-            .as_ref()
-            .map(|f| f.stats())
-            .unwrap_or_default()
+        self.faults.as_ref().map(|f| f.stats()).unwrap_or_default()
     }
 
     pub fn n_endpoints(&self) -> usize {
@@ -304,7 +301,10 @@ impl Fabric {
 
     /// Bytes carried by each directed channel, indexed `2*edge + dir`.
     pub fn per_link_bytes(&self) -> Vec<u64> {
-        self.channels.iter().map(|c| c.stats().bytes_total).collect()
+        self.channels
+            .iter()
+            .map(|c| c.stats().bytes_total)
+            .collect()
     }
 
     /// Fold this fabric's per-link statistics into the metrics
@@ -321,7 +321,10 @@ impl Fabric {
             busiest = busiest.max(st.bytes_total);
             tr.add(format!("fabric.link{i}.bytes"), st.bytes_total);
         }
-        tr.add("fabric.links_used", self.per_link_bytes().iter().filter(|&&b| b > 0).count() as u64);
+        tr.add(
+            "fabric.links_used",
+            self.per_link_bytes().iter().filter(|&&b| b > 0).count() as u64,
+        );
         tr.gauge("fabric.busiest_link_bytes", busiest as i64);
         if let Some(fs) = &self.faults {
             let st = fs.stats();
@@ -487,11 +490,7 @@ mod tests {
         let base = Fabric::new(Topology::fat_tree(4, 3, 16), elan4());
         let dead = base.routes().path(0, 15)[1];
         let plan = FaultPlan::parse(&format!("outage=link{dead}@0+1ms")).unwrap();
-        let f = Fabric::with_faults(
-            Topology::fat_tree(4, 3, 16),
-            elan4(),
-            Some(Arc::new(plan)),
-        );
+        let f = Fabric::with_faults(Topology::fat_tree(4, 3, 16), elan4(), Some(Arc::new(plan)));
         let expected_hops = f.hops(0, 15);
         match f.deliver_attempt(&sim, 0, 15, 4096, true) {
             WireOutcome::Delivered { rerouted, hops, .. } => {
@@ -528,7 +527,10 @@ mod tests {
         let ser = clean.params.link.serialize(1_000_000);
         // Half rate on the first cable throttles the pipeline: one
         // extra serialization time, give or take fixed latencies.
-        assert!(t_slow >= t_clean + (ser - Dur::from_us(1)), "{t_clean:?} vs {t_slow:?}");
+        assert!(
+            t_slow >= t_clean + (ser - Dur::from_us(1)),
+            "{t_clean:?} vs {t_slow:?}"
+        );
     }
 
     #[test]

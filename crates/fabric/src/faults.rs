@@ -137,9 +137,7 @@ impl FaultPlan {
             let (key, val) = (key.trim(), val.trim());
             match key {
                 "seed" => {
-                    plan.seed = val
-                        .parse()
-                        .map_err(|e| format!("bad seed {val:?}: {e}"))?;
+                    plan.seed = val.parse().map_err(|e| format!("bad seed {val:?}: {e}"))?;
                 }
                 "loss" => plan.loss = parse_prob("loss", val)?,
                 "corrupt" => plan.corrupt = parse_prob("corrupt", val)?,
@@ -215,9 +213,7 @@ impl FaultPlan {
                             .and_then(|f| f.as_f64())
                             .ok_or("degrade entry needs a numeric \"factor\"")?;
                         if !(factor > 0.0 && factor <= 1.0) {
-                            return Err(format!(
-                                "degrade factor must be in (0, 1], got {factor}"
-                            ));
+                            return Err(format!("degrade factor must be in (0, 1], got {factor}"));
                         }
                         plan.degrades.push(Degrade {
                             link,
@@ -701,9 +697,7 @@ mod json {
                         b'n' => '\n',
                         b't' => '\t',
                         b'r' => '\r',
-                        other => {
-                            return Err(format!("unsupported escape \\{}", *other as char))
-                        }
+                        other => return Err(format!("unsupported escape \\{}", *other as char)),
                     });
                 }
                 _ => out.push(c as char),
@@ -798,7 +792,9 @@ mod tests {
         assert!(FaultPlan::parse("").unwrap().is_effectless());
         assert!(FaultPlan::parse("seed=9, loss=0").unwrap().is_effectless());
         assert!(!FaultPlan::parse("loss=1e-6").unwrap().is_effectless());
-        assert!(!FaultPlan::parse("outage=link0@0+1us").unwrap().is_effectless());
+        assert!(!FaultPlan::parse("outage=link0@0+1us")
+            .unwrap()
+            .is_effectless());
     }
 
     #[test]
@@ -881,9 +877,11 @@ mod tests {
     #[test]
     fn degrade_and_stall_windows() {
         let plan = Arc::new(
-            FaultPlan::parse("degrade=link0@100us+100us*0.5, degrade=link0@150us+100us*0.5, \
-                              stall=ep2@10us+5us")
-                .unwrap(),
+            FaultPlan::parse(
+                "degrade=link0@100us+100us*0.5, degrade=link0@150us+100us*0.5, \
+                              stall=ep2@10us+5us",
+            )
+            .unwrap(),
         );
         let fs = FaultState::new(plan, 2);
         let t = |us: u64| SimTime::ZERO + Dur::from_us(us);

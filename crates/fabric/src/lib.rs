@@ -45,20 +45,14 @@ pub fn elan_fabric(nodes: usize) -> Fabric {
 
 /// [`ib_fabric`] with an explicit fault plan (`None` still honours
 /// `ELANIB_FAULTS`, matching `Fabric::new`).
-pub fn ib_fabric_with(
-    nodes: usize,
-    plan: Option<std::sync::Arc<FaultPlan>>,
-) -> Fabric {
+pub fn ib_fabric_with(nodes: usize, plan: Option<std::sync::Arc<FaultPlan>>) -> Fabric {
     let plan = plan.or_else(faults::env_plan);
     Fabric::with_faults(Topology::fat_tree(12, 2, nodes), infiniband_4x(), plan)
 }
 
 /// [`elan_fabric`] with an explicit fault plan (`None` still honours
 /// `ELANIB_FAULTS`).
-pub fn elan_fabric_with(
-    nodes: usize,
-    plan: Option<std::sync::Arc<FaultPlan>>,
-) -> Fabric {
+pub fn elan_fabric_with(nodes: usize, plan: Option<std::sync::Arc<FaultPlan>>) -> Fabric {
     let plan = plan.or_else(faults::env_plan);
     Fabric::with_faults(Topology::fat_tree(4, 3, nodes), elan4(), plan)
 }

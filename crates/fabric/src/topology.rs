@@ -37,7 +37,10 @@ impl fmt::Display for Topology {
         write!(
             f,
             "{} ({} endpoints, {} switches, {} cables)",
-            self.name, self.n_endpoints, self.n_switches, self.edges.len()
+            self.name,
+            self.n_endpoints,
+            self.n_switches,
+            self.edges.len()
         )
     }
 }
@@ -253,8 +256,10 @@ mod tests {
         let t = Topology::fat_tree(4, 3, 64);
         let mut seen = HashSet::new();
         for e in &t.edges {
-            let key = (t.vertex_index(e.a).min(t.vertex_index(e.b)),
-                       t.vertex_index(e.a).max(t.vertex_index(e.b)));
+            let key = (
+                t.vertex_index(e.a).min(t.vertex_index(e.b)),
+                t.vertex_index(e.a).max(t.vertex_index(e.b)),
+            );
             assert!(seen.insert(key), "duplicate edge {e:?}");
         }
     }

@@ -51,7 +51,9 @@ fn patterns(n: usize) -> Vec<Vec<usize>> {
     let mut perm: Vec<usize> = (0..n).collect();
     let mut state = 0x9E3779B97F4A7C15u64;
     for i in (1..n).rev() {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = (state >> 33) as usize % (i + 1);
         perm.swap(i, j);
     }
@@ -162,7 +164,12 @@ impl elanib_core::simcache::CacheValue for BeffPoint {
 
 /// b_eff over a family of node counts (Figure 1(d)): one independent
 /// job per count, fanned across the parallel sweep engine.
-pub fn beff_sweep(network: Network, node_counts: &[usize], ppn: usize, iters: u32) -> Vec<BeffPoint> {
+pub fn beff_sweep(
+    network: Network,
+    node_counts: &[usize],
+    ppn: usize,
+    iters: u32,
+) -> Vec<BeffPoint> {
     elanib_core::sweep(node_counts, |&nodes| beff(network, nodes, ppn, iters))
 }
 

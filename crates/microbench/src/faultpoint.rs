@@ -22,9 +22,7 @@ use std::sync::Arc;
 use elanib_fabric::{FaultPlan, FaultStats};
 use elanib_mpi::tports::ElanWorld;
 use elanib_mpi::verbs::IbWorld;
-use elanib_mpi::{
-    bytes_of_f64, recv, send, Communicator, NetConfig, Network, RankProgram,
-};
+use elanib_mpi::{bytes_of_f64, recv, send, Communicator, NetConfig, Network, RankProgram};
 use elanib_simcore::Sim;
 
 /// One fault-injected measurement.
@@ -121,12 +119,7 @@ fn cfg_with(plan: &Arc<FaultPlan>) -> NetConfig {
     }
 }
 
-fn point_from(
-    bytes: u64,
-    network: Network,
-    latency_us: Option<f64>,
-    st: FaultStats,
-) -> FaultPoint {
+fn point_from(bytes: u64, network: Network, latency_us: Option<f64>, st: FaultStats) -> FaultPoint {
     FaultPoint {
         bytes,
         latency_us: latency_us.unwrap_or(-1.0),
@@ -181,27 +174,23 @@ pub fn fault_pingpong(
     iters: u32,
     plan: &Arc<FaultPlan>,
 ) -> FaultPoint {
-    elanib_core::simcache::get_or_compute(
-        "mb.faultpp",
-        &(network, bytes, iters, &**plan),
-        || {
-            let out = Rc::new(Cell::new(-1.0));
-            let (t, st) = run_faulty(
-                network,
-                2,
-                5,
-                &cfg_with(plan),
-                FaultPingPong {
-                    bytes,
-                    iters,
-                    out_us: out.clone(),
-                },
-            );
-            // The per-exchange mean is the figure of merit; the run's
-            // end time only gates success.
-            point_from(bytes, network, t.map(|_| out.get()), st)
-        },
-    )
+    elanib_core::simcache::get_or_compute("mb.faultpp", &(network, bytes, iters, &**plan), || {
+        let out = Rc::new(Cell::new(-1.0));
+        let (t, st) = run_faulty(
+            network,
+            2,
+            5,
+            &cfg_with(plan),
+            FaultPingPong {
+                bytes,
+                iters,
+                out_us: out.clone(),
+            },
+        );
+        // The per-exchange mean is the figure of merit; the run's
+        // end time only gates success.
+        point_from(bytes, network, t.map(|_| out.get()), st)
+    })
 }
 
 #[derive(Clone)]
@@ -239,12 +228,7 @@ impl RankProgram for FaultStream {
 /// end. With a link-outage plan on the static route this is where the
 /// architectures split: Elan's adaptive routing detours around the
 /// downed link, IB's static route stalls on timeout-paced retransmits.
-pub fn outage_stream(
-    network: Network,
-    msgs: u32,
-    bytes: u64,
-    plan: &Arc<FaultPlan>,
-) -> FaultPoint {
+pub fn outage_stream(network: Network, msgs: u32, bytes: u64, plan: &Arc<FaultPlan>) -> FaultPoint {
     elanib_core::simcache::get_or_compute(
         "mb.faultstream",
         &(network, msgs, bytes, &**plan),

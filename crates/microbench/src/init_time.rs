@@ -88,7 +88,10 @@ mod tests {
             el32 < el4 * 3.0,
             "connectionless init must stay near-flat: {el4} -> {el32}"
         );
-        assert!(ib32 > el32 * 10.0, "the §3.3.1 gap: ib {ib32} vs elan {el32}");
+        assert!(
+            ib32 > el32 * 10.0,
+            "the §3.3.1 gap: ib {ib32} vs elan {el32}"
+        );
     }
 
     #[test]

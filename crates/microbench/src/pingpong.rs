@@ -63,11 +63,14 @@ impl RankProgram for PingPong {
 pub fn pingpong(network: Network, bytes: u64, iters: u32) -> PingPongPoint {
     elanib_core::simcache::get_or_compute("mb.pingpong", &(network, bytes, iters), || {
         let out = Rc::new(Cell::new(0.0));
-        run_pair(network, PingPong {
-            bytes,
-            iters,
-            out_us: out.clone(),
-        });
+        run_pair(
+            network,
+            PingPong {
+                bytes,
+                iters,
+                out_us: out.clone(),
+            },
+        );
         let latency_us = out.get();
         PingPongPoint {
             bytes,

@@ -57,7 +57,14 @@ impl RankProgram for ReusePingPong {
                 let t0 = sim.now();
                 for i in 0..self.iters {
                     let sr = c
-                        .isend_full(1, 1, CTX_WORLD, payload.clone(), self.bytes, self.region(1, i))
+                        .isend_full(
+                            1,
+                            1,
+                            CTX_WORLD,
+                            payload.clone(),
+                            self.bytes,
+                            self.region(1, i),
+                        )
                         .await;
                     c.wait(sr).await;
                     let rr = c
@@ -74,7 +81,14 @@ impl RankProgram for ReusePingPong {
                         .await;
                     c.wait(rr).await;
                     let sr = c
-                        .isend_full(0, 2, CTX_WORLD, payload.clone(), self.bytes, self.region(4, i))
+                        .isend_full(
+                            0,
+                            2,
+                            CTX_WORLD,
+                            payload.clone(),
+                            self.bytes,
+                            self.region(4, i),
+                        )
                         .await;
                     c.wait(sr).await;
                 }

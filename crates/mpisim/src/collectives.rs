@@ -39,14 +39,26 @@ const TAG_ALLTOALL: i64 = 5_000;
 
 async fn coll_send<C: Communicator>(c: &C, dst: usize, tag: i64, data: Bytes, bytes: u64) {
     let r = c
-        .isend_full(dst, tag, CTX_COLL, data, bytes, crate::auto_region(3, tag, bytes))
+        .isend_full(
+            dst,
+            tag,
+            CTX_COLL,
+            data,
+            bytes,
+            crate::auto_region(3, tag, bytes),
+        )
         .await;
     c.wait(r).await;
 }
 
 async fn coll_recv<C: Communicator>(c: &C, src: usize, tag: i64) -> RecvMsg {
     let r = c
-        .irecv_full(Some(src), Some(tag), CTX_COLL, crate::auto_region(4, tag, 0))
+        .irecv_full(
+            Some(src),
+            Some(tag),
+            CTX_COLL,
+            crate::auto_region(4, tag, 0),
+        )
         .await;
     c.wait(r).await.expect("collective recv yields a message")
 }
@@ -100,7 +112,12 @@ pub async fn barrier<C: Communicator>(c: &C) {
         // Post the receive before sending so simultaneous rounds can't
         // deadlock.
         let rr = c
-            .irecv_full(Some(from), Some(tag), CTX_COLL, crate::auto_region(4, tag, 8))
+            .irecv_full(
+                Some(from),
+                Some(tag),
+                CTX_COLL,
+                crate::auto_region(4, tag, 8),
+            )
             .await;
         let sr = c
             .isend_full(to, tag, CTX_COLL, empty(), 8, crate::auto_region(3, tag, 8))
@@ -174,7 +191,14 @@ pub async fn reduce<C: Communicator>(c: &C, root: usize, op: Op, x: &[f64]) -> O
             }
         } else {
             let parent = me - d;
-            coll_send(c, (parent + root) % n, TAG_REDUCE, bytes_of_f64(&acc), bytes).await;
+            coll_send(
+                c,
+                (parent + root) % n,
+                TAG_REDUCE,
+                bytes_of_f64(&acc),
+                bytes,
+            )
+            .await;
             coll_end(c, "reduce", t0);
             return None;
         }
@@ -216,9 +240,7 @@ pub async fn gather<C: Communicator>(
         let mut out: Vec<Option<Bytes>> = vec![None; n];
         out[root] = Some(data);
         for _ in 0..n - 1 {
-            let r = c
-                .irecv_full(None, Some(TAG_GATHER), CTX_COLL, 0)
-                .await;
+            let r = c.irecv_full(None, Some(TAG_GATHER), CTX_COLL, 0).await;
             let m = c.wait(r).await.unwrap();
             out[m.src] = Some(m.data);
         }
@@ -235,11 +257,7 @@ pub async fn gather<C: Communicator>(
 /// full vector indexed by rank. Recursive doubling for power-of-two
 /// sizes (log₂ n rounds with doubling block sizes — the pattern NPB CG
 /// uses to reassemble its iterate), ring otherwise.
-pub async fn allgather<C: Communicator>(
-    c: &C,
-    mine: Bytes,
-    per_rank_bytes: u64,
-) -> Vec<Bytes> {
+pub async fn allgather<C: Communicator>(c: &C, mine: Bytes, per_rank_bytes: u64) -> Vec<Bytes> {
     let n = c.size();
     let me = c.rank();
     let mut out: Vec<Option<Bytes>> = vec![None; n];
@@ -291,9 +309,7 @@ pub async fn allgather<C: Communicator>(
         let mut carry_idx = me;
         for step in 0..n - 1 {
             let tag = TAG_ALLGATHER + 100 + step as i64;
-            let rr = c
-                .irecv_full(Some(left), Some(tag), CTX_COLL, 0)
-                .await;
+            let rr = c.irecv_full(Some(left), Some(tag), CTX_COLL, 0).await;
             let sr = c
                 .isend_full(right, tag, CTX_COLL, carry.clone(), per_rank_bytes, 0)
                 .await;

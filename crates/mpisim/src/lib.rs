@@ -117,8 +117,7 @@ pub trait Communicator: Clone + 'static {
     /// dilates it (`mem_intensity` ∈ [0,1] — how memory-bound the
     /// kernel is). **No MPI progress happens during compute** — on the
     /// verbs transport that is the whole point.
-    fn compute(&self, dur: elanib_simcore::Dur, mem_intensity: f64)
-        -> impl Future<Output = ()>;
+    fn compute(&self, dur: elanib_simcore::Dur, mem_intensity: f64) -> impl Future<Output = ()>;
 
     /// Hardware-assisted full-communicator barrier, if this transport
     /// offers one (QsNet's barrier network). Returns `true` if the
@@ -140,7 +139,13 @@ pub fn auto_region(dir: u64, tag: i64, bytes: u64) -> u64 {
 }
 
 /// Non-blocking send on the world context with an auto-derived region.
-pub async fn isend<C: Communicator>(c: &C, dst: usize, tag: i64, data: Bytes, bytes: u64) -> C::Req {
+pub async fn isend<C: Communicator>(
+    c: &C,
+    dst: usize,
+    tag: i64,
+    data: Bytes,
+    bytes: u64,
+) -> C::Req {
     c.isend_full(dst, tag, CTX_WORLD, data, bytes, auto_region(1, tag, bytes))
         .await
 }

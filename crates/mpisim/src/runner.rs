@@ -78,11 +78,7 @@ pub fn run_job<P: RankProgram>(spec: JobSpec, program: P) -> SimTime {
 }
 
 /// [`run_job`] with explicit stack parameters (ablations, sweeps).
-pub fn run_job_configured<P: RankProgram>(
-    spec: JobSpec,
-    cfg: &NetConfig,
-    program: P,
-) -> SimTime {
+pub fn run_job_configured<P: RankProgram>(spec: JobSpec, cfg: &NetConfig, program: P) -> SimTime {
     let sim = Sim::new(spec.seed);
     if let Some(tr) = sim.tracer() {
         tr.set_label(format!(
@@ -145,10 +141,7 @@ mod tests {
 
     impl RankProgram for SumProgram {
         #[allow(clippy::manual_async_fn)]
-        fn run<C: Communicator>(
-            self,
-            c: C,
-        ) -> impl std::future::Future<Output = ()> + 'static {
+        fn run<C: Communicator>(self, c: C) -> impl std::future::Future<Output = ()> + 'static {
             async move {
                 let v = allreduce(&c, Op::Sum, &[1.0]).await;
                 if c.rank() == 0 {

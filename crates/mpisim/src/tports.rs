@@ -81,12 +81,25 @@ impl ElanWorld {
         elan_params: ElanParams,
         mpi_params: TportsMpiParams,
     ) -> Rc<ElanWorld> {
-        ElanWorld::with_faults(sim, n_nodes, ppn, node_params, elan_params, mpi_params, None)
+        ElanWorld::with_faults(
+            sim,
+            n_nodes,
+            ppn,
+            node_params,
+            elan_params,
+            mpi_params,
+            None,
+        )
     }
 
     /// [`ElanWorld::with_params`] plus the full [`crate::NetConfig`]
     /// bundle (fault plan included).
-    pub fn with_config(sim: &Sim, n_nodes: usize, ppn: usize, cfg: &crate::NetConfig) -> Rc<ElanWorld> {
+    pub fn with_config(
+        sim: &Sim,
+        n_nodes: usize,
+        ppn: usize,
+        cfg: &crate::NetConfig,
+    ) -> Rc<ElanWorld> {
         ElanWorld::with_faults(
             sim,
             n_nodes,

@@ -23,8 +23,8 @@
 //!   like MVAPICH. This is the single most consequential line of the
 //!   whole reproduction.
 
-use std::cell::{Cell, RefCell};
 use elanib_simcore::FxHashMap;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
@@ -246,7 +246,12 @@ impl IbWorld {
 
     /// [`IbWorld::with_params`] plus the full [`crate::NetConfig`]
     /// bundle (fault plan included).
-    pub fn with_config(sim: &Sim, n_nodes: usize, ppn: usize, cfg: &crate::NetConfig) -> Rc<IbWorld> {
+    pub fn with_config(
+        sim: &Sim,
+        n_nodes: usize,
+        ppn: usize,
+        cfg: &crate::NetConfig,
+    ) -> Rc<IbWorld> {
         IbWorld::with_faults(
             sim,
             n_nodes,
@@ -271,7 +276,9 @@ impl IbWorld {
         let nodes: Vec<_> = (0..n_nodes).map(|i| Node::new(i, node_params)).collect();
         let fabric = Rc::new(ib_fabric_with(n_nodes, faults));
         let net = Rc::new(IbNet::new(&nodes, fabric, ppn, hca_params));
-        let ranks = (0..n_nodes * ppn).map(|_| Rc::new(RankState::new())).collect();
+        let ranks = (0..n_nodes * ppn)
+            .map(|_| Rc::new(RankState::new()))
+            .collect();
         let w = Rc::new(IbWorld {
             sim: sim.clone(),
             net,
@@ -513,7 +520,8 @@ impl VerbsComm {
                     }
                     (matched, scanned)
                 };
-                self.charge(self.match_cost(scanned) + self.w.params.rts_handle).await;
+                self.charge(self.match_cost(scanned) + self.w.params.rts_handle)
+                    .await;
                 if let Some(p) = matched {
                     self.rendezvous_reply(hdr, bytes, send_id, p).await;
                 }
@@ -664,10 +672,13 @@ impl Communicator for VerbsComm {
             }
             self.node().host_copy(&self.w.sim, bytes).await;
             self.charge(self.w.net.params.doorbell).await;
-            let _ = self
-                .w
-                .net
-                .post(&self.w.sim, self.rank, dst, IbMsg::Eager { hdr, data, bytes }, bytes + p.eager_envelope);
+            let _ = self.w.net.post(
+                &self.w.sim,
+                self.rank,
+                dst,
+                IbMsg::Eager { hdr, data, bytes },
+                bytes + p.eager_envelope,
+            );
             let done = Flag::new();
             done.set();
             VerbsReq::Send(done)

@@ -185,7 +185,10 @@ fn explicit_registration_makes_elan_reuse_sensitive() {
     let stock = TportsMpiParams::default();
     let a = elan_pingpong_us(stock, false);
     let b = elan_pingpong_us(stock, true);
-    assert!((b / a - 1.0).abs() < 0.02, "stock Elan reuse-insensitive: {a} vs {b}");
+    assert!(
+        (b / a - 1.0).abs() < 0.02,
+        "stock Elan reuse-insensitive: {a} vs {b}"
+    );
     // Ablated Elan: fresh buffers pay IB-style registration.
     let ablated = TportsMpiParams {
         explicit_registration: true,
@@ -243,7 +246,10 @@ fn hardware_barrier_is_flat_in_rank_count() {
     let sw4 = barrier_time_us(4, None);
     let sw32 = barrier_time_us(32, None);
     // Hardware: flat in rank count, ~the configured pulse latency.
-    assert!((hw32 / hw4 - 1.0).abs() < 0.15, "hw barrier flat: {hw4} -> {hw32}");
+    assert!(
+        (hw32 / hw4 - 1.0).abs() < 0.15,
+        "hw barrier flat: {hw4} -> {hw32}"
+    );
     assert!(hw4 > 3.9 && hw4 < 8.0, "hw barrier ~pulse latency: {hw4}");
     // Software: grows with log2(n).
     assert!(sw32 > sw4 * 1.5, "sw barrier grows: {sw4} -> {sw32}");

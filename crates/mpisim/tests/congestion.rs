@@ -6,7 +6,9 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
-use elanib_mpi::{bytes_of_f64, irecv, isend, recv, send, waitall, Communicator, JobSpec, Network, RankProgram};
+use elanib_mpi::{
+    bytes_of_f64, irecv, isend, recv, send, waitall, Communicator, JobSpec, Network, RankProgram,
+};
 use elanib_simcore::SimTime;
 
 /// All ranks except 0 send `bytes` to rank 0 simultaneously; returns
@@ -66,7 +68,10 @@ fn incast_is_receiver_bandwidth_bound() {
             t > floor,
             "{net}: incast in {t}s beats the receiver bandwidth floor {floor}s"
         );
-        assert!(t < floor * 1.6, "{net}: incast too slow: {t}s vs floor {floor}s");
+        assert!(
+            t < floor * 1.6,
+            "{net}: incast too slow: {t}s vs floor {floor}s"
+        );
     }
 }
 
@@ -108,8 +113,7 @@ impl RankProgram for DisjointPairs {
             } else {
                 let _ = recv(&c, Some(me - 1), Some(1)).await;
                 if me == n - 1 {
-                    self.done_at
-                        .set(c.sim().now().since(t0).as_secs_f64());
+                    self.done_at.set(c.sim().now().since(t0).as_secs_f64());
                 }
             }
         }

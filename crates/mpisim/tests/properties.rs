@@ -37,8 +37,7 @@ fn run_traffic(net: Network, msgs: Vec<(i64, f64, u64)>, recv_order: Vec<usize>)
                         let mut reqs = Vec::new();
                         for (i, &(tag, v, bytes)) in msgs.iter().enumerate() {
                             reqs.push(
-                                isend(&c, 1, tag * 100 + i as i64, bytes_of_f64(&[v]), bytes)
-                                    .await,
+                                isend(&c, 1, tag * 100 + i as i64, bytes_of_f64(&[v]), bytes).await,
                             );
                         }
                         waitall(&c, reqs).await;

@@ -309,7 +309,14 @@ fn intra_node_2ppn_messaging() {
         let n = c.size();
         let me = c.rank();
         let m = c
-            .sendrecv_b((me + 1) % n, 1, bytes_of_f64(&[me as f64]), 1024, (me + n - 1) % n, 1)
+            .sendrecv_b(
+                (me + 1) % n,
+                1,
+                bytes_of_f64(&[me as f64]),
+                1024,
+                (me + n - 1) % n,
+                1,
+            )
             .await;
         assert_eq!(f64_of_bytes(&m.data)[0], ((me + n - 1) % n) as f64);
     });
@@ -377,11 +384,7 @@ fn gather_collects_in_rank_order() {
         let me = c.rank();
         let out = c.gather_b(0, bytes_of_f64(&[me as f64 * 10.0]), 8).await;
         if me == 0 {
-            let v: Vec<f64> = out
-                .unwrap()
-                .iter()
-                .map(|b| f64_of_bytes(b)[0])
-                .collect();
+            let v: Vec<f64> = out.unwrap().iter().map(|b| f64_of_bytes(b)[0]).collect();
             assert_eq!(v, vec![0.0, 10.0, 20.0, 30.0]);
         }
     });
@@ -464,7 +467,7 @@ fn results_recorded_outside_tasks() {
 
 #[test]
 fn world_stats_reflect_traffic() {
-    use elanib_mpi::{send, recv, bytes_of_f64};
+    use elanib_mpi::{bytes_of_f64, recv, send};
     let sim = Sim::new(71);
     let wi = IbWorld::new(&sim, 2, 1);
     let we = ElanWorld::new(&sim, 2, 1);
@@ -496,7 +499,10 @@ fn world_stats_reflect_traffic() {
     let si = wi.stats();
     assert!(si.wire_bytes > 100_000, "rendezvous data crossed the wire");
     assert!(si.nic_messages >= 4, "eager + RTS + CTS + FIN at least");
-    assert!(si.unexpected >= 1, "the delayed receiver saw unexpected arrivals");
+    assert!(
+        si.unexpected >= 1,
+        "the delayed receiver saw unexpected arrivals"
+    );
     assert!(si.reg_misses >= 2, "both rendezvous buffers registered");
     let se = we.stats();
     assert!(se.nic_messages >= 1);

@@ -22,8 +22,8 @@
 //!   translations with the host OS, so there is no register call and
 //!   no pin-down cache in this file at all.
 
-use std::cell::{Cell, RefCell};
 use elanib_simcore::FxHashMap;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use elanib_fabric::Fabric;
@@ -174,7 +174,12 @@ pub struct ElanNet {
 }
 
 impl ElanNet {
-    pub fn new(nodes: &[Rc<Node>], fabric: Rc<Fabric>, ppn: usize, params: ElanParams) -> Rc<ElanNet> {
+    pub fn new(
+        nodes: &[Rc<Node>],
+        fabric: Rc<Fabric>,
+        ppn: usize,
+        params: ElanParams,
+    ) -> Rc<ElanNet> {
         assert!(ppn >= 1);
         assert_eq!(fabric.n_endpoints(), nodes.len());
         let ports = nodes
@@ -562,13 +567,7 @@ impl ElanNet {
 
     /// NIC writes the completion event; the host notices after the
     /// wake-up latency.
-    fn complete_recv(
-        &self,
-        sim: &Sim,
-        port: &Rc<ElanPort>,
-        recv_id: u64,
-        arrival: TportArrival,
-    ) {
+    fn complete_recv(&self, sim: &Sim, port: &Rc<ElanPort>, recv_id: u64, arrival: TportArrival) {
         let handle = port
             .recvs
             .borrow_mut()
@@ -615,7 +614,10 @@ impl ElanPort {
     fn trace_unexpected(&self, sim: &Sim) {
         if let Some(tr) = sim.tracer() {
             tr.add("elan.unexpected", 1);
-            tr.gauge("elan.unexpected_depth", self.unexpected.borrow().len() as i64);
+            tr.gauge(
+                "elan.unexpected_depth",
+                self.unexpected.borrow().len() as i64,
+            );
         }
     }
 }
@@ -629,18 +631,30 @@ mod tests {
 
     fn net(nodes: usize, ppn: usize) -> (Sim, Rc<ElanNet>) {
         let sim = Sim::new(1);
-        let nn: Vec<_> = (0..nodes).map(|i| Node::new(i, NodeParams::default())).collect();
+        let nn: Vec<_> = (0..nodes)
+            .map(|i| Node::new(i, NodeParams::default()))
+            .collect();
         let fabric = Rc::new(Fabric::new(Topology::single_crossbar(nodes), elan4()));
         let n = ElanNet::new(&nn, fabric, ppn, ElanParams::default());
         (sim, n)
     }
 
     fn hdr(src: usize, dst: usize, tag: i64) -> TportHeader {
-        TportHeader { src_rank: src, dst_rank: dst, tag, ctx: 0 }
+        TportHeader {
+            src_rank: src,
+            dst_rank: dst,
+            tag,
+            ctx: 0,
+        }
     }
 
     fn sel(dst: usize, src: Option<usize>, tag: Option<i64>) -> TportSel {
-        TportSel { dst_rank: dst, src, tag, ctx: 0 }
+        TportSel {
+            dst_rank: dst,
+            src,
+            tag,
+            ctx: 0,
+        }
     }
 
     fn payload(n: u8) -> Bytes {

@@ -292,7 +292,9 @@ impl<M> Hca<M> {
     /// Register `region` (`len` bytes) through the pin-down cache;
     /// returns the host time the caller must charge (zero on a hit).
     pub fn register(&self, region: RegionId, len: u64) -> Dur {
-        self.regcache.borrow_mut().register(&self.params, region, len)
+        self.regcache
+            .borrow_mut()
+            .register(&self.params, region, len)
     }
 
     /// [`register`](Hca::register) plus regcache hit/miss/evict
@@ -342,7 +344,9 @@ mod tests {
 
     fn net(nodes: usize, ppn: usize) -> (Sim, Rc<IbNet<TestMsg>>) {
         let sim = Sim::new(1);
-        let nn: Vec<_> = (0..nodes).map(|i| Node::new(i, NodeParams::default())).collect();
+        let nn: Vec<_> = (0..nodes)
+            .map(|i| Node::new(i, NodeParams::default()))
+            .collect();
         let fabric = Rc::new(Fabric::new(
             Topology::single_crossbar(nodes),
             infiniband_4x(),
@@ -445,7 +449,9 @@ mod tests {
         use elanib_fabric::faults::FaultPlan;
         use std::sync::Arc;
         let sim = Sim::new(1);
-        let nn: Vec<_> = (0..2).map(|i| Node::new(i, NodeParams::default())).collect();
+        let nn: Vec<_> = (0..2)
+            .map(|i| Node::new(i, NodeParams::default()))
+            .collect();
         // Endpoint 1's only cable is down for the whole run.
         let plan = Arc::new(FaultPlan::parse("outage=link1@0+10s").unwrap());
         let fabric = Rc::new(Fabric::with_faults(
@@ -485,11 +491,10 @@ mod tests {
         // 3 MiB cache, 1 MiB regions — small enough to walk the LRU by
         // hand. Expected state after each step is noted inline.
         let sim = Sim::with_tracer(1, Tracer::forced(1));
-        let nn: Vec<_> = (0..2).map(|i| Node::new(i, NodeParams::default())).collect();
-        let fabric = Rc::new(Fabric::new(
-            Topology::single_crossbar(2),
-            infiniband_4x(),
-        ));
+        let nn: Vec<_> = (0..2)
+            .map(|i| Node::new(i, NodeParams::default()))
+            .collect();
+        let fabric = Rc::new(Fabric::new(Topology::single_crossbar(2), infiniband_4x()));
         let params = HcaParams {
             reg_cache_bytes: 3 * 1024 * 1024,
             ..HcaParams::default()

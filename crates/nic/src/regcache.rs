@@ -53,7 +53,11 @@ impl RegCache {
     /// per-page figure, as real pin-down caches do the unpin lazily).
     pub fn register(&mut self, p: &HcaParams, region: RegionId, len: u64) -> Dur {
         // Hit: refresh LRU position.
-        if let Some(pos) = self.entries.iter().position(|&(r, l)| r == region && l >= len) {
+        if let Some(pos) = self
+            .entries
+            .iter()
+            .position(|&(r, l)| r == region && l >= len)
+        {
             let e = self.entries.remove(pos).unwrap();
             self.entries.push_back(e);
             self.hits += 1;

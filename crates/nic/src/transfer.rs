@@ -13,8 +13,8 @@
 //! Reliable-connection InfiniBand and Elan virtual channels both
 //! guarantee this in hardware.
 
-use std::cell::RefCell;
 use elanib_simcore::FxHashMap;
+use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
@@ -42,7 +42,11 @@ pub enum TransportError {
     },
     /// IB RC: the receiver NAKed receiver-not-ready more than
     /// `rnr_retry` times.
-    RnrRetryExceeded { src: usize, dst: usize, retries: u32 },
+    RnrRetryExceeded {
+        src: usize,
+        dst: usize,
+        retries: u32,
+    },
     /// Elan: the route stayed down (no detour existed) past the link
     /// retry limit.
     LinkDead { src: usize, dst: usize, waited: u32 },
@@ -388,10 +392,8 @@ pub fn launch(
             None => fabric.deliver_at(&sim, src_ep, dst_ep, wire_bytes),
             Some(fs) => {
                 let fs = fs.clone();
-                match deliver_with_recovery(
-                    &sim, &fabric, &fs, src_ep, dst_ep, wire_bytes, policy,
-                )
-                .await
+                match deliver_with_recovery(&sim, &fabric, &fs, src_ep, dst_ep, wire_bytes, policy)
+                    .await
                 {
                     Ok(t) => t,
                     Err(e) => {
@@ -489,7 +491,9 @@ mod tests {
     fn setup(n: usize) -> (Sim, Rc<Fabric>, Vec<Rc<Node>>) {
         let sim = Sim::new(1);
         let fabric = Rc::new(Fabric::new(Topology::single_crossbar(n), infiniband_4x()));
-        let nodes = (0..n).map(|i| Node::new(i, NodeParams::default())).collect();
+        let nodes = (0..n)
+            .map(|i| Node::new(i, NodeParams::default()))
+            .collect();
         (sim, fabric, nodes)
     }
 
@@ -501,7 +505,9 @@ mod tests {
             infiniband_4x(),
             Some(plan),
         ));
-        let nodes = (0..n).map(|i| Node::new(i, NodeParams::default())).collect();
+        let nodes = (0..n)
+            .map(|i| Node::new(i, NodeParams::default()))
+            .collect();
         (sim, fabric, nodes)
     }
 
@@ -516,8 +522,18 @@ mod tests {
         let a = arrived.clone();
         let (p, t) = (None, Flag::new());
         launch(
-            &sim, &fabric, &nodes[0], &nodes[1], 0, 1, 64,
-            sim.now(), Flag::new(), p, t, ib_policy(),
+            &sim,
+            &fabric,
+            &nodes[0],
+            &nodes[1],
+            0,
+            1,
+            64,
+            sim.now(),
+            Flag::new(),
+            p,
+            t,
+            ib_policy(),
             move |s, r| {
                 r.unwrap();
                 a.set(s.now().as_us_f64());
@@ -525,7 +541,11 @@ mod tests {
         );
         sim.run().unwrap();
         // Must include wire (ser + 2 prop + hop) and both PCI-X shares.
-        assert!(arrived.get() > 0.2 && arrived.get() < 2.0, "{}", arrived.get());
+        assert!(
+            arrived.get() > 0.2 && arrived.get() < 2.0,
+            "{}",
+            arrived.get()
+        );
     }
 
     #[test]
@@ -534,8 +554,18 @@ mod tests {
         let arrived = Rc::new(Cell::new(0.0));
         let a = arrived.clone();
         launch(
-            &sim, &fabric, &nodes[0], &nodes[1], 0, 1, 10_000_000,
-            sim.now(), Flag::new(), None, Flag::new(), ib_policy(),
+            &sim,
+            &fabric,
+            &nodes[0],
+            &nodes[1],
+            0,
+            1,
+            10_000_000,
+            sim.now(),
+            Flag::new(),
+            None,
+            Flag::new(),
+            ib_policy(),
             move |s, r| {
                 r.unwrap();
                 a.set(s.now().as_us_f64());
@@ -561,8 +591,18 @@ mod tests {
         });
         let d = deliver_t.clone();
         launch(
-            &sim, &fabric, &nodes[0], &nodes[1], 0, 1, 1_000_000,
-            sim.now(), local, None, Flag::new(), ib_policy(),
+            &sim,
+            &fabric,
+            &nodes[0],
+            &nodes[1],
+            0,
+            1,
+            1_000_000,
+            sim.now(),
+            local,
+            None,
+            Flag::new(),
+            ib_policy(),
             move |s, r| {
                 r.unwrap();
                 d.set(s.now().as_us_f64());
@@ -582,8 +622,18 @@ mod tests {
             let (prev, tail) = chains.enqueue(1);
             let o = order.clone();
             launch(
-                &sim, &fabric, &nodes[0], &nodes[1], 0, 1, bytes,
-                sim.now(), Flag::new(), prev, tail, ib_policy(),
+                &sim,
+                &fabric,
+                &nodes[0],
+                &nodes[1],
+                0,
+                1,
+                bytes,
+                sim.now(),
+                Flag::new(),
+                prev,
+                tail,
+                ib_policy(),
                 move |_, r| {
                     r.unwrap();
                     o.borrow_mut().push(i);
@@ -604,8 +654,18 @@ mod tests {
         for src in 0..2usize {
             let (d, e) = (done.clone(), end.clone());
             launch(
-                &sim, &fabric, &nodes[src], &nodes[2], src, 2, 5_000_000,
-                sim.now(), Flag::new(), None, Flag::new(), ib_policy(),
+                &sim,
+                &fabric,
+                &nodes[src],
+                &nodes[2],
+                src,
+                2,
+                5_000_000,
+                sim.now(),
+                Flag::new(),
+                None,
+                Flag::new(),
+                ib_policy(),
                 move |s, r| {
                     r.unwrap();
                     d.set(d.get() + 1);
@@ -616,7 +676,10 @@ mod tests {
         sim.run().unwrap();
         assert_eq!(done.get(), 2);
         let agg_bw = 10_000_000.0 / (end.get() * 1e-6);
-        assert!(agg_bw < 0.96e9, "aggregate {agg_bw} must be capped by dst PCI-X");
+        assert!(
+            agg_bw < 0.96e9,
+            "aggregate {agg_bw} must be capped by dst PCI-X"
+        );
     }
 
     #[test]
@@ -637,8 +700,18 @@ mod tests {
         let local = Flag::new();
         let (o, e, l) = (outcome.clone(), err_at.clone(), local.clone());
         launch(
-            &sim, &fabric, &nodes[0], &nodes[1], 0, 1, 64,
-            sim.now(), local, None, Flag::new(), policy,
+            &sim,
+            &fabric,
+            &nodes[0],
+            &nodes[1],
+            0,
+            1,
+            64,
+            sim.now(),
+            local,
+            None,
+            Flag::new(),
+            policy,
             move |s, r| {
                 assert!(l.is_set(), "flush must return the send buffer first");
                 e.set(s.now().as_ps());
@@ -680,8 +753,18 @@ mod tests {
         let done_at = Rc::new(Cell::new(0.0));
         let d = done_at.clone();
         launch(
-            &sim, &fabric, &nodes[0], &nodes[1], 0, 1, 64,
-            sim.now(), Flag::new(), None, Flag::new(), policy,
+            &sim,
+            &fabric,
+            &nodes[0],
+            &nodes[1],
+            0,
+            1,
+            64,
+            sim.now(),
+            Flag::new(),
+            None,
+            Flag::new(),
+            policy,
             move |s, r| {
                 r.unwrap();
                 d.set(s.now().as_us_f64());
@@ -710,8 +793,18 @@ mod tests {
         let done_at = Rc::new(Cell::new(0.0));
         let d = done_at.clone();
         launch(
-            &sim, &fabric, &nodes[0], &nodes[1], 0, 1, 64,
-            sim.now(), Flag::new(), None, Flag::new(), policy,
+            &sim,
+            &fabric,
+            &nodes[0],
+            &nodes[1],
+            0,
+            1,
+            64,
+            sim.now(),
+            Flag::new(),
+            None,
+            Flag::new(),
+            policy,
             move |s, r| {
                 r.unwrap();
                 d.set(s.now().as_us_f64());
@@ -738,8 +831,9 @@ mod tests {
             elan4(),
             Some(plan),
         ));
-        let nodes: Vec<Rc<Node>> =
-            (0..2).map(|i| Node::new(i, NodeParams::default())).collect();
+        let nodes: Vec<Rc<Node>> = (0..2)
+            .map(|i| Node::new(i, NodeParams::default()))
+            .collect();
         let policy = RecoveryPolicy::ElanLink {
             link_retry: Dur::from_us(1),
             retry_limit: 64,
@@ -747,8 +841,18 @@ mod tests {
         let (t_clean, t_faulty) = (Rc::new(Cell::new(0.0)), Rc::new(Cell::new(0.0)));
         let c = t_clean.clone();
         launch(
-            &sim, &clean, &nodes[0], &nodes[1], 0, 1, 4096,
-            sim.now(), Flag::new(), None, Flag::new(), policy,
+            &sim,
+            &clean,
+            &nodes[0],
+            &nodes[1],
+            0,
+            1,
+            4096,
+            sim.now(),
+            Flag::new(),
+            None,
+            Flag::new(),
+            policy,
             move |s, r| {
                 r.unwrap();
                 c.set(s.now().as_us_f64());
@@ -756,8 +860,18 @@ mod tests {
         );
         let f = t_faulty.clone();
         launch(
-            &sim, &faulty, &nodes[0], &nodes[1], 0, 1, 4096,
-            sim.now(), Flag::new(), None, Flag::new(), policy,
+            &sim,
+            &faulty,
+            &nodes[0],
+            &nodes[1],
+            0,
+            1,
+            4096,
+            sim.now(),
+            Flag::new(),
+            None,
+            Flag::new(),
+            policy,
             move |s, r| {
                 r.unwrap();
                 f.set(s.now().as_us_f64());
@@ -782,8 +896,9 @@ mod tests {
             elan4(),
             Some(plan),
         ));
-        let nodes: Vec<Rc<Node>> =
-            (0..2).map(|i| Node::new(i, NodeParams::default())).collect();
+        let nodes: Vec<Rc<Node>> = (0..2)
+            .map(|i| Node::new(i, NodeParams::default()))
+            .collect();
         let policy = RecoveryPolicy::ElanLink {
             link_retry: Dur::from_us(1),
             retry_limit: 64,
@@ -791,8 +906,18 @@ mod tests {
         let done_at = Rc::new(Cell::new(0.0));
         let d = done_at.clone();
         launch(
-            &sim, &fabric, &nodes[0], &nodes[1], 0, 1, 64,
-            sim.now(), Flag::new(), None, Flag::new(), policy,
+            &sim,
+            &fabric,
+            &nodes[0],
+            &nodes[1],
+            0,
+            1,
+            64,
+            sim.now(),
+            Flag::new(),
+            None,
+            Flag::new(),
+            policy,
             move |s, r| {
                 r.unwrap();
                 d.set(s.now().as_us_f64());
@@ -816,8 +941,9 @@ mod tests {
             elan4(),
             Some(plan),
         ));
-        let nodes: Vec<Rc<Node>> =
-            (0..2).map(|i| Node::new(i, NodeParams::default())).collect();
+        let nodes: Vec<Rc<Node>> = (0..2)
+            .map(|i| Node::new(i, NodeParams::default()))
+            .collect();
         let policy = RecoveryPolicy::ElanLink {
             link_retry: Dur::from_us(1),
             retry_limit: 0,
@@ -825,8 +951,18 @@ mod tests {
         let outcome = Rc::new(RefCell::new(None));
         let o = outcome.clone();
         launch(
-            &sim, &fabric, &nodes[0], &nodes[1], 0, 1, 64,
-            sim.now(), Flag::new(), None, Flag::new(), policy,
+            &sim,
+            &fabric,
+            &nodes[0],
+            &nodes[1],
+            0,
+            1,
+            64,
+            sim.now(),
+            Flag::new(),
+            None,
+            Flag::new(),
+            policy,
             move |_, r| *o.borrow_mut() = Some(r),
         );
         sim.run().unwrap();

@@ -206,7 +206,10 @@ mod tests {
         }
         sim.run().unwrap();
         for t in ends.borrow().iter() {
-            assert!((t - 2000.0).abs() < 0.01, "both should finish at 2 ms, got {t}");
+            assert!(
+                (t - 2000.0).abs() < 0.01,
+                "both should finish at 2 ms, got {t}"
+            );
         }
     }
 

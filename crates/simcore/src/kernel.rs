@@ -403,7 +403,11 @@ impl Sim {
 
     /// Spawn a task. It will first be polled when the kernel reaches the
     /// current simulated time in its event order (immediately at t=now).
-    pub fn spawn(&self, name: impl Into<String>, fut: impl Future<Output = ()> + 'static) -> TaskId {
+    pub fn spawn(
+        &self,
+        name: impl Into<String>,
+        fut: impl Future<Output = ()> + 'static,
+    ) -> TaskId {
         let mut k = self.k.borrow_mut();
         let now = k.now;
         let idx = match k.free.pop() {
@@ -421,12 +425,10 @@ impl Sim {
         slot.live = true;
         slot.last_suspend = now;
         slot.spawned_at = now;
-        slot.waker = Some(
-            Waker::from(Arc::new(TaskWaker {
-                queue: self.wakes.clone(),
-                id,
-            })),
-        );
+        slot.waker = Some(Waker::from(Arc::new(TaskWaker {
+            queue: self.wakes.clone(),
+            id,
+        })));
         k.live_tasks += 1;
         k.push(now, EvKind::Wake(id));
         drop(k);

@@ -451,7 +451,10 @@ mod tests {
         }
         let end = sim.run().unwrap();
         let min_time = total as f64 / 2e9;
-        assert!(end.as_secs_f64() >= min_time, "finished faster than the wire allows");
+        assert!(
+            end.as_secs_f64() >= min_time,
+            "finished faster than the wire allows"
+        );
         let st = ps.stats();
         assert_eq!(st.bytes_total, total);
         assert_eq!(st.transfers, 16);

@@ -149,9 +149,7 @@ impl<T> TimerWheel<T> {
             // Beyond the top level: keep the far list sorted descending
             // by (at, seq) so the global minimum is at the tail.
             let key = (entry.at, entry.seq);
-            let pos = self
-                .far
-                .partition_point(|e| (e.at, e.seq) > key);
+            let pos = self.far.partition_point(|e| (e.at, e.seq) > key);
             self.far.insert(pos, entry);
             return;
         }
@@ -256,7 +254,7 @@ impl<T> TimerWheel<T> {
                     // bits below the level are zeroed (nothing earlier
                     // exists — every finer level was empty).
                     let span = 1u64 << shift;
-                    let window = !(( span << BITS) - 1);
+                    let window = !((span << BITS) - 1);
                     self.anchor = (self.anchor & window) | ((slot as u64) << shift);
                 }
                 let lv = &mut self.levels[level];

@@ -42,10 +42,10 @@ impl ModelHeap {
 /// `scale` discriminant picks the regime; `raw` supplies the entropy.
 fn delta_of(scale: u8, raw: u64) -> u64 {
     match scale {
-        0 => raw % 4,                       // ties + level-0 buckets
-        1 => raw % (1 << 12),               // within the finest slots
-        2 => raw % (1 << 30),               // mid-level cascading
-        _ => raw % (4 * HORIZON_PS),        // far list + re-homing
+        0 => raw % 4,                // ties + level-0 buckets
+        1 => raw % (1 << 12),        // within the finest slots
+        2 => raw % (1 << 30),        // mid-level cascading
+        _ => raw % (4 * HORIZON_PS), // far list + re-homing
     }
 }
 

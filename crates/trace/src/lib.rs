@@ -257,7 +257,14 @@ impl Tracer {
     }
 
     /// Point event at `ts_ps` on track `tid`.
-    pub fn instant(&self, cat: &'static str, name: impl Into<Name>, ts_ps: u64, tid: u32, arg: i64) {
+    pub fn instant(
+        &self,
+        cat: &'static str,
+        name: impl Into<Name>,
+        ts_ps: u64,
+        tid: u32,
+        arg: i64,
+    ) {
         if !self.events_on {
             return;
         }

@@ -183,7 +183,11 @@ pub fn write_metrics_csv(path: &Path, summaries: &[&MetricsSummary]) -> io::Resu
             writeln!(w, "{l},{},hist_sum,{k},{}", s.seed, h.sum)?;
         }
         if s.dropped_events > 0 {
-            writeln!(w, "{l},{},counter,trace.dropped_events,{}", s.seed, s.dropped_events)?;
+            writeln!(
+                w,
+                "{l},{},counter,trace.dropped_events,{}",
+                s.seed, s.dropped_events
+            )?;
         }
     }
     w.flush()

@@ -1,0 +1,131 @@
+//! Parser for the exhibit CSVs under `results/`.
+//!
+//! The exhibit writer (`elanib_core::TextTable::to_csv`) emits a header
+//! row plus data rows, quoting any cell containing a comma or a quote
+//! (doubling embedded quotes, RFC 4180 style). Cells are kept as raw
+//! strings; [`Table::num`] parses on demand so non-numeric sentinel
+//! cells (`QP-ERR`, `-`) stay representable — the fault exhibits use
+//! them deliberately.
+
+use std::path::Path;
+
+/// A parsed CSV table: the header and the raw cell grid.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Load and parse a CSV file.
+    pub fn load(path: &Path) -> Result<Table, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+        Table::parse(&text)
+    }
+
+    /// Parse CSV text. Every data row must have exactly as many cells
+    /// as the header — a ragged row means the file is corrupt.
+    pub fn parse(text: &str) -> Result<Table, String> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or("empty CSV")?;
+        let columns = split_row(header);
+        if columns.is_empty() {
+            return Err("empty CSV header".into());
+        }
+        let mut rows = Vec::new();
+        for (lineno, line) in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let cells = split_row(line);
+            if cells.len() != columns.len() {
+                return Err(format!(
+                    "row {} has {} cells, header has {}",
+                    lineno + 1,
+                    cells.len(),
+                    columns.len()
+                ));
+            }
+            rows.push(cells);
+        }
+        Ok(Table { columns, rows })
+    }
+
+    /// Index of a named column.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Cell text at (row, col).
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+
+    /// Cell parsed as a number, if it is one.
+    pub fn num(&self, row: usize, col: usize) -> Option<f64> {
+        self.rows[row][col].trim().parse::<f64>().ok()
+    }
+
+    /// The key column (always the first): its value for `row`, parsed
+    /// numerically when possible.
+    pub fn key_num(&self, row: usize) -> Option<f64> {
+        self.num(row, 0)
+    }
+}
+
+/// Split one CSV line into cells, honouring RFC 4180 quoting.
+fn split_row(line: &str) -> Vec<String> {
+    let mut cells = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => {
+                cells.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    cells.push(cur);
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_and_quoted() {
+        let t = Table::parse("a,b,c\n1,2.5,x\n\"q,uo\",\"he said \"\"hi\"\"\",3\n").unwrap();
+        assert_eq!(t.columns, vec!["a", "b", "c"]);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.cell(1, 0), "q,uo");
+        assert_eq!(t.cell(1, 1), r#"he said "hi""#);
+        assert_eq!(t.num(0, 1), Some(2.5));
+        assert_eq!(t.num(0, 2), None);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = Table::parse("a,b\n1\n").unwrap_err();
+        assert!(err.contains("row 2 has 1 cells"), "{err}");
+    }
+
+    #[test]
+    fn col_lookup() {
+        let t = Table::parse("bytes,IB us,Elan us\n0,6.891,2.817\n").unwrap();
+        assert_eq!(t.col("IB us"), Some(1));
+        assert_eq!(t.col("nope"), None);
+        assert_eq!(t.key_num(0), Some(0.0));
+    }
+}

@@ -1,0 +1,240 @@
+//! Conformance report: aggregation of every term's result, rendered as
+//! a human summary table and as machine-readable JSON
+//! (`conformance.json`). Both renderings are deterministic — files are
+//! evaluated in sorted order and no timestamps are embedded — so a
+//! report can itself be diffed between runs.
+
+use crate::expect::Violation;
+
+/// Result of one expectation term.
+#[derive(Debug, Clone)]
+pub struct TermResult {
+    /// 0-based position of the `[[expect]]` block in its file.
+    pub index: usize,
+    pub kind: String,
+    /// Human description of the claim, from [`crate::expect::Expectation::describe`].
+    pub desc: String,
+    /// CSV the term was evaluated against.
+    pub file: String,
+    /// Empty when the claim holds.
+    pub violations: Vec<Violation>,
+}
+
+impl TermResult {
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Result of one expectation file.
+#[derive(Debug, Clone)]
+pub struct FileResult {
+    /// TOML file name, e.g. `fig1a.toml`.
+    pub source: String,
+    /// Paper exhibit id, e.g. `Figure 1(a)`.
+    pub exhibit: String,
+    pub terms: Vec<TermResult>,
+}
+
+impl FileResult {
+    pub fn ok(&self) -> bool {
+        self.terms.iter().all(TermResult::ok)
+    }
+    pub fn failed(&self) -> usize {
+        self.terms.iter().filter(|t| !t.ok()).count()
+    }
+}
+
+/// The full conformance report.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    pub files: Vec<FileResult>,
+}
+
+impl Report {
+    pub fn ok(&self) -> bool {
+        self.files.iter().all(FileResult::ok)
+    }
+    pub fn total_terms(&self) -> usize {
+        self.files.iter().map(|f| f.terms.len()).sum()
+    }
+    pub fn failed_terms(&self) -> usize {
+        self.files.iter().map(FileResult::failed).sum()
+    }
+
+    /// Human-readable report: one line per expectation file, then every
+    /// violated term with its full violation messages. Never truncated:
+    /// the whole point is to show the complete blast radius at once.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .files
+            .iter()
+            .map(|f| f.source.len())
+            .max()
+            .unwrap_or(0)
+            .max("expectations".len());
+        out.push_str(&format!(
+            "{:<width$}  {:<14} {:>5}  {}\n",
+            "expectations", "exhibit", "terms", "status"
+        ));
+        for f in &self.files {
+            let status = if f.ok() {
+                "ok".to_string()
+            } else {
+                format!("FAIL ({}/{} terms)", f.failed(), f.terms.len())
+            };
+            out.push_str(&format!(
+                "{:<width$}  {:<14} {:>5}  {}\n",
+                f.source,
+                f.exhibit,
+                f.terms.len(),
+                status
+            ));
+        }
+        for f in &self.files {
+            for t in &f.terms {
+                if t.ok() {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "\nVIOLATED {} [[expect]] #{} ({} on {}):\n  claim: {}\n",
+                    f.source,
+                    t.index + 1,
+                    t.kind,
+                    t.file,
+                    t.desc
+                ));
+                for v in &t.violations {
+                    out.push_str(&format!("  - {}\n", v.message));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "\nconformance: {}/{} terms hold across {} expectation files\n",
+            self.total_terms() - self.failed_terms(),
+            self.total_terms(),
+            self.files.len()
+        ));
+        out
+    }
+
+    /// Machine-readable rendering (the `conformance.json` artifact).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"pass\": {},\n", self.ok()));
+        out.push_str(&format!("  \"files\": {},\n", self.files.len()));
+        out.push_str(&format!("  \"terms\": {},\n", self.total_terms()));
+        out.push_str(&format!("  \"failed_terms\": {},\n", self.failed_terms()));
+        out.push_str("  \"exhibits\": [\n");
+        for (i, f) in self.files.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"source\": \"{}\", \"exhibit\": \"{}\", \"pass\": {}, \"terms\": [\n",
+                escape(&f.source),
+                escape(&f.exhibit),
+                f.ok()
+            ));
+            for (j, t) in f.terms.iter().enumerate() {
+                out.push_str(&format!(
+                    "      {{\"index\": {}, \"kind\": \"{}\", \"file\": \"{}\", \"desc\": \"{}\", \"pass\": {}, \"violations\": [{}]}}{}\n",
+                    t.index,
+                    escape(&t.kind),
+                    escape(&t.file),
+                    escape(&t.desc),
+                    t.ok(),
+                    t.violations
+                        .iter()
+                        .map(|v| format!("\"{}\"", escape(&v.message)))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    if j + 1 < f.terms.len() { "," } else { "" }
+                ));
+            }
+            out.push_str(&format!(
+                "    ]}}{}\n",
+                if i + 1 < self.files.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escape (the only non-trivial characters our
+/// messages can contain are quotes and backslashes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            files: vec![FileResult {
+                source: "fig9.toml".into(),
+                exhibit: "Figure 9".into(),
+                terms: vec![
+                    TermResult {
+                        index: 0,
+                        kind: "wins".into(),
+                        desc: "a beats b".into(),
+                        file: "fig9.csv".into(),
+                        violations: vec![],
+                    },
+                    TermResult {
+                        index: 1,
+                        kind: "bound".into(),
+                        desc: "c bounded".into(),
+                        file: "fig9.csv".into(),
+                        violations: vec![Violation::new("row `1`: out of bounds")],
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn counts_and_text() {
+        let r = sample();
+        assert!(!r.ok());
+        assert_eq!(r.total_terms(), 2);
+        assert_eq!(r.failed_terms(), 1);
+        let text = r.render_text();
+        assert!(text.contains("FAIL (1/2 terms)"), "{text}");
+        assert!(text.contains("VIOLATED fig9.toml [[expect]] #2"), "{text}");
+        assert!(text.contains("1/2 terms hold"), "{text}");
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        let j = sample().to_json();
+        assert!(j.contains("\"pass\": false"), "{j}");
+        assert!(j.contains("\"failed_terms\": 1"), "{j}");
+        // Balanced braces/brackets as a cheap structural check.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                j.matches(open).count(),
+                j.matches(close).count(),
+                "unbalanced {open}{close} in {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn escape_controls() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,341 @@
+//! Minimal TOML subset parser for the expectation files.
+//!
+//! The expectation DSL deliberately uses only a small slice of TOML so
+//! this crate can stay dependency-free:
+//!
+//! * `#` comments and blank lines
+//! * top-level `key = value` pairs
+//! * `[[expect]]` array-of-tables headers (each starts a new block)
+//! * values: double-quoted strings (with `\"` and `\\` escapes),
+//!   numbers (integer, float, scientific), booleans, and flat arrays
+//!   of numbers or strings
+//!
+//! Anything outside that subset — nested tables, inline tables, dotted
+//! keys, multi-line strings — is a parse error with the line number,
+//! which is the behaviour we want: an expectation file that needs more
+//! syntax than this probably encodes something the DSL should express
+//! directly instead.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed TOML value (subset).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+    Arr(Vec<Value>),
+}
+
+impl Value {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "string",
+            Value::Num(_) => "number",
+            Value::Bool(_) => "boolean",
+            Value::Arr(_) => "array",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Num(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Arr(a) => {
+                write!(f, "[")?;
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// One `key = value` table: the top-level header or one `[[expect]]`
+/// block. Keys are unique; a duplicate is a parse error.
+pub type Table = BTreeMap<String, Value>;
+
+/// A parsed expectation document: the top-level keys plus the ordered
+/// `[[expect]]` blocks, each tagged with the line its header sits on
+/// (for error messages).
+#[derive(Debug, Default)]
+pub struct Doc {
+    pub top: Table,
+    pub expects: Vec<(usize, Table)>,
+}
+
+/// Parse an expectation document. `name` labels error messages.
+pub fn parse(name: &str, text: &str) -> Result<Doc, String> {
+    let mut doc = Doc::default();
+    // None = still filling the top-level table.
+    let mut current: Option<(usize, Table)> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with("[[") {
+            if line != "[[expect]]" {
+                return Err(format!(
+                    "{name}:{lineno}: only [[expect]] blocks are supported, got `{line}`"
+                ));
+            }
+            if let Some(block) = current.take() {
+                doc.expects.push(block);
+            }
+            current = Some((lineno, Table::new()));
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "{name}:{lineno}: named tables are not supported (use [[expect]] blocks)"
+            ));
+        }
+        let (key, value) = parse_kv(name, lineno, line)?;
+        let table = match &mut current {
+            Some((_, t)) => t,
+            None => &mut doc.top,
+        };
+        if table.insert(key.clone(), value).is_some() {
+            return Err(format!("{name}:{lineno}: duplicate key `{key}`"));
+        }
+    }
+    if let Some(block) = current.take() {
+        doc.expects.push(block);
+    }
+    Ok(doc)
+}
+
+/// Strip a trailing `#` comment, honouring quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escape = false;
+    for (i, c) in line.char_indices() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escape = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_kv(name: &str, lineno: usize, line: &str) -> Result<(String, Value), String> {
+    let Some(eq) = line.find('=') else {
+        return Err(format!(
+            "{name}:{lineno}: expected `key = value`, got `{line}`"
+        ));
+    };
+    let key = line[..eq].trim();
+    if key.is_empty()
+        || !key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return Err(format!("{name}:{lineno}: invalid key `{key}`"));
+    }
+    let value = parse_value(name, lineno, line[eq + 1..].trim())?;
+    Ok((key.to_string(), value))
+}
+
+fn parse_value(name: &str, lineno: usize, text: &str) -> Result<Value, String> {
+    if text.is_empty() {
+        return Err(format!("{name}:{lineno}: missing value"));
+    }
+    if text.starts_with('"') {
+        return parse_string(name, lineno, text).map(Value::Str);
+    }
+    if text.starts_with('[') {
+        return parse_array(name, lineno, text);
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    // TOML permits `1_000`; the underscore strip keeps that working.
+    let numeric = text.replace('_', "");
+    numeric
+        .parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| format!("{name}:{lineno}: cannot parse value `{text}`"))
+}
+
+fn parse_string(name: &str, lineno: usize, text: &str) -> Result<String, String> {
+    let mut out = String::new();
+    let mut chars = text[1..].chars();
+    loop {
+        match chars.next() {
+            None => return Err(format!("{name}:{lineno}: unterminated string")),
+            Some('"') => break,
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                other => {
+                    return Err(format!(
+                        "{name}:{lineno}: unsupported escape `\\{}`",
+                        other.map(String::from).unwrap_or_default()
+                    ))
+                }
+            },
+            Some(c) => out.push(c),
+        }
+    }
+    let rest: String = chars.collect();
+    if !rest.trim().is_empty() {
+        return Err(format!(
+            "{name}:{lineno}: trailing garbage after string: `{}`",
+            rest.trim()
+        ));
+    }
+    Ok(out)
+}
+
+fn parse_array(name: &str, lineno: usize, text: &str) -> Result<Value, String> {
+    let inner = text
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| format!("{name}:{lineno}: unterminated array"))?;
+    let mut items = Vec::new();
+    for part in split_array_items(inner) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let v = parse_value(name, lineno, part)?;
+        if matches!(v, Value::Arr(_)) {
+            return Err(format!("{name}:{lineno}: nested arrays are not supported"));
+        }
+        items.push(v);
+    }
+    Ok(Value::Arr(items))
+}
+
+/// Split array items on commas outside quoted strings.
+fn split_array_items(inner: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0usize;
+    let mut in_str = false;
+    let mut escape = false;
+    for (i, c) in inner.char_indices() {
+        if escape {
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => escape = true,
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&inner[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_top_level_and_blocks() {
+        let doc = parse(
+            "t.toml",
+            r#"
+# header comment
+exhibit = "Figure 1(a)"   # trailing comment
+file = "fig1a.csv"
+
+[[expect]]
+kind = "wins"
+min_factor = 2.0
+range = [0, 1024]
+
+[[expect]]
+kind = "monotonic"
+strict = false
+"#,
+        )
+        .unwrap();
+        assert_eq!(doc.top["exhibit"].as_str(), Some("Figure 1(a)"));
+        assert_eq!(doc.expects.len(), 2);
+        assert_eq!(doc.expects[0].1["min_factor"].as_num(), Some(2.0));
+        assert_eq!(
+            doc.expects[0].1["range"],
+            Value::Arr(vec![Value::Num(0.0), Value::Num(1024.0)])
+        );
+        assert_eq!(doc.expects[1].1["strict"], Value::Bool(false));
+    }
+
+    #[test]
+    fn string_escapes_and_hash_in_string() {
+        let doc = parse("t.toml", r##"s = "a # not a comment \"q\" \\" "##).unwrap();
+        assert_eq!(doc.top["s"].as_str(), Some(r##"a # not a comment "q" \"##));
+    }
+
+    #[test]
+    fn rejects_unknown_table_headers() {
+        let err = parse("t.toml", "[expect]\nk = 1\n").unwrap_err();
+        assert!(err.contains("t.toml:1"), "{err}");
+        let err = parse("t.toml", "[[other]]\n").unwrap_err();
+        assert!(err.contains("only [[expect]]"), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_keys_and_bad_values() {
+        let err = parse("t.toml", "a = 1\na = 2\n").unwrap_err();
+        assert!(err.contains("duplicate key `a`"), "{err}");
+        let err = parse("t.toml", "a = nope\n").unwrap_err();
+        assert!(err.contains("cannot parse value"), "{err}");
+        let err = parse("t.toml", "a = \"unterminated\n").unwrap_err();
+        assert!(err.contains("unterminated string"), "{err}");
+    }
+
+    #[test]
+    fn scientific_and_underscored_numbers() {
+        let doc = parse("t.toml", "a = 1e-3\nb = 1_000\nc = -2.5\n").unwrap();
+        assert_eq!(doc.top["a"].as_num(), Some(1e-3));
+        assert_eq!(doc.top["b"].as_num(), Some(1000.0));
+        assert_eq!(doc.top["c"].as_num(), Some(-2.5));
+    }
+
+    #[test]
+    fn array_of_strings_with_commas_in_quotes() {
+        let doc = parse("t.toml", r#"a = ["x,y", "z"]"#).unwrap();
+        assert_eq!(
+            doc.top["a"],
+            Value::Arr(vec![Value::Str("x,y".into()), Value::Str("z".into())])
+        );
+    }
+}

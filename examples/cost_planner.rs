@@ -33,7 +33,11 @@ fn main() {
     let rows = [
         ("Quadrics Elan-4", elan_network(&q, nodes), elan_trend),
         ("InfiniBand (96-port)", ib96_network(&ib, nodes), ib_trend),
-        ("InfiniBand (24/288-port)", ib_mixed_network(&ib, nodes), ib_trend),
+        (
+            "InfiniBand (24/288-port)",
+            ib_mixed_network(&ib, nodes),
+            ib_trend,
+        ),
     ];
     let mut best = (f64::INFINITY, "");
     for (name, net, trend) in rows {

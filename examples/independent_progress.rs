@@ -71,7 +71,9 @@ fn main() {
         if recv_ms < COMPUTE_MS as f64 {
             println!("  -> transfer completed DURING the compute phase (independent progress)\n");
         } else {
-            println!("  -> transfer stalled until the sender re-entered MPI (no independent progress)\n");
+            println!(
+                "  -> transfer stalled until the sender re-entered MPI (no independent progress)\n"
+            );
         }
     }
 }

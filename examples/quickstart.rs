@@ -10,8 +10,14 @@ use elanib::mpi::Network;
 
 fn main() {
     println!("elanib quickstart — 2 nodes, 1 process per node\n");
-    println!("{:>9}  {:>22}  {:>22}", "bytes", "4X InfiniBand", "Quadrics Elan-4");
-    println!("{:>9}  {:>11} {:>10}  {:>11} {:>10}", "", "latency us", "MB/s", "latency us", "MB/s");
+    println!(
+        "{:>9}  {:>22}  {:>22}",
+        "bytes", "4X InfiniBand", "Quadrics Elan-4"
+    );
+    println!(
+        "{:>9}  {:>11} {:>10}  {:>11} {:>10}",
+        "", "latency us", "MB/s", "latency us", "MB/s"
+    );
     for bytes in [0u64, 8, 1024, 8192, 65536, 1 << 20] {
         let ib = pingpong(Network::InfiniBand, bytes, 50);
         let el = pingpong(Network::Elan4, bytes, 50);

@@ -88,6 +88,13 @@ done
 
 if [ "$status" -eq 0 ]; then
     echo "OK: all $n_cmp exhibit CSVs byte-identical to committed results/"
+    if [ "$SMOKE" -eq 0 ]; then
+        # A clean full regen is the only legitimate producer of the
+        # results manifest; scripts/ci.sh verifies it so stale or
+        # hand-edited CSVs fail fast without rerunning any simulation.
+        (cd results && LC_ALL=C sha256sum -- *.csv > MANIFEST.sha256)
+        echo "results/MANIFEST.sha256 refreshed ($(wc -l < results/MANIFEST.sha256) CSVs)"
+    fi
 else
     echo "FAIL: exhibit CSVs drifted (see above)" >&2
 fi

@@ -37,7 +37,11 @@ fn whole_paper_pipeline() {
 
     // 3. Extrapolation: fit both and project to 1024.
     let fit = |pts: &[elanib::apps::ScalingPoint]| {
-        EfficiencyTrend::fit(&pts.iter().map(|s| (s.procs, s.efficiency)).collect::<Vec<_>>())
+        EfficiencyTrend::fit(
+            &pts.iter()
+                .map(|s| (s.procs, s.efficiency))
+                .collect::<Vec<_>>(),
+        )
     };
     let el_1024 = fit(&el).at(1024);
     let ib_1024 = fit(&ib).at(1024);
@@ -50,7 +54,10 @@ fn whole_paper_pipeline() {
     let ib_cp = system_cost_per_node(ib_mixed_network(&ibp, 1024)) / ib_1024;
     // "could be cost-competitive at scale": within 2x either way.
     let ratio = el_cp / ib_cp;
-    assert!((0.5..2.0).contains(&ratio), "cost-performance ratio {ratio}");
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "cost-performance ratio {ratio}"
+    );
 }
 
 /// Determinism across the entire stack: the same experiment twice
@@ -92,7 +99,20 @@ fn numerics_survive_the_network() {
 /// real binary target.
 #[test]
 fn exhibit_inventory_names_real_binaries() {
-    let bins = ["table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "tables", "ablations", "faults"];
+    let bins = [
+        "table1",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "tables",
+        "ablations",
+        "faults",
+    ];
     for e in EXHIBITS {
         assert!(
             bins.contains(&e.bin),

@@ -22,7 +22,10 @@ pub fn black_box<T>(x: T) -> T {
 }
 
 fn env_samples(default: usize) -> usize {
-    if std::env::var("ELANIB_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false) {
+    if std::env::var("ELANIB_BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
         return 1;
     }
     std::env::var("ELANIB_BENCH_SAMPLES")
@@ -121,7 +124,11 @@ mod json {
             ts
         );
         use std::io::Write;
-        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
             let _ = f.write_all(line.as_bytes());
         }
     }
@@ -226,9 +233,7 @@ mod tests {
 
     #[test]
     fn bench_function_collects_samples() {
-        let mut c = Criterion {
-            default_samples: 3,
-        };
+        let mut c = Criterion { default_samples: 3 };
         let mut calls = 0u32;
         c.bench_function("noop", |b| {
             b.iter(|| calls += 1);
@@ -239,9 +244,7 @@ mod tests {
 
     #[test]
     fn groups_run_with_inputs() {
-        let mut c = Criterion {
-            default_samples: 2,
-        };
+        let mut c = Criterion { default_samples: 2 };
         let mut g = c.benchmark_group("g");
         let mut total = 0u64;
         g.bench_with_input(BenchmarkId::new("f", 7), &7u64, |b, &x| {

@@ -126,8 +126,7 @@ pub mod test_runner {
         while ran < cases {
             let value = strat.gen_value(&mut rng);
             let desc = format!("{value:?}");
-            let outcome =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(value)));
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(value)));
             match outcome {
                 Ok(Ok(())) => ran += 1,
                 Ok(Err(TestCaseError::Reject)) => {
@@ -257,7 +256,10 @@ pub mod strategy {
                     return v;
                 }
             }
-            panic!("prop_filter({}) rejected 10000 consecutive draws", self.whence)
+            panic!(
+                "prop_filter({}) rejected 10000 consecutive draws",
+                self.whence
+            )
         }
     }
 
@@ -454,7 +456,9 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// The `prop::` module namespace upstream exposes from its prelude.
     pub mod prop {
@@ -618,7 +622,9 @@ mod tests {
         let strat = (1u64..1000, crate::collection::vec(0u32..7, 1..5));
         let run = || {
             let mut rng = TestRng::from_name("deterministic_across_runs");
-            (0..20).map(|_| strat.gen_value(&mut rng)).collect::<Vec<_>>()
+            (0..20)
+                .map(|_| strat.gen_value(&mut rng))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }
