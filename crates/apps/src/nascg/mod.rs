@@ -23,7 +23,7 @@ use std::rc::Rc;
 
 use elanib_mpi::collectives::{allreduce, barrier, Op};
 use elanib_mpi::{
-    bytes_of_f64, f64_of_bytes, recv, send, Communicator, JobSpec, Network, RankProgram,
+    bytes_of_f64, f64s_of_bytes, recv, send, Communicator, JobSpec, Network, RankProgram,
 };
 use elanib_simcore::Dur;
 
@@ -101,6 +101,29 @@ impl SparseSpd {
             cols,
             vals,
         }
+    }
+
+    /// Shared, memoized [`SparseSpd::generate`]. Every rank of every
+    /// simulated run generates the *same* deterministic matrix (the
+    /// replicated-makea() convention), so regenerating it per rank —
+    /// 32 times per 32-process sim, for every sweep point — is pure
+    /// redundancy. One thread-local copy per distinct (n, nz, seed)
+    /// serves them all; the values are identical by construction, so
+    /// results cannot change.
+    pub fn shared(n: usize, nz_per_row: usize, seed: u64) -> Rc<SparseSpd> {
+        type MatrixCache = std::cell::RefCell<Vec<((usize, usize, u64), Rc<SparseSpd>)>>;
+        thread_local! {
+            static CACHE: MatrixCache = const { std::cell::RefCell::new(Vec::new()) };
+        }
+        CACHE.with(|c| {
+            let mut c = c.borrow_mut();
+            if let Some((_, a)) = c.iter().find(|(k, _)| *k == (n, nz_per_row, seed)) {
+                return a.clone();
+            }
+            let a = Rc::new(SparseSpd::generate(n, nz_per_row, seed));
+            c.push(((n, nz_per_row, seed), a.clone()));
+            a
+        })
     }
 
     pub fn nnz(&self) -> usize {
@@ -252,11 +275,14 @@ async fn allgather_segments<C: Communicator>(
             send(c, partner, tag, payload, bytes).await;
             m
         };
-        let theirs = f64_of_bytes(&m.data);
-        let their_base = (base ^ dist).min(base ^ dist); // partner's block
+        let their_len = m.data.len() / 8;
         let their_lo = (base ^ dist) * seg_len;
-        x[their_lo..their_lo + theirs.len()].copy_from_slice(&theirs);
-        let _ = their_base;
+        for (dst, v) in x[their_lo..their_lo + their_len]
+            .iter_mut()
+            .zip(f64s_of_bytes(&m.data))
+        {
+            *dst = v;
+        }
         base = base.min(base ^ dist);
         have *= 2;
         dist *= 2;
@@ -277,9 +303,9 @@ impl RankProgram for CgProgram {
             assert_eq!(p.n % nproc, 0, "n must divide evenly");
             let seg = p.n / nproc;
             let rows = me * seg..(me + 1) * seg;
-            // Every rank generates the same matrix deterministically
+            // Every rank sees the same matrix deterministically
             // (stands in for NPB's replicated makea()).
-            let a = SparseSpd::generate(p.n, p.nz_per_row, 0xC6);
+            let a = SparseSpd::shared(p.n, p.nz_per_row, 0xC6);
 
             // Compute-time model: real flops scaled to class A size.
             let scale = (p.model_n as f64 / p.n as f64).powi(1);
@@ -413,9 +439,20 @@ pub fn cg_study(
     proc_counts: &[usize],
     ppn: usize,
 ) -> Vec<(ScalingPoint, f64)> {
+    cg_study_with_stats(network, problem, proc_counts, ppn).0
+}
+
+/// [`cg_study`], additionally reporting the sweep's throughput stats
+/// (events dispatched, pool width, wall time) for perf records.
+pub fn cg_study_with_stats(
+    network: Network,
+    problem: CgProblem,
+    proc_counts: &[usize],
+    ppn: usize,
+) -> (Vec<(ScalingPoint, f64)>, elanib_core::SweepStats) {
     // Each process count is an independent simulation: sweep them in
     // parallel, then fold the T(1)-normalized efficiencies serially.
-    let runs = elanib_core::sweep(proc_counts, |&procs| {
+    let (runs, stats) = elanib_core::sweep_with_stats(proc_counts, |&procs| {
         let nodes = procs / ppn.min(procs);
         let ppn_eff = procs / nodes;
         cg_run(network, problem, nodes, ppn_eff)
@@ -435,7 +472,7 @@ pub fn cg_study(
             run.mops_per_process,
         ));
     }
-    out
+    (out, stats)
 }
 
 #[cfg(test)]

@@ -18,7 +18,9 @@ use std::cell::Cell;
 use std::rc::Rc;
 
 use elanib_mpi::collectives::{allreduce, barrier, Op};
-use elanib_mpi::{bytes_of_f64, f64_of_bytes, recv, send, Communicator, RankProgram};
+use elanib_mpi::{
+    bytes_of_f64, f64_of_bytes, f64s_of_bytes, recv, send, Communicator, RankProgram,
+};
 use elanib_simcore::Dur;
 
 use super::{CgProblem, SparseSpd};
@@ -67,7 +69,28 @@ impl RankProgram for CgProgram2D {
             let nr = p.n / nprows; // row-strip length
             let nc = p.n / npcols; // column-strip length
             let rows = row * nr..(row + 1) * nr;
-            let a = SparseSpd::generate(p.n, p.nz_per_row, 0xC6);
+            let a = SparseSpd::shared(p.n, p.nz_per_row, 0xC6);
+
+            // Extract my (row strip × column strip) block once. The
+            // matvec below touches only entries with j in my column
+            // strip; filtering them out of the global CSR on every
+            // inner iteration re-scans ~npcols× more nonzeros than it
+            // uses. The extraction preserves entry order, so the
+            // partial sums accumulate in exactly the same sequence and
+            // the f64 results are bit-identical to the filtering loop.
+            let col_range = col * nc..(col + 1) * nc;
+            let mut blk_ptr = Vec::with_capacity(nr + 1);
+            let mut blk: Vec<(u32, f64)> = Vec::new();
+            blk_ptr.push(0usize);
+            for i in rows.clone() {
+                for e in a.row_ptr[i]..a.row_ptr[i + 1] {
+                    let j = a.cols[e];
+                    if col_range.contains(&j) {
+                        blk.push(((j - col_range.start) as u32, a.vals[e]));
+                    }
+                }
+                blk_ptr.push(blk.len());
+            }
 
             let scale = p.model_n as f64 / p.n as f64;
             let flop_time =
@@ -109,16 +132,13 @@ impl RankProgram for CgProgram2D {
                         100 + inner as i64,
                     )
                     .await;
-                    // 2. Local partial matvec over my block.
-                    let col_range = col * nc..(col + 1) * nc;
+                    // 2. Local partial matvec over my pre-extracted
+                    //    block (same entries, same order — see above).
                     let mut w = vec![0.0; nr];
-                    for (wi, i) in w.iter_mut().zip(rows.clone()) {
+                    for (wi, ptr) in w.iter_mut().zip(blk_ptr.windows(2)) {
                         let mut acc = 0.0;
-                        for e in a.row_ptr[i]..a.row_ptr[i + 1] {
-                            let j = a.cols[e];
-                            if col_range.contains(&j) {
-                                acc += a.vals[e] * p_col[j - col_range.start];
-                            }
+                        for &(j, v) in &blk[ptr[0]..ptr[1]] {
+                            acc += v * p_col[j as usize];
                         }
                         *wi = acc;
                     }
@@ -136,16 +156,18 @@ impl RankProgram for CgProgram2D {
                     let pq = allreduce(&c, Op::Sum, &[pq_local]).await[0];
                     let alpha = rho / pq;
                     let mut rho_local = 0.0;
-                    for i in 0..nr {
-                        z[i] += alpha * p_row[i];
-                        r_vec[i] -= alpha * q[i];
-                        rho_local += r_vec[i] * r_vec[i];
+                    for ((zi, ri), (pi, qi)) in
+                        z.iter_mut().zip(&mut r_vec).zip(p_row.iter().zip(&q))
+                    {
+                        *zi += alpha * pi;
+                        *ri -= alpha * qi;
+                        rho_local += *ri * *ri;
                     }
                     let rho_new = allreduce(&c, Op::Sum, &[rho_local / npcols as f64]).await[0];
                     let beta = rho_new / rho;
                     rho = rho_new;
-                    for i in 0..nr {
-                        p_row[i] = r_vec[i] + beta * p_row[i];
+                    for (pi, ri) in p_row.iter_mut().zip(&r_vec) {
+                        *pi = ri + beta * *pi;
                     }
                 }
                 let xz_local: f64 =
@@ -190,11 +212,11 @@ async fn transpose_exchange<C: Communicator>(
     let nr = v_row.len();
     let my_lo = row * nr;
     let send_lo = tc * nc - my_lo;
-    let chunk = v_row[send_lo..send_lo + nc].to_vec();
+    let strip = &v_row[send_lo..send_lo + nc];
     if partner == me {
-        return chunk;
+        return strip.to_vec();
     }
-    let payload = bytes_of_f64(&chunk);
+    let payload = bytes_of_f64(strip);
     // Symmetric exchange; break the tie by rank to avoid both sides
     // blocking in a rendezvous send.
     let m = if me < partner {
@@ -232,7 +254,7 @@ async fn row_group_allreduce<C: Communicator>(
             send(c, partner, tag + dist as i64, payload, nr_bytes).await;
             m
         };
-        for (a, b) in v.iter_mut().zip(f64_of_bytes(&m.data)) {
+        for (a, b) in v.iter_mut().zip(f64s_of_bytes(&m.data)) {
             *a += b;
         }
         dist *= 2;

@@ -1,32 +1,13 @@
 //! Regenerates Figure 6: NAS CG class A — MOps/s/process and scaling
 //! efficiency, both networks, 1 PPN (power-of-two process counts).
 
-use elanib_apps::nascg::{cg_study, class_a};
-use elanib_bench::emit;
-use elanib_core::{f, TextTable};
-use elanib_mpi::Network;
+use elanib_apps::nascg::class_a;
+use elanib_bench::{cg_figure_table, emit, report_sweep};
 
 fn main() {
     elanib_bench::regen_begin();
     let counts = [1usize, 2, 4, 8, 16, 32];
-    let p = class_a();
-    let ib = cg_study(Network::InfiniBand, p, &counts, 1);
-    let el = cg_study(Network::Elan4, p, &counts, 1);
-    let mut t = TextTable::new(vec![
-        "procs",
-        "IB MOps/s/proc",
-        "Elan MOps/s/proc",
-        "IB eff%",
-        "Elan eff%",
-    ]);
-    for (i, &procs) in counts.iter().enumerate() {
-        t.row(vec![
-            procs.to_string(),
-            f(ib[i].1),
-            f(el[i].1),
-            f(ib[i].0.efficiency_pct()),
-            f(el[i].0.efficiency_pct()),
-        ]);
-    }
+    let (t, stats) = cg_figure_table(class_a(), &counts, 1);
     emit("Figure 6", "fig6_nascg", &t);
+    report_sweep("fig6_nascg", &stats);
 }

@@ -184,8 +184,15 @@ const BENCH_FLOOR_S: f64 = 0.25;
 /// message per flagged record.
 fn bench_gate(current: &Path, baselines: &[PathBuf], ratio: f64) -> Result<Vec<String>, String> {
     let mut base: BTreeMap<String, f64> = BTreeMap::new();
+    let mut base_eps: BTreeMap<String, f64> = BTreeMap::new();
     for b in baselines {
-        for (key, wall) in parse_bench_jsonl(b)? {
+        for (key, wall, eps) in parse_bench_jsonl(b)? {
+            if let Some(eps) = eps {
+                let e = base_eps.entry(key.clone()).or_insert(eps);
+                if eps > *e {
+                    *e = eps;
+                }
+            }
             let e = base.entry(key).or_insert(wall);
             if wall < *e {
                 *e = wall;
@@ -203,9 +210,18 @@ fn bench_gate(current: &Path, baselines: &[PathBuf], ratio: f64) -> Result<Vec<S
         ));
     }
     // Best current wall per key too: a warm-cache rerun in the same
-    // file must not be penalized by its cold predecessor.
+    // file must not be penalized by its cold predecessor. For sweep
+    // records the best (max) events/s is tracked alongside, together
+    // with the wall of the record that achieved it.
     let mut cur: BTreeMap<String, f64> = BTreeMap::new();
-    for (key, wall) in parse_bench_jsonl(current)? {
+    let mut cur_eps: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+    for (key, wall, eps) in parse_bench_jsonl(current)? {
+        if let Some(eps) = eps {
+            let e = cur_eps.entry(key.clone()).or_insert((eps, wall));
+            if eps > e.0 {
+                *e = (eps, wall);
+            }
+        }
         let e = cur.entry(key).or_insert(wall);
         if wall < *e {
             *e = wall;
@@ -221,13 +237,32 @@ fn bench_gate(current: &Path, baselines: &[PathBuf], ratio: f64) -> Result<Vec<S
             ));
         }
     }
+    // Throughput gate, same warn-only policy: a sweep whose simulated
+    // events/s dropped by more than `ratio` against the best baseline
+    // is flagged. Kernel-dispatch regressions show up here even when
+    // wall time hides behind cache hits or a smaller grid, because the
+    // metric is normalized per event. The absolute wall floor applies
+    // to the record being judged, for the same noise reasons as above.
+    for (key, (eps, wall)) in &cur_eps {
+        let Some(b) = base_eps.get(key) else { continue };
+        if *wall >= BENCH_FLOOR_S && *eps * ratio < *b {
+            flags.push(format!(
+                "{key}: {:.2}M events/s vs baseline {:.2}M ({:.1}x slower > allowed {ratio}x)",
+                eps / 1e6,
+                b / 1e6,
+                b / eps
+            ));
+        }
+    }
     Ok(flags)
 }
 
 /// Minimal JSONL field extraction: each line is one flat record; we
 /// need its label (`"exhibit"` or `"label"`, prefixed with `kind` so
-/// sweep and regen records never collide) and its `wall_s`.
-fn parse_bench_jsonl(path: &Path) -> Result<Vec<(String, f64)>, String> {
+/// sweep and regen records never collide), its `wall_s`, and — for
+/// sweep records — its `events_per_sec` (None on regen records, which
+/// carry no event counter).
+fn parse_bench_jsonl(path: &Path) -> Result<Vec<(String, f64, Option<f64>)>, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("bench gate: cannot read {}: {e}", path.display()))?;
     let mut out = Vec::new();
@@ -244,7 +279,8 @@ fn parse_bench_jsonl(path: &Path) -> Result<Vec<(String, f64)>, String> {
         else {
             continue;
         };
-        out.push((format!("{kind}:{label}"), wall));
+        let eps = json_num_field(line, "events_per_sec");
+        out.push((format!("{kind}:{label}"), wall, eps));
     }
     Ok(out)
 }
@@ -317,6 +353,53 @@ mod tests {
             concat!(
                 "{\"kind\":\"regen\",\"exhibit\":\"slow\",\"wall_s\":5.0}\n",
                 "{\"kind\":\"regen\",\"exhibit\":\"slow\",\"wall_s\":0.6}\n",
+            ),
+        )
+        .unwrap();
+        assert!(bench_gate(&cur, &[base], 8.0).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn bench_gate_flags_events_per_sec_regressions() {
+        let dir = std::env::temp_dir().join("elanib-bench-eps-gate-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let base = dir.join("base.json");
+        let cur = dir.join("cur.json");
+        std::fs::write(
+            &base,
+            concat!(
+                "{\"kind\":\"sweep\",\"label\":\"fig2_ljs\",\"wall_s\":1.0,\"events_per_sec\":8000000.0}\n",
+                "{\"kind\":\"sweep\",\"label\":\"fig6_nascg\",\"wall_s\":1.0,\"events_per_sec\":6000000.0}\n",
+            ),
+        )
+        .unwrap();
+        std::fs::write(
+            &cur,
+            concat!(
+                // 10x fewer events/s at comparable wall -> flagged.
+                "{\"kind\":\"sweep\",\"label\":\"fig2_ljs\",\"wall_s\":1.0,\"events_per_sec\":800000.0}\n",
+                // Slower but within ratio -> clean.
+                "{\"kind\":\"sweep\",\"label\":\"fig6_nascg\",\"wall_s\":1.0,\"events_per_sec\":2000000.0}\n",
+                // Huge drop but under the wall floor (cache-warmed
+                // blip, not a trustworthy sample) -> ignored.
+                "{\"kind\":\"sweep\",\"label\":\"fig2_ljs\",\"wall_s\":0.001,\"events_per_sec\":1.0}\n",
+            ),
+        )
+        .unwrap();
+        let flags = bench_gate(&cur, std::slice::from_ref(&base), 8.0).unwrap();
+        assert_eq!(flags.len(), 1, "{flags:?}");
+        assert!(
+            flags[0].starts_with("sweep:fig2_ljs") && flags[0].contains("events/s"),
+            "{}",
+            flags[0]
+        );
+        // A faster sweep record for the same label rescues it.
+        std::fs::write(
+            &cur,
+            concat!(
+                "{\"kind\":\"sweep\",\"label\":\"fig2_ljs\",\"wall_s\":1.0,\"events_per_sec\":800000.0}\n",
+                "{\"kind\":\"sweep\",\"label\":\"fig2_ljs\",\"wall_s\":1.0,\"events_per_sec\":7500000.0}\n",
             ),
         )
         .unwrap();

@@ -248,6 +248,42 @@ pub fn md_figure(id: &str, name: &str, problem: elanib_apps::md::MdProblem) {
     report_sweep(name, &stats);
 }
 
+/// Build the Figure 6 table: NAS CG class A MOps/s/process and scaling
+/// efficiency on both networks. Both per-network studies are sweeps;
+/// their stats are merged into one record. Split from the `fig6`
+/// binary so the determinism regression tests can rebuild the table
+/// under different scheduling modes (`ELANIB_SWEEP_THREADS`,
+/// `ELANIB_DES_SHARDS`) and compare CSVs byte-for-byte.
+pub fn cg_figure_table(
+    problem: elanib_apps::nascg::CgProblem,
+    proc_counts: &[usize],
+    ppn: usize,
+) -> (TextTable, elanib_core::SweepStats) {
+    use elanib_apps::nascg::cg_study_with_stats;
+    use elanib_core::f;
+    use elanib_mpi::Network;
+    let (ib, mut stats) = cg_study_with_stats(Network::InfiniBand, problem, proc_counts, ppn);
+    let (el, el_stats) = cg_study_with_stats(Network::Elan4, problem, proc_counts, ppn);
+    stats.absorb(&el_stats);
+    let mut t = TextTable::new(vec![
+        "procs",
+        "IB MOps/s/proc",
+        "Elan MOps/s/proc",
+        "IB eff%",
+        "Elan eff%",
+    ]);
+    for (i, &procs) in proc_counts.iter().enumerate() {
+        t.row(vec![
+            procs.to_string(),
+            f(ib[i].1),
+            f(el[i].1),
+            f(ib[i].0.efficiency_pct()),
+            f(el[i].0.efficiency_pct()),
+        ]);
+    }
+    (t, stats)
+}
+
 /// Loss rates of the fault-injection latency study. Index 0 is the
 /// clean baseline (an effectless plan, byte-identical to no plan).
 pub const FAULT_RATES: [f64; 4] = [0.0, 1e-3, 1e-2, 3e-2];

@@ -1,0 +1,79 @@
+//! Regression test for the determinism contract of sharded regeneration
+//! (`ELANIB_DES_SHARDS`): every committed table must be byte-identical
+//! whether the exhibit sweeps run serially or statically placed across
+//! shard workers.
+//!
+//! This is the sweep-level half of the parallel-DES story (deterministic
+//! static round-robin placement of independent simulations); the
+//! in-one-sim conservative engine is covered by the `simcore::shard`
+//! and `fabric::partition` test suites. Grids are reduced so the test
+//! stays fast in debug builds, but they still cross both networks,
+//! both PPN shapes and the fault-injection path.
+
+use elanib_apps::md::{ljs, MdProblem};
+use elanib_apps::nascg::{class_a_reduced, CgProblem};
+use elanib_bench::{cg_figure_table, faults_latency_table, faults_outage_table, md_figure_table};
+
+#[test]
+fn sharded_regeneration_is_byte_identical_to_serial() {
+    // Two *live* regenerations per exhibit: the point cache must not
+    // turn the sharded pass into a replay of the serial one.
+    elanib_core::simcache::set_override(Some(elanib_core::simcache::Mode::Off));
+
+    let md = MdProblem { steps: 4, ..ljs() };
+    let md_nodes = [1usize, 2, 4, 8];
+    let cg = CgProblem {
+        outer: 2,
+        inner: 4,
+        ..class_a_reduced(1024)
+    };
+    let cg_procs = [1usize, 2, 4, 8];
+
+    // One test function, sequential phases: the env var is process
+    // local and nothing else in this binary reads it concurrently.
+    std::env::remove_var("ELANIB_DES_SHARDS");
+    let (fig2_serial, s2) = md_figure_table(md, &md_nodes);
+    let (fig6_serial, s6) = cg_figure_table(cg, &cg_procs, 1);
+    let (flat_serial, _) = faults_latency_table();
+    let (fout_serial, _) = faults_outage_table();
+    assert_eq!(s2.shards, None);
+    assert_eq!(s6.shards, None);
+
+    for shards in [2usize, 4] {
+        std::env::set_var("ELANIB_DES_SHARDS", shards.to_string());
+        let (fig2, p2) = md_figure_table(md, &md_nodes);
+        let (fig6, p6) = cg_figure_table(cg, &cg_procs, 1);
+        let (flat, _) = faults_latency_table();
+        let (fout, _) = faults_outage_table();
+        std::env::remove_var("ELANIB_DES_SHARDS");
+
+        assert_eq!(p2.shards, Some(shards));
+        assert_eq!(p6.shards, Some(shards));
+        assert_eq!(
+            fig2_serial.to_csv(),
+            fig2.to_csv(),
+            "fig2 must be byte-identical serial vs {shards} shards"
+        );
+        assert_eq!(
+            fig6_serial.to_csv(),
+            fig6.to_csv(),
+            "fig6 must be byte-identical serial vs {shards} shards"
+        );
+        assert_eq!(
+            flat_serial.to_csv(),
+            flat.to_csv(),
+            "fault latency table must be byte-identical serial vs {shards} shards"
+        );
+        assert_eq!(
+            fout_serial.to_csv(),
+            fout.to_csv(),
+            "fault outage table must be byte-identical serial vs {shards} shards"
+        );
+        // Same simulations ran in both modes: identical totals.
+        assert_eq!(s2.jobs, p2.jobs);
+        assert_eq!(s2.events, p2.events);
+        assert_eq!(s6.jobs, p6.jobs);
+        assert_eq!(s6.events, p6.events);
+    }
+    elanib_core::simcache::set_override(None);
+}

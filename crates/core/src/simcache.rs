@@ -230,12 +230,27 @@ pub fn clear_memo() {
     MEMO.lock().unwrap().clear();
 }
 
+/// Semantic cache-key version, independent of the crate version. Bump
+/// it whenever the *meaning* of a cached value changes while every
+/// parameter struct keeps its shape — e.g. a kernel or scheduling
+/// change that alters what a cached simulation output represents.
+/// Entries written under an older key version embed a key that no
+/// longer matches the lookup key, so they self-invalidate as plain
+/// misses and the recompute overwrites them in place.
+///
+/// v2: kernel hot-path flattening + conservative sharded engine
+/// (tagged-union event payloads; `run_until`/`pop_before` windowing).
+/// Exhibit numbers are byte-identical, but entries written by the
+/// boxed-payload kernel predate the events/sec accounting the bench
+/// regression gate keys on, so they must not satisfy new lookups.
+const KEY_VERSION: u32 = 2;
+
 /// The full structural key: stable across runs, different for any
-/// change to the parameter struct shape or values, or the crate
-/// version.
+/// change to the parameter struct shape or values, the crate version,
+/// or the semantic [`KEY_VERSION`].
 fn key_of<P: Debug + ?Sized>(domain: &str, params: &P) -> String {
     format!(
-        "{domain}|v{}|{params:?}{}",
+        "{domain}|v{}|k{KEY_VERSION}|{params:?}{}",
         env!("CARGO_PKG_VERSION"),
         faults_key_suffix()
     )
@@ -530,9 +545,57 @@ mod tests {
     fn keys_fold_in_domain_params_and_version() {
         let k = key_of("md.step", &(1u64, 2u64));
         assert!(k.starts_with("md.step|v"));
+        assert!(k.contains(&format!("|k{KEY_VERSION}|")));
         assert!(k.ends_with("|(1, 2)"));
         assert_ne!(key_of("a", &1u64), key_of("b", &1u64));
         assert_ne!(key_of("a", &1u64), key_of("a", &2u64));
+    }
+
+    #[test]
+    fn stale_key_version_entry_self_invalidates_and_is_overwritten() {
+        let _g = LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!(
+            "elanib-simcache-test-{}-{}",
+            std::process::id(),
+            unique_domain("v")
+        ));
+        set_override(Some(Mode::Disk(dir.clone())));
+        let domain = unique_domain("stale");
+        let key = key_of(&domain, &42u64);
+        let path = disk_path(&dir, &domain, &key);
+
+        // Plant an entry as a pre-KEY_VERSION-bump build would have
+        // written it at this very path: intact framing and checksum,
+        // but the embedded key lacks the `|k{N}|` component. The value
+        // is deliberately wrong to prove it can never be served.
+        let old_key = key.replace(&format!("|k{KEY_VERSION}|"), "|");
+        assert_ne!(old_key, key);
+        disk_write(&path, &old_key, &(-1.0f64).encode());
+        assert!(path.exists());
+
+        // Lookup under the current key: the stale entry is a plain
+        // miss (not corruption), the point recomputes, and the store
+        // overwrites the stale entry in place.
+        let corrupt_before = stats().corrupt;
+        let v: f64 = get_or_compute(&domain, &42u64, || 9.5);
+        assert_eq!(v, 9.5);
+        assert_eq!(
+            stats().corrupt,
+            corrupt_before,
+            "a stale key version is not corruption"
+        );
+
+        // The overwrite is complete: a fresh lookup disk-hits the new
+        // value, and the old key is gone from the entry.
+        MEMO.lock().unwrap().remove(&key);
+        let v: f64 = get_or_compute(&domain, &42u64, || unreachable!("disk hit expected"));
+        assert_eq!(v, 9.5);
+        let raw = fs::read(&path).unwrap();
+        let (entry_key, _) = verify_entry(&raw).expect("entry intact");
+        assert_eq!(entry_key, key.as_bytes());
+
+        set_override(None);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -29,6 +29,23 @@
 //! — the reference serial mode the determinism regression tests diff
 //! against.
 //!
+//! ## Sharded mode (`ELANIB_DES_SHARDS`)
+//!
+//! Setting `ELANIB_DES_SHARDS=k` (see
+//! [`elanib_simcore::des_shards`]) switches the pool to **static
+//! round-robin shard placement**: shard `i` runs items `i`, `i+k`,
+//! `i+2k`, … on its own thread, so which worker runs which simulation
+//! is a pure function of the item index — no atomic race decides
+//! placement. Results are still returned in item order and each kernel
+//! is still single-threaded, so every exhibit CSV is byte-identical to
+//! a serial run; the determinism gate in `bench/tests/des_determinism`
+//! and the `par-des` CI stage both diff exactly that. When set, this
+//! variable takes precedence over `ELANIB_SWEEP_THREADS`
+//! (`ELANIB_DES_SHARDS=1` is the inline serial mode). This is the
+//! exhibit-level face of the conservative sharded engine; the
+//! in-one-sim engine lives in `elanib_simcore::shard` with fabric
+//! cuts supplying its lookahead (`elanib_fabric::Partition`).
+//!
 //! ## Instrumentation
 //!
 //! [`sweep_with_stats`] also returns a [`SweepStats`]: jobs run, pool
@@ -57,6 +74,9 @@ pub struct SweepStats {
     /// Points that panicked and were isolated (always 0 unless the
     /// sweep ran with [`SweepOpts::isolate_panics`]).
     pub failed: usize,
+    /// `Some(k)` when `ELANIB_DES_SHARDS=k` forced static round-robin
+    /// shard placement; `None` under ordinary atomic work claiming.
+    pub shards: Option<usize>,
 }
 
 impl SweepStats {
@@ -79,6 +99,7 @@ impl SweepStats {
         self.wall += other.wall;
         self.threads = self.threads.max(other.threads);
         self.failed += other.failed;
+        self.shards = self.shards.or(other.shards);
     }
 
     /// Append a `{"kind":"sweep",...}` JSON record for this sweep to
@@ -101,11 +122,17 @@ impl SweepStats {
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(0);
+        let shards = match self.shards {
+            Some(k) => k.to_string(),
+            None => "null".to_string(),
+        };
         let line = format!(
-            "{{\"kind\":\"sweep\",\"label\":\"{}\",\"jobs\":{},\"threads\":{},\"events\":{},\"failed\":{},\"wall_s\":{:.6},\"events_per_sec\":{:.1},\"unix_ts\":{}}}",
+            "{{\"kind\":\"sweep\",\"label\":\"{}\",\"jobs\":{},\"threads\":{},\"shards\":{},\"payload_mode\":\"{}\",\"events\":{},\"failed\":{},\"wall_s\":{:.6},\"events_per_sec\":{:.1},\"unix_ts\":{}}}",
             label.replace('\\', "\\\\").replace('"', "\\\""),
             self.jobs,
             self.threads,
+            shards,
+            elanib_simcore::payload_mode(),
             self.events,
             self.failed,
             self.wall.as_secs_f64(),
@@ -117,9 +144,14 @@ impl SweepStats {
 }
 
 /// Pool width a sweep will use for `n_items` work items:
-/// `ELANIB_SWEEP_THREADS` if set (clamped to ≥ 1), otherwise the
-/// machine's available parallelism — never more threads than items.
+/// `ELANIB_DES_SHARDS` if set (static shard placement, takes
+/// precedence), else `ELANIB_SWEEP_THREADS` if set (clamped to ≥ 1),
+/// otherwise the machine's available parallelism — never more threads
+/// than items.
 pub fn sweep_threads(n_items: usize) -> usize {
+    if let Some(k) = elanib_simcore::des_shards() {
+        return k.max(1).min(n_items.max(1));
+    }
     let configured = std::env::var("ELANIB_SWEEP_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
@@ -153,8 +185,29 @@ where
     T: Send,
     F: Fn(&I) -> T + Sync,
 {
-    let t0 = Instant::now();
+    let shards = elanib_simcore::des_shards();
     let threads = sweep_threads(items.len());
+    sweep_on_pool(items, f, threads, shards)
+}
+
+/// The engine under [`sweep_with_stats`]: explicit pool width and
+/// placement policy. `shards = Some(_)` selects static round-robin
+/// placement — worker `w` runs items `w, w+threads, w+2·threads, …` —
+/// so the item→thread mapping is deterministic; `None` selects atomic
+/// work claiming. Separated out (and kept crate-visible) so tests can
+/// drive both placements without mutating process-global environment.
+pub(crate) fn sweep_on_pool<I, T, F>(
+    items: &[I],
+    f: F,
+    threads: usize,
+    shards: Option<usize>,
+) -> (Vec<T>, SweepStats)
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    let t0 = Instant::now();
     let events = AtomicU64::new(0);
 
     let run_one = |i: usize| -> T {
@@ -169,24 +222,39 @@ where
         (0..items.len()).map(run_one).collect()
     } else {
         let next = AtomicUsize::new(0);
+        let static_rr = shards.is_some();
         let mut slots: Vec<Option<T>> = Vec::with_capacity(items.len());
         slots.resize_with(items.len(), || None);
 
-        let worker = || {
-            let mut out: Vec<(usize, T)> = Vec::new();
-            loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+        let worker = |w: usize| {
+            let next = &next;
+            let run_one = &run_one;
+            move || {
+                let mut out: Vec<(usize, T)> = Vec::new();
+                if static_rr {
+                    // Deterministic placement: this shard's items are a
+                    // pure function of its index.
+                    let mut i = w;
+                    while i < items.len() {
+                        out.push((i, run_one(i)));
+                        i += threads;
+                    }
+                } else {
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, run_one(i)));
+                    }
                 }
-                out.push((i, run_one(i)));
+                out
             }
-            out
         };
 
         let mut panic_payload = None;
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+            let handles: Vec<_> = (0..threads).map(|w| scope.spawn(worker(w))).collect();
             for h in handles {
                 match h.join() {
                     Ok(batch) => {
@@ -213,6 +281,7 @@ where
         events: events.into_inner(),
         wall: t0.elapsed(),
         failed: 0,
+        shards,
     };
     (results, stats)
 }
@@ -384,6 +453,7 @@ mod tests {
             events: 100,
             wall: Duration::from_millis(10),
             failed: 1,
+            shards: None,
         };
         let b = SweepStats {
             jobs: 3,
@@ -391,6 +461,7 @@ mod tests {
             events: 50,
             wall: Duration::from_millis(5),
             failed: 2,
+            shards: Some(2),
         };
         a.absorb(&b);
         assert_eq!(a.jobs, 5);
@@ -398,6 +469,25 @@ mod tests {
         assert_eq!(a.threads, 4);
         assert_eq!(a.wall, Duration::from_millis(15));
         assert_eq!(a.failed, 3);
+        assert_eq!(a.shards, Some(2));
+    }
+
+    #[test]
+    fn static_shard_placement_matches_serial_and_claimed_pools() {
+        // Drive the placement policies directly (no process-global env
+        // mutation): static round-robin shards must produce the same
+        // item-ordered results as the serial path and the atomic pool.
+        let items: Vec<(u64, u32)> = (0..23).map(|i| (i, (i % 5) as u32 + 1)).collect();
+        let serial: Vec<_> = items.iter().map(toy_sim).collect();
+        for k in [2usize, 3, 4] {
+            let (out, stats) = sweep_on_pool(&items, toy_sim, k, Some(k));
+            assert_eq!(out, serial, "k={k}");
+            assert_eq!(stats.shards, Some(k));
+            assert_eq!(stats.threads, k);
+        }
+        let (out, stats) = sweep_on_pool(&items, toy_sim, 3, None);
+        assert_eq!(out, serial);
+        assert_eq!(stats.shards, None);
     }
 
     #[test]

@@ -9,10 +9,11 @@
 //! messages pay serialization roughly once, not per hop) and
 //! contention (two messages crossing the same directed link serialize).
 
+use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use elanib_simcore::{Dur, FifoChannel, Sim, SimTime};
+use elanib_simcore::{Dur, FifoChannel, FxHashMap, Sim, SimTime};
 
 use crate::faults::{self, FaultPlan, FaultState, FaultStats};
 use crate::params::FabricParams;
@@ -51,7 +52,16 @@ pub struct Fabric {
     /// Fault-injection state; `None` (the overwhelmingly common case)
     /// keeps the zero-fault hot path untouched.
     faults: Option<Rc<FaultState>>,
+    /// Lazily filled per-(src, dst) static route cache. Routing is
+    /// static and deterministic, yet every delivery used to rebuild
+    /// the same two path vectors from the next-hop tables — on every
+    /// message of every exchange. Filled on first use per pair.
+    path_cache: RefCell<FxHashMap<(usize, usize), CachedPath>>,
 }
+
+/// Switch path + channel path for one (src, dst) pair, shared between
+/// the cache and in-flight deliveries.
+type CachedPath = Rc<(Vec<usize>, Vec<usize>)>;
 
 impl Fabric {
     /// Build a fabric, picking up the process-wide `ELANIB_FAULTS`
@@ -81,7 +91,21 @@ impl Fabric {
             routes,
             channels,
             faults,
+            path_cache: RefCell::new(FxHashMap::default()),
         }
+    }
+
+    /// The static `(vertices, edges)` route for `src -> dst`, computed
+    /// once per pair and shared thereafter.
+    fn static_path(&self, src: usize, dst: usize) -> Rc<(Vec<usize>, Vec<usize>)> {
+        if let Some(p) = self.path_cache.borrow().get(&(src, dst)) {
+            return p.clone();
+        }
+        let verts = self.routes.vertex_path(&self.topo, src, dst);
+        let edges = self.routes.path(src, dst);
+        let p = Rc::new((verts, edges));
+        self.path_cache.borrow_mut().insert((src, dst), p.clone());
+        p
     }
 
     /// The fault-injection state, when a plan is active.
@@ -117,8 +141,8 @@ impl Fabric {
         let hop = self.params.switch.hop_latency;
         let prop = self.params.link.propagation;
 
-        let verts = self.routes.vertex_path(&self.topo, src, dst);
-        let edges = self.routes.path(src, dst);
+        let path = self.static_path(src, dst);
+        let (verts, edges) = (&path.0, &path.1);
 
         // Head time advances link by link; each link is additionally
         // reserved for the full serialization time so later messages
@@ -194,8 +218,10 @@ impl Fabric {
         assert_ne!(src, dst, "fabric loopback is handled above the NIC");
         let now = sim.now();
 
-        let mut verts = self.routes.vertex_path(&self.topo, src, dst);
-        let mut edges = self.routes.path(src, dst);
+        let path = self.static_path(src, dst);
+        let mut verts: &[usize] = &path.0;
+        let mut edges: &[usize] = &path.1;
+        let detour_path: (Vec<usize>, Vec<usize>);
         let mut rerouted = false;
         let down_until = edges
             .iter()
@@ -216,8 +242,9 @@ impl Fabric {
                     if let Some(tr) = sim.tracer() {
                         tr.add("fault.reroutes", 1);
                     }
-                    verts = v;
-                    edges = e;
+                    detour_path = (v, e);
+                    verts = &detour_path.0;
+                    edges = &detour_path.1;
                     rerouted = true;
                 }
                 None => {

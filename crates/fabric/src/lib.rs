@@ -20,12 +20,14 @@
 pub mod fabric;
 pub mod faults;
 pub mod params;
+pub mod partition;
 pub mod routing;
 pub mod topology;
 
 pub use fabric::{Fabric, WireOutcome};
 pub use faults::{FaultPlan, FaultStats};
 pub use params::{elan4, infiniband_4x, FabricParams, LinkParams, SwitchParams};
+pub use partition::Partition;
 pub use routing::Routes;
 pub use topology::{Edge, NodeRef, Topology};
 

@@ -1,0 +1,323 @@
+//! Static fabric partitioning for the conservative sharded engine.
+//!
+//! The sharded driver in `elanib_simcore::shard` needs two things from
+//! the network layer: an assignment of model state to shards, and a
+//! **lookahead** — a lower bound on the simulated delay of any
+//! influence that crosses between shards. For a fabric the natural cut
+//! is a set of cables: any cross-shard influence must traverse at least
+//! one cut cable, and a cable traversal costs at least its propagation
+//! delay. The minimum propagation over the cut is therefore a sound
+//! lookahead, and with the 2004-era parts modelled here (25 ns of
+//! cable + SerDes on both networks) it is far larger than zero — which
+//! is what makes conservative windows worth anything.
+//!
+//! [`Partition::contiguous`] is deliberately simple and deterministic:
+//! endpoints are split into `k` contiguous, balanced blocks (the same
+//! `owner = e·k/n` rule the shard engine's tests use), and switches
+//! join the shard of the first endpoint that reaches them in a
+//! multi-source BFS seeded in endpoint order. Contiguous blocks match
+//! how both chassis are physically built — neighboring ports share a
+//! leaf element — so most traffic of a well-placed job stays
+//! shard-local and only spine cables land in the cut.
+
+use elanib_simcore::Dur;
+
+use crate::params::FabricParams;
+use crate::topology::Topology;
+
+/// A static assignment of fabric vertices to shards, with the cut
+/// edges and the lookahead they justify.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    pub n_shards: usize,
+    /// Shard of each vertex, indexed by [`Topology::vertex_index`]
+    /// (endpoints first, then switches).
+    pub shard_of: Vec<usize>,
+    /// Indices into `Topology::edges` of cables whose ends lie in
+    /// different shards.
+    pub cut_edges: Vec<usize>,
+}
+
+impl Partition {
+    /// Partition `topo` into `k` shards: endpoint `e` goes to shard
+    /// `e·k / n_endpoints` (contiguous, balanced blocks), and each
+    /// switch takes the shard of the first endpoint that reaches it in
+    /// a breadth-first search seeded with all endpoints in index order
+    /// (deterministic; ties broken by the lower endpoint).
+    pub fn contiguous(topo: &Topology, k: usize) -> Partition {
+        assert!(k >= 1, "need at least one shard");
+        assert!(
+            k <= topo.n_endpoints,
+            "more shards ({k}) than endpoints ({})",
+            topo.n_endpoints
+        );
+        let nv = topo.n_vertices();
+        let mut shard_of = vec![usize::MAX; nv];
+        let mut queue = std::collections::VecDeque::with_capacity(nv);
+        for (e, s) in shard_of.iter_mut().enumerate().take(topo.n_endpoints) {
+            *s = e * k / topo.n_endpoints;
+            queue.push_back(e);
+        }
+        let adj = topo.adjacency();
+        while let Some(v) = queue.pop_front() {
+            let s = shard_of[v];
+            for &(n, _) in &adj[v] {
+                let i = topo.vertex_index(n);
+                if shard_of[i] == usize::MAX {
+                    shard_of[i] = s;
+                    queue.push_back(i);
+                }
+            }
+        }
+        assert!(
+            shard_of.iter().all(|&s| s != usize::MAX),
+            "topology has a switch unreachable from any endpoint"
+        );
+        let cut_edges = topo
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| shard_of[topo.vertex_index(e.a)] != shard_of[topo.vertex_index(e.b)])
+            .map(|(i, _)| i)
+            .collect();
+        Partition {
+            n_shards: k,
+            shard_of,
+            cut_edges,
+        }
+    }
+
+    /// Shard owning endpoint `e`.
+    pub fn shard_of_endpoint(&self, e: usize) -> usize {
+        self.shard_of[e]
+    }
+
+    /// The conservative lookahead this cut supports under `params`:
+    /// the minimum propagation delay over all cut cables (every cable
+    /// shares `params.link.propagation` here, but the minimum is taken
+    /// so a future per-cable calibration stays sound). `None` when no
+    /// edge is cut — a single shard needs no lookahead at all.
+    pub fn lookahead(&self, params: &FabricParams) -> Option<Dur> {
+        if self.cut_edges.is_empty() {
+            return None;
+        }
+        Some(
+            self.cut_edges
+                .iter()
+                .map(|_| params.link.propagation)
+                .min()
+                .expect("non-empty cut"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{elan4, infiniband_4x};
+    use elanib_simcore::{run_sharded, Outbox, ShardModel, ShardMsg, Sim};
+    use std::cell::RefCell;
+    use std::collections::BTreeMap;
+    use std::rc::Rc;
+
+    #[test]
+    fn single_shard_has_no_cut() {
+        let t = Topology::fat_tree(4, 3, 64);
+        let p = Partition::contiguous(&t, 1);
+        assert!(p.cut_edges.is_empty());
+        assert_eq!(p.lookahead(&elan4()), None);
+        assert!(p.shard_of.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn blocks_are_contiguous_and_balanced() {
+        let t = Topology::fat_tree(12, 2, 96);
+        for k in [2usize, 3, 4, 5] {
+            let p = Partition::contiguous(&t, k);
+            let mut counts = vec![0usize; k];
+            let mut last = 0usize;
+            for e in 0..t.n_endpoints {
+                let s = p.shard_of_endpoint(e);
+                assert!(s >= last, "endpoint blocks must be contiguous (k={k})");
+                last = s;
+                counts[s] += 1;
+            }
+            let (lo, hi) = (96 / k, 96usize.div_ceil(k));
+            assert!(
+                counts.iter().all(|&c| c == lo || c == hi),
+                "unbalanced blocks {counts:?} (k={k})"
+            );
+        }
+    }
+
+    #[test]
+    fn every_switch_is_assigned_and_cut_is_exactly_cross_shard() {
+        let t = Topology::fat_tree(4, 3, 64);
+        let p = Partition::contiguous(&t, 4);
+        assert_eq!(p.shard_of.len(), t.n_vertices());
+        let cut: std::collections::HashSet<usize> = p.cut_edges.iter().copied().collect();
+        for (i, e) in t.edges.iter().enumerate() {
+            let same = p.shard_of[t.vertex_index(e.a)] == p.shard_of[t.vertex_index(e.b)];
+            assert_eq!(!same, cut.contains(&i), "edge {i} cut classification");
+        }
+        // A 4-way split of a fat tree must cut spine cables, and the
+        // lookahead those cables support is the cable propagation.
+        assert!(!p.cut_edges.is_empty());
+        assert_eq!(
+            p.lookahead(&infiniband_4x()),
+            Some(infiniband_4x().link.propagation)
+        );
+        assert_eq!(p.lookahead(&elan4()), Some(elan4().link.propagation));
+    }
+
+    #[test]
+    fn leaf_groups_stay_with_their_endpoints() {
+        // With one shard per leaf group, no endpoint cable is cut —
+        // every leaf switch joins the shard of its own ports, so the
+        // cut is purely switch-to-switch spine cables.
+        let t = Topology::fat_tree(4, 3, 64);
+        let p = Partition::contiguous(&t, 16);
+        for i in &p.cut_edges {
+            let e = &t.edges[*i];
+            assert!(
+                matches!(e.a, crate::topology::NodeRef::Switch(_))
+                    && matches!(e.b, crate::topology::NodeRef::Switch(_)),
+                "cut edge {i} touches an endpoint"
+            );
+        }
+    }
+
+    /// A neighbor-exchange ring over the partitioned fat tree, run
+    /// through the conservative engine with the Partition-derived
+    /// lookahead: every endpoint repeatedly forwards a token to the
+    /// next endpoint with exactly one cable propagation of delay (the
+    /// minimum the cut permits). Sharded and serial runs must agree
+    /// exactly on every arrival count and on the final clock.
+    struct RingModel {
+        topo_endpoints: usize,
+        part: Partition,
+        hops: u32,
+        params: FabricParams,
+    }
+
+    #[derive(Clone, Copy)]
+    struct Hop {
+        dst: usize,
+        ttl: u32,
+    }
+
+    /// Everything a queued forwarding closure needs, cheap to clone:
+    /// shared config behind one `Rc`, plus the shard's sim and outbox.
+    #[derive(Clone)]
+    struct RingState {
+        cfg: Rc<(usize, Partition, FabricParams)>,
+        arrivals: Rc<RefCell<BTreeMap<usize, u64>>>,
+        sim: Sim,
+        outbox: Outbox<Hop>,
+    }
+
+    fn forward(st: &RingState, hop: Hop) {
+        let (n, ref part, ref params) = *st.cfg;
+        *st.arrivals.borrow_mut().entry(hop.dst).or_insert(0) += 1;
+        if hop.ttl == 0 {
+            return;
+        }
+        let next = Hop {
+            dst: (hop.dst + 1) % n,
+            ttl: hop.ttl - 1,
+        };
+        let delay = params.link.propagation;
+        if part.shard_of_endpoint(next.dst) == part.shard_of_endpoint(hop.dst) {
+            // Intra-shard hop: a plain timed event on this shard's own
+            // wheel.
+            let st2 = st.clone();
+            st.sim
+                .call_at(st.sim.now() + delay, move |_| forward(&st2, next));
+        } else {
+            st.outbox
+                .send(part.shard_of_endpoint(next.dst), delay, next);
+        }
+    }
+
+    impl ShardModel for RingModel {
+        type Msg = Hop;
+        type State = RingState;
+        type Out = (BTreeMap<usize, u64>, u64);
+
+        fn build(&mut self, shard: usize, sim: &Sim, outbox: &Outbox<Hop>) -> RingState {
+            let st = RingState {
+                cfg: Rc::new((self.topo_endpoints, self.part.clone(), self.params)),
+                arrivals: Rc::new(RefCell::new(BTreeMap::new())),
+                sim: sim.clone(),
+                outbox: outbox.clone(),
+            };
+            // Each shard seeds a token at every 8th endpoint it owns.
+            for e in (0..self.topo_endpoints).step_by(8) {
+                if self.part.shard_of_endpoint(e) == shard {
+                    forward(
+                        &st,
+                        Hop {
+                            dst: e,
+                            ttl: self.hops,
+                        },
+                    );
+                }
+            }
+            st
+        }
+
+        fn deliver(&mut self, st: &mut RingState, _sim: &Sim, msg: ShardMsg<Hop>) {
+            // The arrival takes effect at the message's timestamp, not
+            // at whatever instant this shard's clock happens to hold —
+            // the deliver phase only *schedules*, it never acts.
+            let st2 = st.clone();
+            let hop = msg.payload;
+            st.sim.call_at(msg.at, move |_| forward(&st2, hop));
+        }
+
+        fn finish(&mut self, st: RingState, sim: &Sim) -> (BTreeMap<usize, u64>, u64) {
+            (st.arrivals.take(), sim.now().as_ps())
+        }
+    }
+
+    #[test]
+    fn partitioned_ring_is_identical_serial_and_sharded() {
+        let t = Topology::fat_tree(4, 3, 64);
+        let params = elan4();
+        let run = |k: usize| {
+            let part = Partition::contiguous(&t, k);
+            let lookahead = part.lookahead(&params).unwrap_or(params.link.propagation);
+            let shards: Vec<(u64, RingModel)> = (0..k)
+                .map(|_| {
+                    (
+                        7u64,
+                        RingModel {
+                            topo_endpoints: t.n_endpoints,
+                            part: Partition::contiguous(&t, k),
+                            hops: 200,
+                            params,
+                        },
+                    )
+                })
+                .collect();
+            let (outs, stats) = run_sharded(lookahead, shards);
+            let mut merged: BTreeMap<usize, u64> = BTreeMap::new();
+            let mut end = 0u64;
+            for (map, t_end) in outs {
+                for (kk, v) in map {
+                    *merged.entry(kk).or_insert(0) += v;
+                }
+                end = end.max(t_end);
+            }
+            (merged, end, stats)
+        };
+        let (serial, serial_end, _) = run(1);
+        assert!(!serial.is_empty());
+        for k in [2usize, 4] {
+            let (sharded, end, stats) = run(k);
+            assert_eq!(sharded, serial, "arrival counts diverged at k={k}");
+            assert_eq!(end, serial_end, "final clock diverged at k={k}");
+            assert!(stats.messages > 0, "a 4-ary tree split must cross shards");
+        }
+    }
+}

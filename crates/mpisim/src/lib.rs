@@ -198,18 +198,27 @@ pub async fn waitall<C: Communicator>(c: &C, reqs: Vec<C::Req>) -> Vec<Option<Re
 
 /// Encode a float slice as a payload (little-endian).
 pub fn bytes_of_f64(xs: &[f64]) -> Bytes {
-    let mut v = Vec::with_capacity(xs.len() * 8);
-    for x in xs {
-        v.extend_from_slice(&x.to_le_bytes());
+    // Sized-then-filled (rather than repeated extend_from_slice) so
+    // the encode compiles to one allocation and a straight copy; this
+    // runs once per simulated exchange on every CG/MD iteration.
+    let mut v = vec![0u8; xs.len() * 8];
+    for (c, x) in v.chunks_exact_mut(8).zip(xs) {
+        c.copy_from_slice(&x.to_le_bytes());
     }
     Rc::new(v)
 }
 
 /// Decode a payload produced by [`bytes_of_f64`].
 pub fn f64_of_bytes(b: &Bytes) -> Vec<f64> {
+    f64s_of_bytes(b).collect()
+}
+
+/// Streaming decode of a [`bytes_of_f64`] payload — same values as
+/// [`f64_of_bytes`] without the intermediate `Vec`, for accumulate /
+/// copy-into consumers on per-iteration exchange paths.
+pub fn f64s_of_bytes(b: &[u8]) -> impl Iterator<Item = f64> + '_ {
     b.chunks_exact(8)
         .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
-        .collect()
 }
 
 /// Empty payload for control-style messages.

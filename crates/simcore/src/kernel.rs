@@ -43,19 +43,32 @@
 //!   task;
 //! * each task's [`Waker`] is created once at spawn and reused for
 //!   every poll (no per-poll allocation);
-//! * timer expiry ([`Sim::sleep`]) schedules the waker directly in the
-//!   timing wheel — no boxed closure per sleep, no per-event
-//!   comparisons on insert;
+//! * event payloads are a flat tagged union ([`EventPayload`]): timer
+//!   expiry ([`Sim::sleep`]) schedules the sleeping task's id directly
+//!   in the timing wheel and firing it polls the task in place — no
+//!   waker clone, no wake-queue mutex round trip per sleep — while
+//!   [`Sim::call_at`] closures park in a kernel slab so the wheel
+//!   moves plain words, never boxes;
+//! * per-sim transient strings (task names) live in a bump arena that
+//!   resets when the last live task completes, so slot recycling does
+//!   not churn the allocator;
 //! * the wake queue is drained in batches (one lock acquisition and
-//!   zero allocations per batch, the drain buffers ping-pong), and a
-//!   task woken k times at the same instant is queued — and polled —
-//!   once.
+//!   zero allocations per batch, the drain buffers ping-pong) behind
+//!   an atomic nothing-pending fast check, and a task woken k times at
+//!   the same instant is queued — and polled — once.
+//!
+//! [`Sim::run_until`] bounds the dispatch loop to a time window,
+//! leaving out-of-window events in the wheel with its anchor held at
+//! the last dispatched instant, so events delivered from outside the
+//! kernel between windows schedule normally; the conservative sharded
+//! engine in [`crate::shard`] drives one kernel per shard with it.
 
 use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Waker};
 
@@ -83,16 +96,94 @@ impl fmt::Display for TaskId {
 type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
 type BoxCall = Box<dyn FnOnce(&Sim)>;
 
-enum EvKind {
-    /// Poll the given task (generation-checked).
-    Wake(TaskId),
-    /// Fire a stored waker — the unboxed fast path for plain timers
-    /// ([`Sim::sleep`]); a `Waker` is just an `Arc` handle, so this
-    /// avoids the closure box the generic `Call` path pays.
+/// Flattened event payload: a small tagged union, 16 bytes in the
+/// common variants, instead of the boxed callables earlier kernels
+/// queued. Closures still exist (model components that are pure event
+/// handlers schedule them via [`Sim::call_at`]) but they live in a
+/// slab on the kernel — the wheel entry is just the slot index — so
+/// wheel buckets stay dense and cascades move plain words.
+enum EventPayload {
+    /// Poll the given task (generation-checked). Scheduled at spawn
+    /// *and* by expiring timers: a sleeping task's [`Delay`] registers
+    /// the task id directly, so timer expiry polls the task without a
+    /// waker clone or a wake-queue round trip.
+    Poll(TaskId),
+    /// Fire a stored waker — the fallback timer path, used when a
+    /// [`Delay`] is polled from outside a kernel task (or always, in
+    /// `legacy` payload mode — see [`payload_mode`]).
     Timer(Waker),
-    /// Run an arbitrary closure against the simulation (used by model
-    /// components that are pure event handlers rather than tasks).
-    Call(BoxCall),
+    /// Run the closure parked in the kernel's call slab at this index.
+    Call(u32),
+}
+
+/// How timer events are represented, selectable per-[`Sim`] (the
+/// `ELANIB_PAYLOAD_MODE` environment variable sets the default). The
+/// observable event order is identical in both modes — locked by the
+/// payload-model proptest and the tier-2 byte-identity check — so
+/// `Legacy` exists purely as the A/B baseline for the flattened path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PayloadMode {
+    /// Tagged-union fast path: timer expiry polls the sleeping task
+    /// directly ([`EventPayload::Poll`]).
+    Tagged,
+    /// Pre-flattening behavior: every timer clones the task waker and
+    /// detours through the wake queue's mutex.
+    Legacy,
+}
+
+/// The payload mode new simulations default to: `"legacy"` when
+/// `ELANIB_PAYLOAD_MODE=legacy`, else `"tagged"`. Sweep perf records
+/// carry this string so A/B trajectories stay attributable.
+pub fn payload_mode() -> &'static str {
+    match default_payload_mode() {
+        PayloadMode::Legacy => "legacy",
+        PayloadMode::Tagged => "tagged",
+    }
+}
+
+fn default_payload_mode() -> PayloadMode {
+    match std::env::var("ELANIB_PAYLOAD_MODE") {
+        Ok(v) if v == "legacy" => PayloadMode::Legacy,
+        _ => PayloadMode::Tagged,
+    }
+}
+
+/// Bump arena for per-sim transient strings (task names). Names are
+/// written once at spawn and read only for diagnostics — deadlock
+/// reports and task-lifetime trace spans — so slots hold a plain
+/// `(offset, len)` span instead of an owned `String`, and slot
+/// recycling stops churning the allocator. The arena resets wholesale
+/// whenever the last live task completes (no span can be referenced
+/// once nothing is live), which bounds growth across sequential
+/// task generations.
+#[derive(Default)]
+struct NameArena {
+    buf: String,
+}
+
+/// Span into the [`NameArena`].
+#[derive(Clone, Copy, Default)]
+struct NameRef {
+    off: u32,
+    len: u32,
+}
+
+impl NameArena {
+    fn intern(&mut self, s: &str) -> NameRef {
+        let off = self.buf.len() as u32;
+        self.buf.push_str(s);
+        NameRef {
+            off,
+            len: s.len() as u32,
+        }
+    }
+    fn get(&self, r: NameRef) -> &str {
+        &self.buf[r.off as usize..(r.off + r.len) as usize]
+    }
+    /// Drop all interned names, keeping the buffer's capacity.
+    fn reset(&mut self) {
+        self.buf.clear();
+    }
 }
 
 /// One slab slot. A slot is *live* while its task has not completed;
@@ -101,7 +192,7 @@ enum EvKind {
 /// goes back on the free list for the next spawn.
 struct TaskSlot {
     fut: Option<BoxFuture>,
-    name: String,
+    name: NameRef,
     gen: u32,
     live: bool,
     /// Created once at spawn, cloned (refcount bump only) per poll.
@@ -118,7 +209,7 @@ impl TaskSlot {
     fn vacant() -> TaskSlot {
         TaskSlot {
             fut: None,
-            name: String::new(),
+            name: NameRef::default(),
             gen: 0,
             live: false,
             waker: None,
@@ -134,6 +225,13 @@ impl TaskSlot {
 #[derive(Default)]
 struct WakeQueue {
     state: Mutex<WakeState>,
+    /// Lock-free "anything queued?" hint. Set under the lock by
+    /// [`TaskWaker::wake_by_ref`], cleared under the lock when a batch
+    /// is drained, checked *before* the lock by the drain loop — which
+    /// runs once per dispatched event, almost always finds nothing,
+    /// and now pays one atomic load instead of a mutex round trip for
+    /// the common miss.
+    nonempty: AtomicBool,
 }
 
 #[derive(Default)]
@@ -174,6 +272,7 @@ impl std::task::Wake for TaskWaker {
         }
         q.queued[idx] = mark;
         q.ready.push(self.id);
+        self.queue.nonempty.store(true, Ordering::Release);
     }
 }
 
@@ -186,11 +285,24 @@ type TraceCallback = Box<dyn FnMut(SimTime, &str)>;
 struct Kernel {
     now: SimTime,
     /// Pending events in `(time, seq)` order; sequence numbers are
-    /// assigned by the wheel in push order.
-    queue: TimerWheel<EvKind>,
+    /// assigned by the wheel in push order. A [`Sim::run_until`] window
+    /// boundary leaves out-of-window events in place
+    /// ([`TimerWheel::pop_before`]), so the wheel alone is the pending
+    /// set — there is no side stash.
+    queue: TimerWheel<EventPayload>,
     tasks: Vec<TaskSlot>,
     /// Recycled slab indices, available for the next spawn.
     free: Vec<u32>,
+    /// Parked [`Sim::call_at`] closures; `EventPayload::Call` holds an
+    /// index into this slab.
+    calls: Vec<Option<BoxCall>>,
+    /// Recycled call-slab indices.
+    call_free: Vec<u32>,
+    /// Task currently being polled, if any — the target a [`Delay`]
+    /// registers for direct timer dispatch.
+    current: Option<TaskId>,
+    names: NameArena,
+    payload_mode: PayloadMode,
     live_tasks: usize,
     rng: StdRng,
     events_processed: u64,
@@ -307,14 +419,27 @@ impl fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 impl Sim {
-    /// Create a simulation whose RNG is seeded with `seed`.
+    /// Create a simulation whose RNG is seeded with `seed`. The timer
+    /// payload mode follows `ELANIB_PAYLOAD_MODE` (default: tagged).
     pub fn new(seed: u64) -> Sim {
+        Sim::with_payload_mode(seed, default_payload_mode())
+    }
+
+    /// Create a simulation with an explicit timer [`PayloadMode`] —
+    /// the hook the payload-model tests and A/B harnesses use to pin a
+    /// mode regardless of environment.
+    pub fn with_payload_mode(seed: u64, payload_mode: PayloadMode) -> Sim {
         Sim {
             k: Rc::new(RefCell::new(Kernel {
                 now: SimTime::ZERO,
                 queue: TimerWheel::new(),
                 tasks: Vec::new(),
                 free: Vec::new(),
+                calls: Vec::new(),
+                call_free: Vec::new(),
+                current: None,
+                names: NameArena::default(),
+                payload_mode,
                 live_tasks: 0,
                 rng: StdRng::seed_from_u64(seed),
                 events_processed: 0,
@@ -403,11 +528,7 @@ impl Sim {
 
     /// Spawn a task. It will first be polled when the kernel reaches the
     /// current simulated time in its event order (immediately at t=now).
-    pub fn spawn(
-        &self,
-        name: impl Into<String>,
-        fut: impl Future<Output = ()> + 'static,
-    ) -> TaskId {
+    pub fn spawn(&self, name: impl AsRef<str>, fut: impl Future<Output = ()> + 'static) -> TaskId {
         let mut k = self.k.borrow_mut();
         let now = k.now;
         let idx = match k.free.pop() {
@@ -417,11 +538,12 @@ impl Sim {
                 (k.tasks.len() - 1) as u32
             }
         };
+        let name = k.names.intern(name.as_ref());
         let slot = &mut k.tasks[idx as usize];
         debug_assert!(!slot.live, "spawn into a live slot");
         let id = TaskId { idx, gen: slot.gen };
         slot.fut = Some(Box::pin(fut));
-        slot.name = name.into();
+        slot.name = name;
         slot.live = true;
         slot.last_suspend = now;
         slot.spawned_at = now;
@@ -430,7 +552,7 @@ impl Sim {
             id,
         })));
         k.live_tasks += 1;
-        k.push(now, EvKind::Wake(id));
+        k.push(now, EventPayload::Poll(id));
         drop(k);
         if let Some(tr) = &self.tr {
             tr.add("sim.tasks_spawned", 1);
@@ -442,23 +564,55 @@ impl Sim {
     pub fn call_in(&self, delay: Dur, f: impl FnOnce(&Sim) + 'static) {
         let mut k = self.k.borrow_mut();
         let at = k.now + delay;
-        k.push(at, EvKind::Call(Box::new(f)));
+        k.push_call(at, Box::new(f));
     }
 
     /// Schedule `f` at an absolute time (must not be in the past).
     pub fn call_at(&self, at: SimTime, f: impl FnOnce(&Sim) + 'static) {
         let mut k = self.k.borrow_mut();
         debug_assert!(at >= k.now, "call_at into the past");
-        k.push(at, EvKind::Call(Box::new(f)));
+        k.push_call(at, Box::new(f));
     }
 
-    /// Schedule `waker` to fire at `at` — the allocation-free timer
-    /// path used by [`Sim::sleep`].
+    /// Schedule a timer at `at` for the task currently being polled —
+    /// the direct-dispatch path [`Delay`] prefers: the expiry event
+    /// carries the (generation-checked) task id itself, so firing it
+    /// polls the task without cloning a waker or detouring through the
+    /// wake queue. Returns false when there is no current task (the
+    /// delay is being polled from outside the kernel) or the sim runs
+    /// in legacy payload mode; the caller then falls back to
+    /// [`Sim::schedule_timer`].
+    ///
+    /// Order equivalence with the waker path: a popped `Timer` waker
+    /// enqueues its task and the run loop drains that single wake
+    /// before popping another event, so in both representations the
+    /// task is polled after every earlier event and before every later
+    /// one — the payload-model proptest and the tier-2 byte-identity
+    /// check both lock this.
+    fn schedule_timer_direct(&self, at: SimTime) -> bool {
+        let mut k = self.k.borrow_mut();
+        if k.payload_mode == PayloadMode::Legacy {
+            return false;
+        }
+        let Some(id) = k.current else {
+            return false;
+        };
+        debug_assert!(at >= k.now, "timer into the past");
+        k.push(at, EventPayload::Poll(id));
+        drop(k);
+        if let Some(tr) = &self.tr {
+            tr.add("sim.timers", 1);
+        }
+        true
+    }
+
+    /// Schedule `waker` to fire at `at` — the fallback timer path (and
+    /// the only one in legacy payload mode).
     fn schedule_timer(&self, at: SimTime, waker: Waker) {
         {
             let mut k = self.k.borrow_mut();
             debug_assert!(at >= k.now, "timer into the past");
-            k.push(at, EvKind::Timer(waker));
+            k.push(at, EventPayload::Timer(waker));
         }
         if let Some(tr) = &self.tr {
             tr.add("sim.timers", 1);
@@ -491,6 +645,11 @@ impl Sim {
     /// buffer ping-pong, and dedup marks are cleared while the lock is
     /// already held.
     fn drain_wakes(&self) -> bool {
+        // Common case — nothing woke since the last drain — answered
+        // by one atomic load, no lock.
+        if !self.wakes.nonempty.load(Ordering::Acquire) {
+            return false;
+        }
         let mut buf = self.drain_buf.borrow_mut();
         debug_assert!(buf.is_empty());
         {
@@ -503,6 +662,7 @@ impl Sim {
             for id in buf.iter() {
                 queued[id.idx as usize] = 0;
             }
+            self.wakes.nonempty.store(false, Ordering::Release);
         }
         if let Some(tr) = &self.tr {
             tr.add("sim.wakes", buf.len() as u64);
@@ -517,11 +677,14 @@ impl Sim {
         true
     }
 
-    /// Drive the simulation until every spawned task has completed.
-    ///
-    /// Returns the final simulated time, or [`SimError::Deadlock`] if
-    /// events ran dry with tasks still suspended.
-    pub fn run(&self) -> Result<SimTime, SimError> {
+    /// The dispatch loop shared by [`Sim::run`] and [`Sim::run_until`]:
+    /// process events in `(time, seq)` order while their time precedes
+    /// `limit` (all events when `limit` is `None`). Returns the time of
+    /// the first event at or past the limit — left undisturbed in the
+    /// wheel, whose anchor likewise stays put so new events may still
+    /// be scheduled anywhere at or after `now` — or `None` when no
+    /// events remain.
+    fn run_events(&self, limit: Option<SimTime>) -> Option<SimTime> {
         loop {
             // 1. Poll every task woken at the current instant. Wakes
             //    performed while draining are themselves drained before
@@ -529,25 +692,49 @@ impl Sim {
             while self.drain_wakes() {}
 
             // 2. Advance the clock to the next event.
-            let kind = {
+            let payload = {
                 let mut k = self.k.borrow_mut();
-                match k.queue.pop() {
-                    Some((at_ps, kind)) => {
+                let next = match limit {
+                    Some(lim) => match k.queue.pop_before(lim.as_ps()) {
+                        Ok(next) => next,
+                        Err(at_ps) => return Some(SimTime(at_ps)),
+                    },
+                    None => k.queue.pop(),
+                };
+                match next {
+                    Some((at_ps, payload)) => {
                         let at = SimTime(at_ps);
                         debug_assert!(at >= k.now, "event time went backwards");
                         k.now = at;
                         k.events_processed += 1;
-                        kind
+                        payload
                     }
-                    None => break,
+                    None => return None,
                 }
             };
-            match kind {
-                EvKind::Wake(id) => self.poll_task(id),
-                EvKind::Timer(w) => w.wake(),
-                EvKind::Call(f) => f(self),
+            match payload {
+                EventPayload::Poll(id) => self.poll_task(id),
+                EventPayload::Timer(w) => w.wake(),
+                EventPayload::Call(i) => {
+                    let f = {
+                        let mut k = self.k.borrow_mut();
+                        let f = k.calls[i as usize].take().expect("call slot occupied");
+                        k.call_free.push(i);
+                        f
+                    };
+                    f(self)
+                }
             }
         }
+    }
+
+    /// Drive the simulation until every spawned task has completed.
+    ///
+    /// Returns the final simulated time, or [`SimError::Deadlock`] if
+    /// events ran dry with tasks still suspended.
+    pub fn run(&self) -> Result<SimTime, SimError> {
+        let leftover = self.run_events(None);
+        debug_assert!(leftover.is_none());
 
         let result = {
             let k = self.k.borrow();
@@ -557,7 +744,7 @@ impl Sim {
                     .iter()
                     .filter(|t| t.live)
                     .map(|t| StuckTask {
-                        name: t.name.clone(),
+                        name: k.names.get(t.name).to_string(),
                         since: t.last_suspend,
                     })
                     .collect();
@@ -577,8 +764,27 @@ impl Sim {
                 Ok(k.now)
             }
         };
-        // Publish this run's event count to the per-thread counter the
-        // sweep engine reads (delta-based: run() may be called again).
+        self.publish_counters();
+        result
+    }
+
+    /// Drive the simulation up to (exclusive) `limit`: every pending
+    /// event with time < `limit` is dispatched, then the loop stops
+    /// and reports the time of the earliest remaining event (`None` if
+    /// the queue drained). The clock stays at the last dispatched
+    /// event — it does **not** jump to the limit — and suspended tasks
+    /// are *not* a deadlock here: they may be waiting on input a later
+    /// window injects. This is the primitive the conservative sharded
+    /// engine ([`crate::shard`]) builds barrier windows from.
+    pub fn run_until(&self, limit: SimTime) -> Option<SimTime> {
+        let next = self.run_events(Some(limit));
+        self.publish_counters();
+        next
+    }
+
+    /// Publish this run's event count to the per-thread counter the
+    /// sweep engine reads (delta-based: run() may be called again).
+    fn publish_counters(&self) {
         let mut k = self.k.borrow_mut();
         let delta = k.events_processed - k.events_reported;
         k.events_reported = k.events_processed;
@@ -590,13 +796,12 @@ impl Sim {
             tr.add("sim.events", delta);
             tr.add("wheel.cascades", cascades);
         }
-        result
     }
 
     fn poll_task(&self, id: TaskId) {
         // Take the future out of the slab so polling can re-enter the
         // kernel (to schedule events, spawn tasks, ...).
-        let (mut fut, waker) = {
+        let (mut fut, waker, prev_current) = {
             let mut k = self.k.borrow_mut();
             let slot = &mut k.tasks[id.idx as usize];
             if slot.gen != id.gen {
@@ -608,7 +813,10 @@ impl Sim {
                 // The cached waker always exists while the slot is live.
                 Some(f) => {
                     let w = slot.waker.clone().expect("live task has a waker");
-                    (f, w)
+                    // Record who is being polled so a Delay created
+                    // inside can register direct timer dispatch.
+                    let prev = k.current.replace(id);
+                    (f, w, prev)
                 }
                 // Already completed, or currently being polled higher up
                 // the stack (a spurious duplicate wake): ignore.
@@ -619,24 +827,32 @@ impl Sim {
         match fut.as_mut().poll(&mut cx) {
             Poll::Ready(()) => {
                 let mut k = self.k.borrow_mut();
+                k.current = prev_current;
                 let now = k.now;
                 let slot = &mut k.tasks[id.idx as usize];
                 // Capture the lifetime span before the slot is wiped —
                 // only when events are actually being recorded (the
-                // name clone is the lone tracing cost on this path).
-                let span = match &self.tr {
-                    Some(tr) if tr.events_on() => {
-                        Some((std::mem::take(&mut slot.name), slot.spawned_at))
-                    }
-                    _ => None,
-                };
+                // name copy is the lone tracing cost on this path).
+                let name_ref = slot.name;
                 slot.live = false;
                 // Invalidate in-flight wakes and recycle the slot.
                 slot.gen = slot.gen.wrapping_add(1);
                 slot.waker = None;
-                slot.name.clear();
+                slot.name = NameRef::default();
+                let span = match &self.tr {
+                    Some(tr) if tr.events_on() => Some((
+                        k.names.get(name_ref).to_string(),
+                        k.tasks[id.idx as usize].spawned_at,
+                    )),
+                    _ => None,
+                };
                 k.live_tasks -= 1;
                 k.free.push(id.idx);
+                if k.live_tasks == 0 {
+                    // No live slot can reference a name span any more:
+                    // reclaim the arena for the next task generation.
+                    k.names.reset();
+                }
                 drop(k);
                 if let Some(tr) = &self.tr {
                     tr.add("sim.tasks_completed", 1);
@@ -647,6 +863,7 @@ impl Sim {
             }
             Poll::Pending => {
                 let mut k = self.k.borrow_mut();
+                k.current = prev_current;
                 let now = k.now;
                 let slot = &mut k.tasks[id.idx as usize];
                 slot.fut = Some(fut);
@@ -657,8 +874,23 @@ impl Sim {
 }
 
 impl Kernel {
-    fn push(&mut self, at: SimTime, kind: EvKind) {
-        self.queue.push(at.as_ps(), kind);
+    fn push(&mut self, at: SimTime, payload: EventPayload) {
+        self.queue.push(at.as_ps(), payload);
+    }
+
+    /// Park a closure in the call slab and schedule the slot index.
+    fn push_call(&mut self, at: SimTime, f: BoxCall) {
+        let idx = match self.call_free.pop() {
+            Some(i) => {
+                self.calls[i as usize] = Some(f);
+                i
+            }
+            None => {
+                self.calls.push(Some(f));
+                (self.calls.len() - 1) as u32
+            }
+        };
+        self.push(at, EventPayload::Call(idx));
     }
 }
 
@@ -680,7 +912,12 @@ impl Future for Delay {
                 }
                 let deadline = this.sim.now() + this.dur;
                 this.deadline = Some(deadline);
-                this.sim.schedule_timer(deadline, cx.waker().clone());
+                // Tagged fast path: the expiry event polls the current
+                // task directly. Falls back to the stored-waker event
+                // when polled outside a kernel task or in legacy mode.
+                if !this.sim.schedule_timer_direct(deadline) {
+                    this.sim.schedule_timer(deadline, cx.waker().clone());
+                }
                 Poll::Pending
             }
             Some(d) => {
@@ -1037,6 +1274,166 @@ mod tests {
         // Initial poll (registers) + exactly one poll after the batch
         // of four simultaneous wakes.
         assert_eq!(polls.get(), 2, "dedup must collapse simultaneous wakes");
+    }
+
+    /// A dense little program exercising timers, flags, nested spawns
+    /// and call events; returns an order-sensitive checksum plus the
+    /// kernel's observable totals.
+    fn mixed_program(mode: PayloadMode) -> (SimTime, u64, u64) {
+        let sim = Sim::with_payload_mode(7, mode);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..8u64 {
+            let s = sim.clone();
+            let l = log.clone();
+            sim.spawn(format!("t{i}"), async move {
+                s.sleep(Dur::from_ns(10 + i % 3)).await;
+                l.borrow_mut().push(i);
+                let flag = crate::sync::Flag::new();
+                let f2 = flag.clone();
+                let s2 = s.clone();
+                let l2 = l.clone();
+                s.spawn(format!("n{i}"), async move {
+                    s2.sleep(Dur::from_ns(i)).await;
+                    l2.borrow_mut().push(100 + i);
+                    f2.set();
+                });
+                flag.wait().await;
+                s.sleep(Dur::from_us(1)).await;
+                l.borrow_mut().push(200 + i);
+            });
+            let l = log.clone();
+            sim.call_in(Dur::from_ns(10 + i), move |_| l.borrow_mut().push(300 + i));
+        }
+        let end = sim.run().unwrap();
+        let checksum = log
+            .borrow()
+            .iter()
+            .fold(0u64, |a, &v| a.wrapping_mul(1099511628211).wrapping_add(v));
+        (end, sim.events_processed(), checksum)
+    }
+
+    #[test]
+    fn legacy_and_tagged_payloads_are_observably_identical() {
+        // The direct-dispatch timer path must replay the exact event
+        // order (and count) of the waker-detour path it replaced.
+        assert_eq!(
+            mixed_program(PayloadMode::Tagged),
+            mixed_program(PayloadMode::Legacy)
+        );
+    }
+
+    #[test]
+    fn call_slab_recycles_slots() {
+        // A long chain of strictly sequential call events reuses one
+        // slab slot instead of growing a box per call.
+        let sim = Sim::new(1);
+        fn chain(sim: &Sim, left: u32, hits: Rc<Cell<u32>>) {
+            if left == 0 {
+                return;
+            }
+            sim.call_in(Dur::from_ns(5), move |s| {
+                hits.set(hits.get() + 1);
+                chain(s, left - 1, hits);
+            });
+        }
+        let hits = Rc::new(Cell::new(0u32));
+        chain(&sim, 500, hits.clone());
+        sim.run().unwrap();
+        assert_eq!(hits.get(), 500);
+        assert!(
+            sim.k.borrow().calls.len() <= 2,
+            "call slab grew to {} slots for sequential calls",
+            sim.k.borrow().calls.len()
+        );
+    }
+
+    #[test]
+    fn name_arena_resets_after_last_task_completes() {
+        let sim = Sim::new(1);
+        for round in 0..3 {
+            for i in 0..50u32 {
+                let s = sim.clone();
+                sim.spawn(format!("round{round}-worker{i}"), async move {
+                    s.sleep(Dur::from_ns(i as u64)).await;
+                });
+            }
+            sim.run().unwrap();
+            assert_eq!(sim.live_tasks(), 0);
+            // All tasks done: the arena must have been reclaimed.
+            assert_eq!(sim.k.borrow().names.buf.len(), 0);
+        }
+        // Names stay resolvable while tasks are live (deadlock report).
+        let s = sim.clone();
+        sim.spawn("the-stuck-one", async move {
+            s.sleep(Dur::from_ns(1)).await;
+            std::future::pending::<()>().await;
+        });
+        match sim.run() {
+            Err(SimError::Deadlock { stuck, .. }) => {
+                assert_eq!(stuck[0].name, "the-stuck-one");
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_until_windows_compose_to_a_full_run() {
+        // Drive the same program in 1 µs windows and in one shot; the
+        // window hand-off must not reorder anything.
+        fn program(sim: &Sim, log: Rc<RefCell<Vec<u64>>>) {
+            for i in 0..6u64 {
+                let s = sim.clone();
+                let l = log.clone();
+                sim.spawn(format!("w{i}"), async move {
+                    s.sleep(Dur::from_ns(700 * i)).await;
+                    l.borrow_mut().push(i);
+                    s.sleep(Dur::from_us(2)).await;
+                    l.borrow_mut().push(10 + i);
+                });
+            }
+        }
+        let whole = {
+            let sim = Sim::new(3);
+            let log = Rc::new(RefCell::new(Vec::new()));
+            program(&sim, log.clone());
+            sim.run().unwrap();
+            let out = (log.borrow().clone(), sim.events_processed());
+            out
+        };
+        let windowed = {
+            let sim = Sim::new(3);
+            let log = Rc::new(RefCell::new(Vec::new()));
+            program(&sim, log.clone());
+            let mut limit = SimTime::ZERO + Dur::from_us(1);
+            let mut rounds = 0;
+            while let Some(next) = sim.run_until(limit) {
+                assert!(next >= limit, "reported event precedes the window limit");
+                limit = next + Dur::from_us(1);
+                rounds += 1;
+            }
+            assert!(rounds >= 2, "expected multiple windows, got {rounds}");
+            // Nothing pending: a full run() completes without
+            // dispatching anything further.
+            let end = sim.run().unwrap();
+            assert_eq!(end, sim.now());
+            let out = (log.borrow().clone(), sim.events_processed());
+            out
+        };
+        assert_eq!(whole, windowed);
+    }
+
+    #[test]
+    fn run_until_at_limit_zero_reports_first_event_time() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        sim.spawn("t", async move {
+            s.sleep(Dur::from_ns(40)).await;
+        });
+        // Limit 0: nothing dispatches, the spawn event stays queued.
+        assert_eq!(sim.run_until(SimTime::ZERO), Some(SimTime::ZERO));
+        assert_eq!(sim.events_processed(), 0);
+        sim.run().unwrap();
+        assert_eq!(sim.now(), SimTime::ZERO + Dur::from_ns(40));
     }
 
     #[test]

@@ -54,6 +54,7 @@
 pub mod fxhash;
 pub mod kernel;
 pub mod resources;
+pub mod shard;
 pub mod sync;
 pub mod time;
 pub mod wheel;
@@ -65,8 +66,11 @@ pub mod wheel;
 pub use elanib_trace as trace;
 
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use kernel::{thread_events, DeadlockDiag, Delay, Sim, SimError, StuckTask, TaskId};
+pub use kernel::{
+    payload_mode, thread_events, DeadlockDiag, Delay, PayloadMode, Sim, SimError, StuckTask, TaskId,
+};
 pub use resources::{ChannelStats, FifoChannel, PsResource};
+pub use shard::{des_shards, run_sharded, Outbox, ShardModel, ShardMsg, ShardRunStats};
 pub use sync::{race2, Flag, Mailbox, Race2, Semaphore};
 pub use time::{Dur, SimTime};
 pub use wheel::TimerWheel;

@@ -1,0 +1,663 @@
+//! Conservative parallel discrete-event simulation: one model split
+//! into shards, each shard a whole single-threaded [`Sim`] on its own
+//! OS thread, synchronized by lookahead-bounded barrier windows.
+//!
+//! ## The protocol
+//!
+//! The engine is the classic synchronous-conservative (CMB-family)
+//! scheme, built directly on [`Sim::run_until`]:
+//!
+//! 1. Every shard dispatches all local events in the current window
+//!    `[W, W + lookahead)` with `run_until(W + lookahead)`.
+//! 2. Cross-shard messages produced during the window are published to
+//!    their destination shards at a barrier. A message sent at local
+//!    time `t` must be delivered at `t + delay` with
+//!    `delay >= lookahead` ([`Outbox::send`] asserts this), so every
+//!    message lands **at or past the window end** — no shard can ever
+//!    receive an event in its past.
+//! 3. Each shard injects its incoming messages in the deterministic
+//!    order `(at, src shard, send seq)` and re-probes its queue.
+//! 4. A second barrier agrees on the next window: the global minimum
+//!    of every shard's earliest pending event, plus the lookahead.
+//!    When no shard has a pending event and no message is in flight,
+//!    the run terminates.
+//!
+//! Windows therefore *jump* across idle time (the next window starts
+//! at the global next-event time, not at `W + lookahead`), so a sparse
+//! simulation doesn't pay per-lookahead rounds.
+//!
+//! ## Determinism
+//!
+//! Within a shard the kernel is the ordinary deterministic serial
+//! kernel. Across shards, two things make the composition reproducible
+//! and — the property the repo's byte-identity gates care about —
+//! *shard-count-insensitive*:
+//!
+//! * the engine delivers messages in the total order
+//!   `(at, src, seq)`, independent of thread scheduling;
+//! * the model must make same-instant effects order-insensitive
+//!   (classic DES "arbitration" — e.g. fold same-time arrivals by a
+//!   message id, never by queue position). The engine cannot see model
+//!   state, so this half of the contract is the model's; the demo
+//!   model in the tests and `elanib-fabric`'s partition tests show the
+//!   pattern.
+//!
+//! ## Model contract
+//!
+//! * [`ShardModel::build`] spawns this shard's tasks. Tasks send
+//!   cross-shard messages through the [`Outbox`] **only from inside
+//!   the simulation** (i.e. while the window runs).
+//! * [`ShardModel::deliver`] runs *between* windows, with the sim
+//!   clock at or before `msg.at`. It must only schedule effects **at**
+//!   `msg.at` (e.g. spawn a task that `sleep_until(msg.at)`s and then
+//!   pushes a mailbox); it must not send — a send from the deliver
+//!   phase could land inside the next window, violating lookahead.
+//!   The engine asserts the outbox is empty after the deliver phase.
+//!
+//! The per-shard `Sim`s are built, run, and dropped entirely on their
+//! worker threads — `Sim` stays `!Send`, exactly like the sweep
+//! engine's per-point sims ([`crate`] module docs).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use crate::kernel::Sim;
+use crate::time::{Dur, SimTime};
+
+/// `ELANIB_DES_SHARDS`: number of shards for conservative parallel
+/// DES, `None` when unset/`0`/unparsable — the serial default. Read
+/// per call (tests flip it mid-process, like `ELANIB_SWEEP_THREADS`).
+pub fn des_shards() -> Option<usize> {
+    std::env::var("ELANIB_DES_SHARDS")
+        .ok()?
+        .parse::<usize>()
+        .ok()
+        .filter(|&n| n >= 1)
+}
+
+/// A timestamped cross-shard event.
+#[derive(Clone, Debug)]
+pub struct ShardMsg<M> {
+    /// Delivery instant: send time + a delay of at least the engine
+    /// lookahead.
+    pub at: SimTime,
+    /// Sending shard.
+    pub src: usize,
+    /// Per-source send sequence number; with `(at, src)` it totally
+    /// orders deliveries.
+    pub seq: u64,
+    pub payload: M,
+}
+
+impl<M> ShardMsg<M> {
+    /// Time remaining until `at` on this shard's clock — what a
+    /// deliver-phase task should `sleep` before acting.
+    pub fn delay_from(&self, sim: &Sim) -> Dur {
+        self.at.since(sim.now())
+    }
+}
+
+struct OutboxInner<M> {
+    msgs: Vec<(usize, ShardMsg<M>)>,
+    seq: u64,
+}
+
+/// Cross-shard send handle, cloneable into this shard's tasks.
+pub struct Outbox<M> {
+    inner: Rc<RefCell<OutboxInner<M>>>,
+    sim: Sim,
+    shard: usize,
+    lookahead: Dur,
+}
+
+impl<M> Clone for Outbox<M> {
+    fn clone(&self) -> Self {
+        Outbox {
+            inner: self.inner.clone(),
+            sim: self.sim.clone(),
+            shard: self.shard,
+            lookahead: self.lookahead,
+        }
+    }
+}
+
+impl<M> Outbox<M> {
+    fn new(sim: Sim, shard: usize, lookahead: Dur) -> Outbox<M> {
+        Outbox {
+            inner: Rc::new(RefCell::new(OutboxInner {
+                msgs: Vec::new(),
+                seq: 0,
+            })),
+            sim,
+            shard,
+            lookahead,
+        }
+    }
+
+    /// Queue a message for `dst`, delivered `delay` after the current
+    /// sim time. `delay` must be at least the engine lookahead — that
+    /// bound is what lets sibling shards dispatch their window without
+    /// waiting for us.
+    pub fn send(&self, dst: usize, delay: Dur, payload: M) {
+        assert!(
+            delay >= self.lookahead,
+            "cross-shard delay {delay} is below the lookahead {} — \
+             the partition's lookahead must be a lower bound on every cut-link delay",
+            self.lookahead
+        );
+        let mut i = self.inner.borrow_mut();
+        let seq = i.seq;
+        i.seq += 1;
+        i.msgs.push((
+            dst,
+            ShardMsg {
+                at: self.sim.now() + delay,
+                src: self.shard,
+                seq,
+                payload,
+            },
+        ));
+    }
+
+    fn drain(&self) -> Vec<(usize, ShardMsg<M>)> {
+        std::mem::take(&mut self.inner.borrow_mut().msgs)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.inner.borrow().msgs.is_empty()
+    }
+}
+
+/// One shard of a partitioned model. The value itself crosses to a
+/// worker thread (hence `Send`); everything thread-local it builds
+/// lives in `State`.
+pub trait ShardModel: Send {
+    /// Cross-shard message payload.
+    type Msg: Send;
+    /// Thread-local per-shard state created by [`build`](Self::build)
+    /// (may hold `Rc` handles shared with the shard's tasks).
+    type State;
+    /// Per-shard result returned to the caller.
+    type Out: Send;
+
+    /// Spawn this shard's tasks into `sim`. Runs on the shard thread
+    /// before the first window.
+    fn build(&mut self, shard: usize, sim: &Sim, out: &Outbox<Self::Msg>) -> Self::State;
+
+    /// Inject one incoming message. Called between windows in
+    /// `(at, src, seq)` order with `sim.now() <= msg.at`; must only
+    /// schedule effects at `msg.at` and must not send (see module
+    /// docs).
+    fn deliver(&mut self, state: &mut Self::State, sim: &Sim, msg: ShardMsg<Self::Msg>);
+
+    /// Extract this shard's result after global termination.
+    fn finish(&mut self, state: Self::State, sim: &Sim) -> Self::Out;
+}
+
+/// Aggregate statistics of one [`run_sharded`] call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardRunStats {
+    /// Barrier windows executed (identical on every shard).
+    pub rounds: u64,
+    /// Cross-shard messages exchanged, summed over shards.
+    pub messages: u64,
+    /// Kernel events dispatched, summed over shards.
+    pub events: u64,
+    /// Latest final clock across the shards — the global end time.
+    pub end: SimTime,
+}
+
+/// A phase barrier that poisons instead of hanging when a sibling
+/// thread panics: every waiter observes the poison and unwinds, so the
+/// original panic propagates through the thread-scope join rather than
+/// deadlocking the run. (`std::sync::Barrier` has no poison path.)
+struct PhaseBarrier {
+    state: Mutex<(usize, u64, bool)>, // (arrived, phase, poisoned)
+    cv: Condvar,
+    n: usize,
+}
+
+impl PhaseBarrier {
+    fn new(n: usize) -> PhaseBarrier {
+        PhaseBarrier {
+            state: Mutex::new((0, 0, false)),
+            cv: Condvar::new(),
+            n,
+        }
+    }
+
+    /// Returns `true` for exactly one caller per phase (the leader).
+    fn wait(&self) -> bool {
+        let mut s = self.state.lock().unwrap();
+        assert!(!s.2, "shard engine poisoned by a sibling shard panic");
+        s.0 += 1;
+        if s.0 == self.n {
+            s.0 = 0;
+            s.1 += 1;
+            self.cv.notify_all();
+            return true;
+        }
+        let phase = s.1;
+        while s.1 == phase && !s.2 {
+            s = self.cv.wait(s).unwrap();
+        }
+        assert!(!s.2, "shard engine poisoned by a sibling shard panic");
+        false
+    }
+
+    fn poison(&self) {
+        self.state.lock().unwrap().2 = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Poisons the barrier if the owning thread unwinds mid-protocol.
+struct PoisonGuard<'a>(&'a PhaseBarrier);
+
+impl Drop for PoisonGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
+        }
+    }
+}
+
+const NO_EVENT: u64 = u64::MAX;
+const DONE: u64 = u64::MAX;
+
+/// Run a partitioned model to completion: one `(seed, shard)` pair per
+/// shard, each on its own thread, synchronized as described in the
+/// [module docs](self). Returns the per-shard results in shard order.
+pub fn run_sharded<Mdl: ShardModel>(
+    lookahead: Dur,
+    shards: Vec<(u64, Mdl)>,
+) -> (Vec<Mdl::Out>, ShardRunStats) {
+    let n = shards.len();
+    assert!(n >= 1, "run_sharded needs at least one shard");
+    assert!(
+        lookahead.as_ps() > 0,
+        "lookahead must be positive — a zero-lookahead partition cannot make progress"
+    );
+
+    let barrier = PhaseBarrier::new(n);
+    let inboxes: Vec<Mutex<Vec<ShardMsg<Mdl::Msg>>>> =
+        (0..n).map(|_| Mutex::new(Vec::new())).collect();
+    let next_times: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(NO_EVENT)).collect();
+    // Window end in ps; the first round probes with limit 0 (nothing
+    // dispatches, every shard just reports its earliest event).
+    let window_end = AtomicU64::new(0);
+    let rounds = AtomicU64::new(0);
+    let messages = AtomicU64::new(0);
+    let events = AtomicU64::new(0);
+    let end_ps = AtomicU64::new(0);
+
+    let run_shard = |shard: usize, seed: u64, mut model: Mdl| -> Mdl::Out {
+        let _guard = PoisonGuard(&barrier);
+        let sim = Sim::new(seed);
+        let outbox = Outbox::new(sim.clone(), shard, lookahead);
+        let mut state = model.build(shard, &sim, &outbox);
+
+        loop {
+            let limit = SimTime(window_end.load(Ordering::Acquire));
+            let mut local_next = sim.run_until(limit);
+            // Publish this window's sends.
+            let sent = outbox.drain();
+            messages.fetch_add(sent.len() as u64, Ordering::Relaxed);
+            for (dst, msg) in sent {
+                assert!(dst < n, "cross-shard send to unknown shard {dst} (of {n})");
+                assert!(
+                    msg.at >= limit,
+                    "message at {} precedes the window end {limit} — lookahead violated",
+                    msg.at
+                );
+                inboxes[dst].lock().unwrap().push(msg);
+            }
+            barrier.wait(); // all sends routed
+
+            let mut inbox = std::mem::take(&mut *inboxes[shard].lock().unwrap());
+            if !inbox.is_empty() {
+                inbox.sort_by_key(|m| (m.at, m.src, m.seq));
+                for msg in inbox {
+                    debug_assert!(sim.now() <= msg.at);
+                    model.deliver(&mut state, &sim, msg);
+                }
+                // Absorb deliver-phase wakeups (task spawns poll below
+                // the limit, then sleep to their message's `at`); no
+                // event at or past the limit can run here.
+                local_next = sim.run_until(limit);
+                assert!(
+                    outbox.is_empty(),
+                    "deliver phase generated a send — cross-shard sends must \
+                     happen from simulation tasks during a window"
+                );
+            }
+            next_times[shard].store(
+                local_next.map_or(NO_EVENT, |t| t.as_ps()),
+                Ordering::Release,
+            );
+
+            if barrier.wait() {
+                // Leader: agree on the next window (or termination).
+                let global = next_times
+                    .iter()
+                    .map(|t| t.load(Ordering::Acquire))
+                    .min()
+                    .unwrap();
+                let next_window = if global == NO_EVENT {
+                    DONE
+                } else {
+                    global + lookahead.as_ps()
+                };
+                window_end.store(next_window, Ordering::Release);
+                rounds.fetch_add(1, Ordering::Relaxed);
+            }
+            barrier.wait(); // window agreed
+            if window_end.load(Ordering::Acquire) == DONE {
+                break;
+            }
+        }
+
+        events.fetch_add(sim.events_processed(), Ordering::Relaxed);
+        end_ps.fetch_max(sim.now().as_ps(), Ordering::Relaxed);
+        model.finish(state, &sim)
+    };
+
+    let mut outs: Vec<Option<Mdl::Out>> = Vec::with_capacity(n);
+    outs.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(shard, (seed, model))| {
+                let f = &run_shard;
+                scope.spawn(move || f(shard, seed, model))
+            })
+            .collect();
+        let mut panic_payload = None;
+        for (shard, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(out) => outs[shard] = Some(out),
+                Err(p) => panic_payload = Some(p),
+            }
+        }
+        if let Some(p) = panic_payload {
+            std::panic::resume_unwind(p);
+        }
+    });
+
+    let stats = ShardRunStats {
+        rounds: rounds.load(Ordering::Relaxed),
+        messages: messages.load(Ordering::Relaxed),
+        events: events.load(Ordering::Relaxed),
+        end: SimTime(end_ps.load(Ordering::Relaxed)),
+    };
+    (
+        outs.into_iter()
+            .map(|o| o.expect("every shard joined cleanly"))
+            .collect(),
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::Mailbox;
+    use std::collections::BTreeMap;
+
+    /// Demo model: `n_nodes` stations forwarding tokens over a wire of
+    /// `wire` minimum delay, block-partitioned across shards. Every
+    /// arrival is recorded as `(at, token id)`; arrivals fold into the
+    /// per-node output *sorted by (at, id)*, so same-instant delivery
+    /// order — the one thing the engine cannot pin down — is
+    /// observationally irrelevant (model-level arbitration).
+    struct RelayModel {
+        n_shards: usize,
+        n_nodes: usize,
+        wire: Dur,
+        seeds_per_node: u64,
+        hops: u32,
+    }
+
+    type Token = (u64, u32); // (id, hops left)
+    type ArrivalLog = Rc<RefCell<Vec<Vec<(u64, u64)>>>>;
+
+    struct RelayState {
+        // arrivals[local node] = (at ps, token id)
+        arrivals: ArrivalLog,
+        boxes: Rc<Vec<Mailbox<Token>>>,
+        lo: usize,
+    }
+
+    fn owner(node: usize, n_nodes: usize, n_shards: usize) -> usize {
+        node * n_shards / n_nodes
+    }
+
+    fn node_range(shard: usize, n_nodes: usize, n_shards: usize) -> (usize, usize) {
+        let lo = (shard * n_nodes).div_ceil(n_shards);
+        let hi = ((shard + 1) * n_nodes).div_ceil(n_shards);
+        (lo, hi)
+    }
+
+    fn lcg(x: u64) -> u64 {
+        x.wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407)
+    }
+
+    /// Deterministic forwarding rule: where a token goes next and
+    /// after what delay — a function of (token id, node) only, so it
+    /// cannot depend on same-instant processing order.
+    fn route(wire: Dur, n_nodes: usize, id: u64, node: usize) -> (usize, Dur) {
+        let h = lcg(id ^ (node as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let dst = (node + 1 + (h % 5) as usize) % n_nodes;
+        let delay = Dur(wire.as_ps() * (1 + h % 4));
+        (dst, delay)
+    }
+
+    impl ShardModel for RelayModel {
+        type Msg = (usize, Token); // (dst node, token)
+        type State = RelayState;
+        type Out = Vec<(usize, usize, u64, u64)>; // (node, count, hash, last at)
+
+        fn build(&mut self, shard: usize, sim: &Sim, out: &Outbox<Self::Msg>) -> RelayState {
+            let (lo, hi) = node_range(shard, self.n_nodes, self.n_shards);
+            let arrivals = Rc::new(RefCell::new(vec![Vec::new(); hi - lo]));
+            let boxes: Rc<Vec<Mailbox<Token>>> =
+                Rc::new((lo..hi).map(|_| Mailbox::new()).collect());
+            for node in lo..hi {
+                let boxes_c = boxes.clone();
+                let sim_c = sim.clone();
+                let out_c = out.clone();
+                let arr = arrivals.clone();
+                let (n_nodes, n_shards, wire) = (self.n_nodes, self.n_shards, self.wire);
+                sim.spawn(format!("relay{node}"), async move {
+                    let mb = boxes_c[node - lo].clone();
+                    loop {
+                        let (id, hops_left) = mb.recv().await;
+                        arr.borrow_mut()[node - lo].push((sim_c.now().as_ps(), id));
+                        if hops_left == 0 {
+                            continue;
+                        }
+                        let (dst, delay) = route(wire, n_nodes, id, node);
+                        let tok = (lcg(id), hops_left - 1);
+                        if owner(dst, n_nodes, n_shards) == shard {
+                            // Intra-shard: a courier task that sleeps
+                            // the wire delay then delivers — the same
+                            // observable schedule as the deliver-phase
+                            // courier on the cross-shard path.
+                            let s2 = sim_c.clone();
+                            let b2 = boxes_c.clone();
+                            sim_c.spawn("courier", async move {
+                                s2.sleep(delay).await;
+                                b2[dst - lo].push(tok);
+                            });
+                        } else {
+                            out_c.send(owner(dst, n_nodes, n_shards), delay, (dst, tok));
+                        }
+                    }
+                });
+            }
+            // Seed tokens: a few per node, injected at distinct times.
+            for node in lo..hi {
+                for k in 0..self.seeds_per_node {
+                    let id = lcg(((node as u64) << 16) | k);
+                    let mb = boxes[node - lo].clone();
+                    let sim_c = sim.clone();
+                    let start = Dur(self.wire.as_ps() * (1 + (id % 7)));
+                    let hops = self.hops;
+                    sim.spawn(format!("seed{node}.{k}"), async move {
+                        sim_c.sleep(start).await;
+                        mb.push((id, hops));
+                    });
+                }
+            }
+            RelayState {
+                arrivals,
+                boxes,
+                lo,
+            }
+        }
+
+        fn deliver(&mut self, state: &mut RelayState, sim: &Sim, msg: ShardMsg<Self::Msg>) {
+            let (dst, tok) = msg.payload;
+            let mb = state.boxes[dst - state.lo].clone();
+            let sim_c = sim.clone();
+            let delay = msg.delay_from(sim);
+            sim.spawn("courier", async move {
+                sim_c.sleep(delay).await;
+                mb.push(tok);
+            });
+        }
+
+        fn finish(&mut self, state: RelayState, _sim: &Sim) -> Self::Out {
+            let mut arrivals = state.arrivals.borrow_mut();
+            arrivals
+                .iter_mut()
+                .enumerate()
+                .map(|(i, a)| {
+                    a.sort_unstable();
+                    let mut h = 0xcbf29ce484222325u64;
+                    for &(at, id) in a.iter() {
+                        h = lcg(h ^ at ^ id);
+                    }
+                    let last = a.last().map_or(0, |&(at, _)| at);
+                    (state.lo + i, a.len(), h, last)
+                })
+                .collect()
+        }
+    }
+
+    fn run_relay(n_shards: usize) -> (BTreeMap<usize, (usize, u64, u64)>, ShardRunStats) {
+        let wire = Dur::from_ns(100);
+        let n_nodes = 12;
+        let shards: Vec<(u64, RelayModel)> = (0..n_shards)
+            .map(|_| {
+                (
+                    9,
+                    RelayModel {
+                        n_shards,
+                        n_nodes,
+                        wire,
+                        seeds_per_node: 2,
+                        hops: 20,
+                    },
+                )
+            })
+            .collect();
+        let (outs, stats) = run_sharded(wire, shards);
+        let mut merged = BTreeMap::new();
+        for out in outs {
+            for (node, count, hash, last) in out {
+                assert!(
+                    merged.insert(node, (count, hash, last)).is_none(),
+                    "node {node} reported by two shards"
+                );
+            }
+        }
+        (merged, stats)
+    }
+
+    #[test]
+    fn shard_counts_are_observationally_identical() {
+        let (serial, s1) = run_relay(1);
+        assert_eq!(serial.len(), 12);
+        assert_eq!(s1.messages, 0, "one shard exchanges nothing");
+        for n in [2usize, 3, 4] {
+            let (sharded, stats) = run_relay(n);
+            assert_eq!(serial, sharded, "{n}-shard run diverged from serial");
+            assert!(stats.messages > 0, "{n}-shard run must cross shards");
+            assert_eq!(stats.end, s1.end, "global end time must agree");
+        }
+    }
+
+    #[test]
+    fn lookahead_violation_panics() {
+        struct Bad;
+        impl ShardModel for Bad {
+            type Msg = ();
+            type State = ();
+            type Out = ();
+            fn build(&mut self, _s: usize, sim: &Sim, out: &Outbox<()>) {
+                let out = out.clone();
+                let sim_c = sim.clone();
+                sim.spawn("bad", async move {
+                    sim_c.sleep(Dur::from_ns(5)).await;
+                    out.send(0, Dur::from_ns(1), ()); // below lookahead
+                });
+            }
+            fn deliver(&mut self, _st: &mut (), _sim: &Sim, _m: ShardMsg<()>) {}
+            fn finish(&mut self, _st: (), _sim: &Sim) {}
+        }
+        let r =
+            std::panic::catch_unwind(|| run_sharded(Dur::from_ns(100), vec![(1, Bad), (1, Bad)]));
+        assert!(r.is_err(), "sub-lookahead send must be rejected");
+    }
+
+    #[test]
+    fn idle_time_is_jumped_not_walked() {
+        // One event a full second out, lookahead 1 us: a fixed-width
+        // window walk would need ~10^6 rounds; the global-min jump
+        // finishes in a handful.
+        struct Sleeper;
+        impl ShardModel for Sleeper {
+            type Msg = ();
+            type State = ();
+            type Out = u64;
+            fn build(&mut self, shard: usize, sim: &Sim, _out: &Outbox<()>) {
+                if shard == 0 {
+                    let s = sim.clone();
+                    sim.spawn("sleeper", async move {
+                        s.sleep(Dur::from_secs(1)).await;
+                    });
+                }
+            }
+            fn deliver(&mut self, _st: &mut (), _sim: &Sim, _m: ShardMsg<()>) {}
+            fn finish(&mut self, _st: (), sim: &Sim) -> u64 {
+                sim.now().as_ps()
+            }
+        }
+        let (outs, stats) = run_sharded(Dur::from_us(1), vec![(1, Sleeper), (2, Sleeper)]);
+        assert_eq!(outs[0], Dur::from_secs(1).as_ps());
+        assert!(
+            stats.rounds < 10,
+            "idle skip failed: {} rounds for one far event",
+            stats.rounds
+        );
+    }
+
+    #[test]
+    fn des_shards_parses_like_the_sweep_knob() {
+        // Serialized with other env tests by running in one test fn.
+        std::env::remove_var("ELANIB_DES_SHARDS");
+        assert_eq!(des_shards(), None);
+        std::env::set_var("ELANIB_DES_SHARDS", "4");
+        assert_eq!(des_shards(), Some(4));
+        std::env::set_var("ELANIB_DES_SHARDS", "0");
+        assert_eq!(des_shards(), None);
+        std::env::set_var("ELANIB_DES_SHARDS", "nope");
+        assert_eq!(des_shards(), None);
+        std::env::remove_var("ELANIB_DES_SHARDS");
+    }
+}

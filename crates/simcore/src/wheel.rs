@@ -22,18 +22,24 @@
 //!   overflow beyond the top level, keeping the structure total.
 //! * `pop` advances the anchor to the next occupied bucket — found by
 //!   per-level occupancy bitmaps, one `trailing_zeros` per level — and
-//!   **cascades** coarse buckets down into finer levels as the anchor
-//!   enters their span. Same-expiry events are ordered by their
-//!   monotone sequence number when their (1 ps wide) level-0 bucket is
-//!   reached, never earlier: cascade order is irrelevant to the final
-//!   order, which is what makes the wheel exactly heap-equivalent.
+//!   **cascades** that bucket in a single batched pass: the anchor
+//!   jumps directly to the bucket's minimal expiry (provably the
+//!   global minimum — levels are scanned fine to coarse, slots early
+//!   to late, and the far list is never earlier), the minimal entries
+//!   drain in sequence order, and every other entry re-files exactly
+//!   once against the final anchor. A multi-level rollover that the
+//!   classic hashed wheel pays once per level therefore costs one
+//!   `place` per entry here. Same-expiry events are ordered by their
+//!   monotone sequence number, so cascade order is irrelevant to the
+//!   final order — which is what makes the wheel exactly
+//!   heap-equivalent.
 //!
-//! Per-event cost is O(LEVELS) worst case (each event cascades through
-//! each level at most once) but O(1) amortized for the short (ns–µs)
-//! delays that dominate the MPI/NIC models, versus O(log n) comparisons
-//! per heap operation. The number of events moved by cascades is
-//! exposed as [`cascades`](TimerWheel::cascades) and surfaces in the
-//! metrics registry as `wheel.cascades`.
+//! Per-event cost is O(1) amortized — each event is filed at most
+//! twice (once at push, once when its bucket's batched cascade runs) —
+//! versus O(log n) comparisons per heap operation. The number of
+//! events moved by cascades is exposed as
+//! [`cascades`](TimerWheel::cascades) and surfaces in the metrics
+//! registry as `wheel.cascades`.
 
 use std::collections::VecDeque;
 
@@ -184,12 +190,51 @@ impl<T> TimerWheel<T> {
     /// Remove and return the earliest event `(at, payload)` in strict
     /// `(at, seq)` order.
     pub fn pop(&mut self) -> Option<(u64, T)> {
-        if let Some(e) = self.cur.pop_front() {
+        match self.pop_impl::<false>(0) {
+            Ok(next) => next,
+            Err(_) => unreachable!("unbounded pop cannot report a limit"),
+        }
+    }
+
+    /// Remove and return the earliest event, but only if it expires
+    /// strictly before `limit`.
+    ///
+    /// * `Ok(Some((at, payload)))` — earliest event, `at < limit`.
+    /// * `Ok(None)` — no events pending.
+    /// * `Err(at)` — the earliest pending event expires at `at >=
+    ///   limit`. **Nothing is removed and the anchor does not move**,
+    ///   so the caller may keep pushing events at or after the most
+    ///   recently *popped* expiry — including into `[now, at)` — and
+    ///   pop again later. This is what lets a windowed driver
+    ///   ([`Sim::run_until`](crate::Sim::run_until)) stop at a window
+    ///   boundary and inject externally-delivered events into the next
+    ///   window without the wheel having committed to the out-of-window
+    ///   minimum.
+    pub fn pop_before(&mut self, limit: u64) -> Result<Option<(u64, T)>, u64> {
+        self.pop_impl::<true>(limit)
+    }
+
+    /// Shared scan for [`pop`](Self::pop) and
+    /// [`pop_before`](Self::pop_before). With `BOUNDED = false` every
+    /// limit check compiles out and the code is exactly the unbounded
+    /// pop. With `BOUNDED = true`, each arm of the scan learns the
+    /// candidate minimum's expiry *before* mutating anything (clearing
+    /// occupancy, jumping the anchor, cascading), so an out-of-window
+    /// minimum returns `Err` with the structure untouched. The far-list
+    /// re-home at the top of the loop is the one permitted mutation: it
+    /// files entries against the *current* anchor, which is valid
+    /// whether or not this pop commits.
+    fn pop_impl<const BOUNDED: bool>(&mut self, limit: u64) -> Result<Option<(u64, T)>, u64> {
+        if let Some(e) = self.cur.front() {
+            if BOUNDED && e.at >= limit {
+                return Err(e.at);
+            }
+            let e = self.cur.pop_front().expect("front checked");
             self.len -= 1;
-            return Some((e.at, e.payload));
+            return Ok(Some((e.at, e.payload)));
         }
         if self.len == 0 {
-            return None;
+            return Ok(None);
         }
         loop {
             // Re-home far-list entries that fit under the top level at
@@ -211,6 +256,15 @@ impl<T> TimerWheel<T> {
             let mask0 = self.levels[0].occupied & (!0u64 << base0);
             if mask0 != 0 {
                 let slot = mask0.trailing_zeros() as usize;
+                if BOUNDED {
+                    // Level-0 buckets hold a single instant (1 ps wide
+                    // within one 64 ps window of the anchor), so the
+                    // first entry's expiry is the bucket's.
+                    let at = self.levels[0].buckets[slot][0].at;
+                    if at >= limit {
+                        return Err(at);
+                    }
+                }
                 let lv = &mut self.levels[0];
                 lv.occupied &= !(1u64 << slot);
                 let bucket = &mut lv.buckets[slot];
@@ -222,7 +276,7 @@ impl<T> TimerWheel<T> {
                     let e = bucket.pop().expect("checked len");
                     debug_assert!(e.at >= self.anchor);
                     self.anchor = e.at;
-                    return Some((e.at, e.payload));
+                    return Ok(Some((e.at, e.payload)));
                 }
                 bucket.sort_unstable_by_key(|e| e.seq);
                 let at = bucket[0].at;
@@ -233,14 +287,18 @@ impl<T> TimerWheel<T> {
                 // its next tenant.
                 self.cur.extend(bucket.drain(..));
                 let e = self.cur.pop_front().expect("bucket was non-empty");
-                return Some((e.at, e.payload));
+                return Ok(Some((e.at, e.payload)));
             }
 
             // Coarser levels: find the first occupied bucket at or
-            // after the anchor's own, advance the anchor to its span
-            // start, and cascade its events down (each re-files at a
-            // strictly lower level relative to the new anchor).
-            let mut cascaded_any = false;
+            // after the anchor's own. The bucket provably contains the
+            // global minimum (levels are scanned fine to coarse, slots
+            // early to late, and the far list is never earlier), so
+            // instead of rolling its entries down one level per loop
+            // iteration the whole multi-level rollover is batched into
+            // a single pass: jump the anchor straight to the bucket's
+            // minimal expiry, drain that expiry to `cur`, and re-file
+            // every other entry exactly once against the final anchor.
             for level in 1..LEVELS {
                 let shift = BITS * level as u32;
                 let base = ((self.anchor >> shift) & (SLOTS as u64 - 1)) as u32;
@@ -249,6 +307,19 @@ impl<T> TimerWheel<T> {
                     continue;
                 }
                 let slot = mask.trailing_zeros() as usize;
+                if BOUNDED {
+                    // The bucket provably holds the global minimum;
+                    // find it before touching anything so an
+                    // out-of-window minimum leaves the wheel intact.
+                    let min_at = self.levels[level].buckets[slot]
+                        .iter()
+                        .map(|e| e.at)
+                        .min()
+                        .expect("occupied bucket is non-empty");
+                    if min_at >= limit {
+                        return Err(min_at);
+                    }
+                }
                 if slot as u32 > base {
                     // Anchor jumps to the start of the bucket's span;
                     // bits below the level are zeroed (nothing earlier
@@ -273,7 +344,7 @@ impl<T> TimerWheel<T> {
                     debug_assert!(e.at >= self.anchor);
                     self.anchor = e.at;
                     self.len -= 1;
-                    return Some((e.at, e.payload));
+                    return Ok(Some((e.at, e.payload)));
                 }
                 let at0 = lv.buckets[slot][0].at;
                 if lv.buckets[slot].iter().all(|e| e.at == at0) {
@@ -295,38 +366,53 @@ impl<T> TimerWheel<T> {
                     cur.extend(bucket.drain(..));
                     let e = cur.pop_front().expect("bucket was non-empty");
                     *len -= 1;
-                    return Some((e.at, e.payload));
+                    return Ok(Some((e.at, e.payload)));
                 }
-                // Swap the bucket with the (empty) scratch buffer so
+                // Mixed-expiry bucket: batched one-pass cascade. Swap
+                // the bucket with the (empty) scratch buffer so
                 // `place` can borrow `self`; swap back afterwards so
                 // both keep their capacity.
                 let mut bucket = std::mem::take(&mut self.scratch);
                 let lv = &mut self.levels[level];
                 std::mem::swap(&mut bucket, &mut lv.buckets[slot]);
                 self.cascaded += bucket.len() as u64;
+                let min_at = bucket.iter().map(|e| e.at).min().expect("non-empty");
+                debug_assert!(min_at >= self.anchor);
+                // Entries share this bucket, so they agree on every bit
+                // at or above the bucket's slot index — each re-files
+                // at a level *strictly below* `level` relative to the
+                // new anchor and can never cascade again this pop.
+                self.anchor = min_at;
+                debug_assert!(self.cur.is_empty());
                 for e in bucket.drain(..) {
-                    debug_assert!(self.level_of(e.at) < level);
-                    self.place(e);
+                    if e.at == min_at {
+                        self.cur.push_back(e);
+                    } else {
+                        debug_assert!(self.level_of(e.at) < level);
+                        self.place(e);
+                    }
                 }
                 self.scratch = bucket;
-                cascaded_any = true;
-                break;
-            }
-            if cascaded_any {
-                continue;
+                self.cur.make_contiguous().sort_unstable_by_key(|e| e.seq);
+                self.len -= 1;
+                let e = self.cur.pop_front().expect("minimum drained to cur");
+                return Ok(Some((e.at, e.payload)));
             }
 
             // Wheel empty: everything pending is in the far list. Jump
             // the anchor straight to its minimum and re-home.
             match self.far.last() {
                 Some(e) => {
+                    if BOUNDED && e.at >= limit {
+                        return Err(e.at);
+                    }
                     self.anchor = e.at;
                     // Loop: the far-drain above now re-homes it (and
                     // any same-window followers) into the wheel.
                 }
                 None => {
                     debug_assert_eq!(self.len, 0);
-                    return None;
+                    return Ok(None);
                 }
             }
         }
@@ -456,6 +542,73 @@ mod tests {
         assert_eq!(w.cascades(), 0);
         assert_eq!(w.pop(), Some((1 << (2 * BITS), 0)));
         assert!(w.cascades() >= 2);
+    }
+
+    #[test]
+    fn mixed_bucket_rollover_cascades_each_entry_once() {
+        // Two expiries 1 ps apart deep in level 7. The classic hashed
+        // wheel rolls the survivor down one level per pop iteration
+        // (≈ one re-file per level); the batched cascade files each
+        // entry exactly once, so the cascade counter equals the bucket
+        // size and nothing recascades on the follow-up pop.
+        let mut w = TimerWheel::new();
+        let base = 1u64 << (BITS * 7);
+        w.push(base, 0);
+        w.push(base + 1, 1);
+        assert_eq!(w.pop(), Some((base, 0)));
+        assert_eq!(w.cascades(), 2, "one batched pass, one count per entry");
+        assert_eq!(w.pop(), Some((base + 1, 1)));
+        assert_eq!(
+            w.cascades(),
+            2,
+            "survivor re-filed once, popped via fast path"
+        );
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn pop_before_leaves_wheel_intact_and_accepts_earlier_pushes() {
+        let mut w = TimerWheel::new();
+        w.push(10, 0);
+        w.push(5_000, 1);
+        w.push(1 << 20, 2);
+        assert_eq!(w.pop_before(100), Ok(Some((10, 0))));
+        // Next event (5000) is out of window: reported, not removed,
+        // and the anchor stays at 10.
+        assert_eq!(w.pop_before(100), Err(5_000));
+        assert_eq!(w.len(), 2);
+        // A windowed driver may now inject events anywhere at or after
+        // the last popped expiry — including *before* the reported
+        // minimum — and ordering must hold.
+        w.push(50, 3);
+        w.push(4_999, 4);
+        assert_eq!(w.pop_before(100), Ok(Some((50, 3))));
+        assert_eq!(w.pop_before(100), Err(4_999));
+        assert_eq!(w.pop(), Some((4_999, 4)));
+        assert_eq!(w.pop(), Some((5_000, 1)));
+        // Far-horizon minimum is reported without committing either.
+        w.push(3 * HORIZON_PS, 5);
+        assert_eq!(w.pop_before(1 << 20), Err(1 << 20));
+        assert_eq!(w.pop(), Some((1 << 20, 2)));
+        assert_eq!(w.pop_before(HORIZON_PS), Err(3 * HORIZON_PS));
+        w.push((1 << 20) + 7, 6);
+        assert_eq!(w.pop(), Some(((1 << 20) + 7, 6)));
+        assert_eq!(w.pop(), Some((3 * HORIZON_PS, 5)));
+        assert_eq!(w.pop_before(u64::MAX), Ok(None));
+    }
+
+    #[test]
+    fn pop_before_same_instant_batch_keeps_seq_order_across_windows() {
+        let mut w = TimerWheel::new();
+        for i in 0..4u32 {
+            w.push(200, i);
+        }
+        assert_eq!(w.pop_before(200), Err(200));
+        // The batch was not disturbed: draining pops in push order.
+        for i in 0..4u32 {
+            assert_eq!(w.pop_before(201), Ok(Some((200, i))));
+        }
+        assert_eq!(w.pop_before(201), Ok(None));
     }
 
     #[test]
