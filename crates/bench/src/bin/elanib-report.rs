@@ -1,0 +1,124 @@
+//! `elanib-report` — merge bench history, profiler output and the
+//! conformance verdict into one perf dashboard.
+//!
+//! ```text
+//! elanib-report [--bench FILE]... [--conformance FILE]
+//!               [--out-md PATH] [--out-json PATH]
+//!               [--ratio N] [--strict]
+//! ```
+//!
+//! `--bench` files are JSONL (`ELANIB_BENCH_JSON` format) and are read
+//! in the order given — the last record per label wins "latest", so
+//! pass committed history first and the current run's file last.
+//! Missing `--bench` defaults to the committed `BENCH_regen.json` and
+//! `BENCH_sweep.json` when present.
+//!
+//! Exit codes: 0 = report written (cost regressions are warnings);
+//! 1 = cost regressions under `--strict`; 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use elanib_bench::perf_report::generate;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: elanib-report [--bench FILE]... [--conformance FILE]\n\
+         \x20                    [--out-md PATH] [--out-json PATH] [--ratio N] [--strict]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut conformance: Option<PathBuf> = None;
+    let mut out_md: Option<PathBuf> = None;
+    let mut out_json: Option<PathBuf> = None;
+    let mut ratio = 8.0f64;
+    let mut strict = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> PathBuf {
+            match args.next() {
+                Some(v) => PathBuf::from(v),
+                None => {
+                    eprintln!("elanib-report: {name} needs a value");
+                    usage();
+                }
+            }
+        };
+        match arg.as_str() {
+            "--bench" => inputs.push(value("--bench")),
+            "--conformance" => conformance = Some(value("--conformance")),
+            "--out-md" => out_md = Some(value("--out-md")),
+            "--out-json" => out_json = Some(value("--out-json")),
+            "--ratio" => {
+                let v = value("--ratio");
+                ratio = match v.to_string_lossy().parse::<f64>() {
+                    Ok(r) if r > 1.0 => r,
+                    _ => {
+                        eprintln!("elanib-report: --ratio must be a number > 1");
+                        usage();
+                    }
+                }
+            }
+            "--strict" => strict = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("elanib-report: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    if inputs.is_empty() {
+        for name in ["BENCH_regen.json", "BENCH_sweep.json"] {
+            let p = PathBuf::from(name);
+            if p.exists() {
+                inputs.push(p);
+            }
+        }
+        if inputs.is_empty() {
+            eprintln!("elanib-report: no --bench files given and no committed BENCH_*.json found");
+            return ExitCode::from(2);
+        }
+    }
+    // A conformance file that does not exist yet (e.g. the stage was
+    // skipped) degrades to "not supplied" rather than an error.
+    let conformance = conformance.filter(|p| p.exists());
+
+    let report = match generate(&inputs, conformance.as_deref(), ratio) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("elanib-report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &out_md {
+        if let Err(e) = std::fs::write(path, &report.markdown) {
+            eprintln!("elanib-report: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("[perf report written to {}]", path.display());
+    }
+    if let Some(path) = &out_json {
+        if let Err(e) = std::fs::write(path, &report.json) {
+            eprintln!("elanib-report: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("[perf report written to {}]", path.display());
+    }
+    if out_md.is_none() && out_json.is_none() {
+        print!("{}", report.markdown);
+    }
+    for f in &report.flags {
+        eprintln!("elanib-report: WARN {f}");
+    }
+    if strict && !report.flags.is_empty() {
+        eprintln!(
+            "elanib-report: {} per-event-type cost regression(s) under --strict",
+            report.flags.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -285,7 +285,7 @@ fn parse_bench_jsonl(path: &Path) -> Result<Vec<(String, f64, Option<f64>)>, Str
     Ok(out)
 }
 
-fn json_str_field(line: &str, key: &str) -> Option<String> {
+pub(crate) fn json_str_field(line: &str, key: &str) -> Option<String> {
     let pat = format!("\"{key}\":\"");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];
@@ -295,7 +295,7 @@ fn json_str_field(line: &str, key: &str) -> Option<String> {
     Some(rest[..end].to_string())
 }
 
-fn json_num_field(line: &str, key: &str) -> Option<f64> {
+pub(crate) fn json_num_field(line: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\":");
     let start = line.find(&pat)? + pat.len();
     let rest: String = line[start..]

@@ -6,6 +6,7 @@
 //! each table as CSV for plotting.
 
 pub mod conformance;
+pub mod perf_report;
 
 use std::fs;
 use std::path::PathBuf;
@@ -83,8 +84,9 @@ fn record_regen(name: &str) {
                 .duration_since(std::time::UNIX_EPOCH)
                 .map(|d| d.as_secs())
                 .unwrap_or(0);
+            let git_rev = elanib_simcore::trace::git_rev();
             let line = format!(
-                "{{\"kind\":\"regen\",\"exhibit\":\"{}\",\"wall_s\":{:.6},\"cache_mode\":\"{mode}\",\"cache_hits\":{},\"cache_misses\":{},\"cache_stores\":{},\"cache_corrupt\":{},\"hit_rate\":{:.4},\"unix_ts\":{ts}}}",
+                "{{\"kind\":\"regen\",\"schema\":3,\"git_rev\":\"{git_rev}\",\"exhibit\":\"{}\",\"wall_s\":{:.6},\"cache_mode\":\"{mode}\",\"cache_hits\":{},\"cache_misses\":{},\"cache_stores\":{},\"cache_corrupt\":{},\"hit_rate\":{:.4},\"unix_ts\":{ts}}}",
                 name.replace('\\', "\\\\").replace('"', "\\\""),
                 wall.as_secs_f64(),
                 delta.hits,
@@ -154,6 +156,11 @@ pub fn emit(exhibit_id: &str, name: &str, table: &TextTable) {
         }
         if let Some(p) = &files.metrics_json {
             eprintln!("[metrics written to {}]", p.display());
+        }
+    }
+    if let Some(files) = elanib_simcore::profile::flush(name) {
+        if let Some(p) = &files.profile_json {
+            eprintln!("[profile written to {}]", p.display());
         }
     }
 }

@@ -59,6 +59,18 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+/// Per-worker observability record of one sweep: how many points the
+/// worker claimed, the kernel events it dispatched, and how long it
+/// was busy. Always gathered — a few samples per worker, not per job.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerStat {
+    pub worker: usize,
+    pub jobs: u64,
+    pub events: u64,
+    /// Wall time from the worker's first claim attempt to its exit.
+    pub busy: Duration,
+}
+
 /// Throughput report for one [`sweep_with_stats`] call.
 #[derive(Clone, Debug)]
 pub struct SweepStats {
@@ -77,6 +89,9 @@ pub struct SweepStats {
     /// `Some(k)` when `ELANIB_DES_SHARDS=k` forced static round-robin
     /// shard placement; `None` under ordinary atomic work claiming.
     pub shards: Option<usize>,
+    /// Per-worker breakdown, indexed by worker (one entry, worker 0,
+    /// in the serial inline mode).
+    pub per_worker: Vec<WorkerStat>,
 }
 
 impl SweepStats {
@@ -100,6 +115,21 @@ impl SweepStats {
         self.threads = self.threads.max(other.threads);
         self.failed += other.failed;
         self.shards = self.shards.or(other.shards);
+        // Merge worker breakdowns by worker index (the pools of the
+        // absorbed sweeps map onto the same OS-thread slots).
+        for w in &other.per_worker {
+            if self.per_worker.len() <= w.worker {
+                self.per_worker
+                    .resize_with(w.worker + 1, WorkerStat::default);
+                for (i, s) in self.per_worker.iter_mut().enumerate() {
+                    s.worker = i;
+                }
+            }
+            let s = &mut self.per_worker[w.worker];
+            s.jobs += w.jobs;
+            s.events += w.events;
+            s.busy += w.busy;
+        }
     }
 
     /// Append a `{"kind":"sweep",...}` JSON record for this sweep to
@@ -126,8 +156,9 @@ impl SweepStats {
             Some(k) => k.to_string(),
             None => "null".to_string(),
         };
-        let line = format!(
-            "{{\"kind\":\"sweep\",\"label\":\"{}\",\"jobs\":{},\"threads\":{},\"shards\":{},\"payload_mode\":\"{}\",\"events\":{},\"failed\":{},\"wall_s\":{:.6},\"events_per_sec\":{:.1},\"unix_ts\":{}}}",
+        let mut line = format!(
+            "{{\"kind\":\"sweep\",\"schema\":3,\"git_rev\":\"{}\",\"label\":\"{}\",\"jobs\":{},\"threads\":{},\"shards\":{},\"payload_mode\":\"{}\",\"events\":{},\"failed\":{},\"wall_s\":{:.6},\"events_per_sec\":{:.1},\"unix_ts\":{}",
+            elanib_simcore::trace::git_rev(),
             label.replace('\\', "\\\\").replace('"', "\\\""),
             self.jobs,
             self.threads,
@@ -139,6 +170,23 @@ impl SweepStats {
             self.events_per_sec(),
             ts
         );
+        // Worker breakdown last, with short non-colliding keys, so the
+        // first-occurrence field scans the gate/report use still hit
+        // the top-level fields above.
+        line.push_str(",\"workers\":[");
+        for (i, w) in self.per_worker.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!(
+                "{{\"w\":{},\"j\":{},\"e\":{},\"busy_s\":{:.6}}}",
+                w.worker,
+                w.jobs,
+                w.events,
+                w.busy.as_secs_f64()
+            ));
+        }
+        line.push_str("]}");
         let _ = elanib_simcore::trace::jsonl::append_line(std::path::Path::new(&path), &line);
     }
 }
@@ -209,17 +257,41 @@ where
 {
     let t0 = Instant::now();
     let events = AtomicU64::new(0);
+    let done = AtomicUsize::new(0);
 
     let run_one = |i: usize| -> T {
         let ev0 = elanib_simcore::thread_events();
         let out = f(&items[i]);
         events.fetch_add(elanib_simcore::thread_events() - ev0, Ordering::Relaxed);
+        let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+        // Live heartbeat for long sweeps (no-op unless ELANIB_PROGRESS
+        // is set; rate-limited inside, fields built lazily).
+        elanib_simcore::trace::progress::beat("sweep", || {
+            format!(
+                "\"done\":{d},\"total\":{},\"events\":{}",
+                items.len(),
+                events.load(Ordering::Relaxed)
+            )
+        });
         out
     };
 
-    let results: Vec<T> = if threads <= 1 {
+    // Per-worker accounting: thread_events is per-OS-thread, so
+    // sampling it at a worker's entry and exit attributes events to
+    // that worker exactly.
+    let worker_stat = |w: usize, jobs: u64, ev0: u64, started: Instant| WorkerStat {
+        worker: w,
+        jobs,
+        events: elanib_simcore::thread_events() - ev0,
+        busy: started.elapsed(),
+    };
+
+    let (results, per_worker): (Vec<T>, Vec<WorkerStat>) = if threads <= 1 {
         // Serial reference mode: inline, in order, on this thread.
-        (0..items.len()).map(run_one).collect()
+        let ev0 = elanib_simcore::thread_events();
+        let out: Vec<T> = (0..items.len()).map(run_one).collect();
+        let ws = worker_stat(0, items.len() as u64, ev0, t0);
+        (out, vec![ws])
     } else {
         let next = AtomicUsize::new(0);
         let static_rr = shards.is_some();
@@ -229,7 +301,10 @@ where
         let worker = |w: usize| {
             let next = &next;
             let run_one = &run_one;
+            let worker_stat = &worker_stat;
             move || {
+                let started = Instant::now();
+                let ev0 = elanib_simcore::thread_events();
                 let mut out: Vec<(usize, T)> = Vec::new();
                 if static_rr {
                     // Deterministic placement: this shard's items are a
@@ -248,16 +323,19 @@ where
                         out.push((i, run_one(i)));
                     }
                 }
-                out
+                let ws = worker_stat(w, out.len() as u64, ev0, started);
+                (out, ws)
             }
         };
 
         let mut panic_payload = None;
+        let mut worker_stats: Vec<WorkerStat> = vec![WorkerStat::default(); threads];
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads).map(|w| scope.spawn(worker(w))).collect();
             for h in handles {
                 match h.join() {
-                    Ok(batch) => {
+                    Ok((batch, ws)) => {
+                        worker_stats[ws.worker] = ws;
                         for (i, t) in batch {
                             slots[i] = Some(t);
                         }
@@ -269,10 +347,13 @@ where
         if let Some(p) = panic_payload {
             std::panic::resume_unwind(p);
         }
-        slots
-            .into_iter()
-            .map(|s| s.expect("every sweep index claimed exactly once"))
-            .collect()
+        (
+            slots
+                .into_iter()
+                .map(|s| s.expect("every sweep index claimed exactly once"))
+                .collect(),
+            worker_stats,
+        )
     };
 
     let stats = SweepStats {
@@ -282,6 +363,7 @@ where
         wall: t0.elapsed(),
         failed: 0,
         shards,
+        per_worker,
     };
     (results, stats)
 }
@@ -454,6 +536,12 @@ mod tests {
             wall: Duration::from_millis(10),
             failed: 1,
             shards: None,
+            per_worker: vec![WorkerStat {
+                worker: 0,
+                jobs: 2,
+                events: 100,
+                busy: Duration::from_millis(9),
+            }],
         };
         let b = SweepStats {
             jobs: 3,
@@ -462,6 +550,20 @@ mod tests {
             wall: Duration::from_millis(5),
             failed: 2,
             shards: Some(2),
+            per_worker: vec![
+                WorkerStat {
+                    worker: 0,
+                    jobs: 1,
+                    events: 20,
+                    busy: Duration::from_millis(2),
+                },
+                WorkerStat {
+                    worker: 1,
+                    jobs: 2,
+                    events: 30,
+                    busy: Duration::from_millis(3),
+                },
+            ],
         };
         a.absorb(&b);
         assert_eq!(a.jobs, 5);
@@ -470,6 +572,25 @@ mod tests {
         assert_eq!(a.wall, Duration::from_millis(15));
         assert_eq!(a.failed, 3);
         assert_eq!(a.shards, Some(2));
+        // Worker breakdowns merged by index.
+        assert_eq!(a.per_worker.len(), 2);
+        assert_eq!(a.per_worker[0].jobs, 3);
+        assert_eq!(a.per_worker[0].events, 120);
+        assert_eq!(a.per_worker[1].worker, 1);
+        assert_eq!(a.per_worker[1].events, 30);
+    }
+
+    #[test]
+    fn per_worker_stats_account_for_all_jobs_and_events() {
+        let items: Vec<(u64, u32)> = (0..20).map(|i| (i, (i % 5) as u32 + 1)).collect();
+        for (threads, shards) in [(1usize, None), (4, None), (4, Some(4))] {
+            let (_, stats) = sweep_on_pool(&items, toy_sim, threads, shards);
+            assert_eq!(stats.per_worker.len(), threads);
+            let jobs: u64 = stats.per_worker.iter().map(|w| w.jobs).sum();
+            assert_eq!(jobs, items.len() as u64, "threads={threads}");
+            let events: u64 = stats.per_worker.iter().map(|w| w.events).sum();
+            assert_eq!(events, stats.events, "threads={threads}");
+        }
     }
 
     #[test]
@@ -488,6 +609,49 @@ mod tests {
         let (out, stats) = sweep_on_pool(&items, toy_sim, 3, None);
         assert_eq!(out, serial);
         assert_eq!(stats.shards, None);
+    }
+
+    #[test]
+    fn profiler_histograms_identical_across_runs_and_shard_counts() {
+        use elanib_simcore::profile::ProfDet;
+        use elanib_simcore::KernelProfiler;
+        use std::sync::Mutex;
+
+        // toy_sim's program, with an explicit per-sim profiler whose
+        // deterministic half is merged into a local accumulator.
+        let items: Vec<(u64, u32)> = (0..12).map(|i| (i, (i % 4) as u32 + 1)).collect();
+        let run = |threads: usize, shards: Option<usize>| -> String {
+            let agg = Mutex::new(ProfDet::default());
+            sweep_on_pool(
+                &items,
+                |&(seed, n)| {
+                    let prof = KernelProfiler::forced();
+                    let sim = Sim::with_profiler(seed, prof.clone());
+                    for i in 0..n {
+                        let s = sim.clone();
+                        sim.spawn(format!("t{i}"), async move {
+                            for k in 1..=4u64 {
+                                s.sleep(Dur::from_ns(k * (i as u64 + 1))).await;
+                            }
+                        });
+                    }
+                    sim.run().unwrap();
+                    agg.lock().unwrap().merge(&prof.snapshot().det);
+                },
+                threads,
+                shards,
+            );
+            agg.into_inner().unwrap().to_json()
+        };
+        // Byte-identical across shard placements and across repeat runs:
+        // the deterministic half is a pure function of the grid, and the
+        // merge is commutative, so worker scheduling cannot leak in.
+        let base = run(1, None);
+        assert!(base.contains("\"poll\""));
+        assert_eq!(base, run(2, Some(2)), "2-shard placement diverged");
+        assert_eq!(base, run(4, Some(4)), "4-shard placement diverged");
+        assert_eq!(base, run(3, None), "claimed pool diverged");
+        assert_eq!(base, run(1, None), "repeat run diverged");
     }
 
     #[test]

@@ -71,10 +71,12 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Waker};
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::profile::KernelProfiler;
 use crate::time::{Dur, SimTime};
 use crate::wheel::TimerWheel;
 
@@ -114,6 +116,98 @@ enum EventPayload {
     Timer(Waker),
     /// Run the closure parked in the kernel's call slab at this index.
     Call(u32),
+}
+
+impl EventPayload {
+    /// Profiler bucket index (see [`crate::profile::TAG_NAMES`]).
+    #[inline]
+    fn tag(&self) -> usize {
+        match self {
+            EventPayload::Poll(_) => 0,
+            EventPayload::Timer(_) => 1,
+            EventPayload::Call(_) => 2,
+        }
+    }
+}
+
+/// Flight-recorder depth: the last this-many dispatched events are
+/// kept per simulation, always (the ring is fixed-size and
+/// allocation-free after startup, so there is no reason to gate it).
+pub const FLIGHT_LEN: usize = 64;
+
+/// One flight-recorder entry: a recently dispatched kernel event.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlightEntry {
+    /// Dispatch instant, simulated picoseconds.
+    pub at_ps: u64,
+    /// Event kind: 0 = poll, 1 = timer, 2 = call
+    /// ([`flight_kind_name`]).
+    pub kind: u8,
+    /// Task slot (poll) or call slot (call); 0 for timer wakers.
+    pub idx: u32,
+}
+
+/// Human name of a [`FlightEntry::kind`].
+pub fn flight_kind_name(kind: u8) -> &'static str {
+    match kind {
+        0 => "poll",
+        1 => "timer",
+        2 => "call",
+        _ => "?",
+    }
+}
+
+impl fmt::Display for FlightEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}#{}@{}ps",
+            flight_kind_name(self.kind),
+            self.idx,
+            self.at_ps
+        )
+    }
+}
+
+/// Fixed-size ring of the most recent dispatched events. Written on
+/// every dispatch (two stores), read only by deadlock reports and
+/// debugging accessors, so an *untraced* stuck run still ships the
+/// event history that led up to the hang.
+struct FlightRing {
+    buf: Vec<FlightEntry>,
+    /// Total events ever recorded; `written % FLIGHT_LEN` is the next
+    /// write position.
+    written: u64,
+}
+
+impl FlightRing {
+    fn new() -> FlightRing {
+        FlightRing {
+            buf: vec![FlightEntry::default(); FLIGHT_LEN],
+            written: 0,
+        }
+    }
+
+    #[inline]
+    fn record(&mut self, at_ps: u64, payload: &EventPayload) {
+        let (kind, idx) = match payload {
+            EventPayload::Poll(id) => (0u8, id.idx),
+            EventPayload::Timer(_) => (1, 0),
+            EventPayload::Call(i) => (2, *i),
+        };
+        let slot = (self.written % FLIGHT_LEN as u64) as usize;
+        self.buf[slot] = FlightEntry { at_ps, kind, idx };
+        self.written += 1;
+    }
+
+    /// The recorded tail, oldest first (deterministic: dispatch order).
+    fn tail(&self) -> Vec<FlightEntry> {
+        let n = self.written.min(FLIGHT_LEN as u64);
+        let start = self.written - n;
+        (0..n)
+            .map(|k| self.buf[((start + k) % FLIGHT_LEN as u64) as usize])
+            .collect()
+    }
 }
 
 /// How timer events are represented, selectable per-[`Sim`] (the
@@ -313,6 +407,9 @@ struct Kernel {
     /// metrics registry.
     cascades_reported: u64,
     tracer: Option<TraceCallback>,
+    /// Always-on ring of recently dispatched events (see
+    /// [`FlightRing`]); feeds deadlock reports and panic isolation.
+    flight: FlightRing,
 }
 
 thread_local! {
@@ -342,6 +439,10 @@ pub struct Sim {
     /// instrumentation points pay exactly one null check when disabled
     /// and never contend with a kernel borrow.
     tr: Option<Rc<elanib_trace::Tracer>>,
+    /// Kernel profiler, `None` unless `ELANIB_PROFILE` enabled it at
+    /// construction. Same zero-cost-when-off discipline as `tr`: the
+    /// hot loop pays one null check per dispatch when disabled.
+    prof: Option<Rc<KernelProfiler>>,
 }
 
 /// One entry of a [`SimError::Deadlock`] report.
@@ -354,11 +455,13 @@ pub struct StuckTask {
     pub since: SimTime,
 }
 
-/// Kernel-state snapshot attached to a deadlock report when the
-/// structured tracer is enabled: the scheduler's queue depths at the
-/// moment events ran dry, plus the run's largest trace counters — so a
-/// stuck point deep inside a sweep grid ships its telemetry with the
-/// panic message instead of requiring a re-run under a debugger.
+/// Kernel-state snapshot attached to every deadlock report: the
+/// scheduler's queue depths at the moment events ran dry plus the
+/// flight-recorder tail of the last dispatched events — so a stuck
+/// point deep inside a sweep grid ships its diagnosis with the panic
+/// message instead of requiring a re-run under a debugger. Built
+/// unconditionally (the flight ring is always on); `counters` is
+/// non-empty only when the structured tracer was also enabled.
 #[derive(Clone, Debug, Default)]
 pub struct DeadlockDiag {
     /// Events still pending in the heap (0 for a natural deadlock —
@@ -368,8 +471,13 @@ pub struct DeadlockDiag {
     pub wake_queue: usize,
     pub live_tasks: usize,
     pub events_processed: u64,
-    /// Top monotonic counters recorded by the tracer, pre-formatted.
+    /// Top monotonic counters recorded by the tracer, pre-formatted;
+    /// empty in untraced runs.
     pub counters: String,
+    /// Flight-recorder tail: the last dispatched events, oldest first
+    /// (deterministic dispatch order). Empty only if the run
+    /// deadlocked before dispatching a single event.
+    pub flight: Vec<FlightEntry>,
 }
 
 /// Why [`Sim::run`] stopped before all tasks completed.
@@ -382,7 +490,7 @@ pub enum SimError {
     /// diagnostics snapshot.
     Deadlock {
         stuck: Vec<StuckTask>,
-        diag: Option<DeadlockDiag>,
+        diag: DeadlockDiag,
     },
 }
 
@@ -400,17 +508,26 @@ impl fmt::Display for SimError {
                 if stuck.len() > 8 {
                     write!(f, ", ...")?;
                 }
-                if let Some(d) = diag {
-                    write!(
-                        f,
-                        " [kernel: pending_events={}, wake_queue={}, live_tasks={}, events_processed={}",
-                        d.pending_events, d.wake_queue, d.live_tasks, d.events_processed
-                    )?;
-                    if !d.counters.is_empty() {
-                        write!(f, "; counters: {}", d.counters)?;
-                    }
-                    write!(f, "]")?;
+                let d = diag;
+                write!(
+                    f,
+                    " [kernel: pending_events={}, wake_queue={}, live_tasks={}, events_processed={}",
+                    d.pending_events, d.wake_queue, d.live_tasks, d.events_processed
+                )?;
+                if !d.counters.is_empty() {
+                    write!(f, "; counters: {}", d.counters)?;
                 }
+                if !d.flight.is_empty() {
+                    let show = d.flight.len().min(8);
+                    write!(f, "; flight tail ({} of {}): ", show, d.flight.len())?;
+                    for (i, e) in d.flight[d.flight.len() - show..].iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{e}")?;
+                    }
+                }
+                write!(f, "]")?;
                 Ok(())
             }
         }
@@ -446,10 +563,12 @@ impl Sim {
                 events_reported: 0,
                 cascades_reported: 0,
                 tracer: None,
+                flight: FlightRing::new(),
             })),
             wakes: Arc::new(WakeQueue::default()),
             drain_buf: Rc::new(RefCell::new(Vec::new())),
             tr: elanib_trace::Tracer::from_config(seed),
+            prof: KernelProfiler::from_config(),
         }
     }
 
@@ -459,6 +578,28 @@ impl Sim {
         let mut sim = Sim::new(seed);
         sim.tr = Some(tr);
         sim
+    }
+
+    /// Create a simulation with an explicit kernel profiler (tests and
+    /// tools that want cost attribution regardless of environment).
+    pub fn with_profiler(seed: u64, prof: Rc<KernelProfiler>) -> Sim {
+        let mut sim = Sim::new(seed);
+        sim.prof = Some(prof);
+        sim
+    }
+
+    /// The kernel profiler, if `ELANIB_PROFILE` (or
+    /// [`Sim::with_profiler`]) enabled it for this simulation.
+    #[inline]
+    pub fn profiler(&self) -> Option<&KernelProfiler> {
+        self.prof.as_deref()
+    }
+
+    /// Snapshot of the flight recorder: the most recent dispatched
+    /// events, oldest first. Always available — the ring is maintained
+    /// unconditionally (two stores per dispatch, no allocation).
+    pub fn flight_tail(&self) -> Vec<FlightEntry> {
+        self.k.borrow().flight.tail()
     }
 
     /// The structured tracer, if tracing/metrics is enabled for this
@@ -644,7 +785,11 @@ impl Sim {
     /// and no allocation per batch: the queue's vector and the drain
     /// buffer ping-pong, and dedup marks are cleared while the lock is
     /// already held.
-    fn drain_wakes(&self) -> bool {
+    /// `mark` is the profiler's chained timestamp: when profiling, the
+    /// span from `*mark` to the end of this batch is charged to the
+    /// wake bucket and `*mark` advances, so consecutive segments
+    /// partition the dispatch loop with no untimed gaps between them.
+    fn drain_wakes(&self, mark: Option<&mut Instant>) -> bool {
         // Common case — nothing woke since the last drain — answered
         // by one atomic load, no lock.
         if !self.wakes.nonempty.load(Ordering::Acquire) {
@@ -673,6 +818,11 @@ impl Sim {
             let id = buf[i];
             self.poll_task(id);
         }
+        if let (Some(p), Some(m)) = (&self.prof, mark) {
+            let now = Instant::now();
+            p.wake_drain(buf.len() as u64, now.duration_since(*m));
+            *m = now;
+        }
         buf.clear();
         true
     }
@@ -685,14 +835,42 @@ impl Sim {
     /// be scheduled anywhere at or after `now` — or `None` when no
     /// events remain.
     fn run_events(&self, limit: Option<SimTime>) -> Option<SimTime> {
+        match self.prof.clone() {
+            None => self.run_events_inner(limit, None),
+            Some(p) => {
+                // Bracket the whole dispatch loop so the time *not*
+                // attributed to a named bucket (final drain checks,
+                // the empty/limit pop) lands in the residue — the
+                // attribution percentage the report prints is honest.
+                let t0 = Instant::now();
+                let before = p.run_wall_ns();
+                let out = self.run_events_inner(limit, Some(&p));
+                let total = t0.elapsed().as_nanos() as u64;
+                let attributed = p.run_wall_ns() - before;
+                p.loop_residue(Duration::from_nanos(total.saturating_sub(attributed)));
+                out
+            }
+        }
+    }
+
+    fn run_events_inner(
+        &self,
+        limit: Option<SimTime>,
+        prof: Option<&Rc<KernelProfiler>>,
+    ) -> Option<SimTime> {
+        // Chained profiling timestamp: each attribution advances it,
+        // so the wake and event segments tile the loop end to end —
+        // only the final (empty or past-limit) pop lands in the
+        // residue bucket.
+        let mut mark = prof.map(|_| Instant::now());
         loop {
             // 1. Poll every task woken at the current instant. Wakes
             //    performed while draining are themselves drained before
             //    the clock may advance (zero-delay wake semantics).
-            while self.drain_wakes() {}
+            while self.drain_wakes(mark.as_mut()) {}
 
             // 2. Advance the clock to the next event.
-            let payload = {
+            let (payload, prof_sample) = {
                 let mut k = self.k.borrow_mut();
                 let next = match limit {
                     Some(lim) => match k.queue.pop_before(lim.as_ps()) {
@@ -705,13 +883,19 @@ impl Sim {
                     Some((at_ps, payload)) => {
                         let at = SimTime(at_ps);
                         debug_assert!(at >= k.now, "event time went backwards");
+                        // Occupancy at dispatch is the pre-pop depth;
+                        // the advance is how far the clock jumps.
+                        let sample =
+                            prof.map(|_| (k.queue.len() as u64 + 1, at_ps - k.now.as_ps()));
                         k.now = at;
                         k.events_processed += 1;
-                        payload
+                        k.flight.record(at_ps, &payload);
+                        (payload, sample)
                     }
                     None => return None,
                 }
             };
+            let tag = payload.tag();
             match payload {
                 EventPayload::Poll(id) => self.poll_task(id),
                 EventPayload::Timer(w) => w.wake(),
@@ -724,6 +908,13 @@ impl Sim {
                     };
                     f(self)
                 }
+            }
+            if let (Some(p), Some(m), Some((occupancy, adv_ps))) =
+                (prof, mark.as_mut(), prof_sample)
+            {
+                let now = Instant::now();
+                p.event(tag, adv_ps, occupancy, now.duration_since(*m));
+                *m = now;
             }
         }
     }
@@ -748,17 +939,22 @@ impl Sim {
                         since: t.last_suspend,
                     })
                     .collect();
-                // With tracing enabled, snapshot the scheduler state and
-                // the run's counters into the report (satellite of the
-                // observability layer: a deadlock panic from a sweep
-                // worker carries its own telemetry).
-                let diag = self.tr.as_ref().map(|tr| DeadlockDiag {
+                // Snapshot the scheduler state and the flight-recorder
+                // tail into the report unconditionally — an *untraced*
+                // deadlock is still diagnosable. Trace counters ride
+                // along when the tracer happens to be on.
+                let diag = DeadlockDiag {
                     pending_events: k.queue.len(),
                     wake_queue: self.wakes.state.lock().unwrap().ready.len(),
                     live_tasks: k.live_tasks,
                     events_processed: k.events_processed,
-                    counters: tr.counter_digest(6),
-                });
+                    counters: self
+                        .tr
+                        .as_ref()
+                        .map(|tr| tr.counter_digest(6))
+                        .unwrap_or_default(),
+                    flight: k.flight.tail(),
+                };
                 Err(SimError::Deadlock { stuck, diag })
             } else {
                 Ok(k.now)
@@ -790,11 +986,15 @@ impl Sim {
         k.events_reported = k.events_processed;
         let cascades = k.queue.cascades() - k.cascades_reported;
         k.cascades_reported = k.queue.cascades();
+        let (total_cascades, high_water) = (k.queue.cascades(), k.queue.high_water() as u64);
         THREAD_EVENTS.with(|c| c.set(c.get() + delta));
         drop(k);
         if let Some(tr) = &self.tr {
             tr.add("sim.events", delta);
             tr.add("wheel.cascades", cascades);
+        }
+        if let Some(p) = &self.prof {
+            p.note_wheel(total_cascades, high_water);
         }
     }
 
@@ -1054,10 +1254,15 @@ mod tests {
                 assert_eq!(stuck.len(), 1);
                 assert_eq!(stuck[0].name, "stuck-task");
                 assert_eq!(stuck[0].since, SimTime::ZERO + Dur::from_us(3));
-                assert!(diag.is_none(), "no diagnostics without a tracer");
+                // Untraced runs still ship kernel diagnostics and a
+                // non-empty flight-recorder tail.
+                assert!(diag.counters.is_empty(), "no trace counters untraced");
+                assert!(!diag.flight.is_empty(), "flight tail present untraced");
+                assert!(diag.events_processed > 0);
                 let msg = format!("{}", SimError::Deadlock { stuck, diag });
                 assert!(msg.contains("stuck-task"), "{msg}");
                 assert!(msg.contains("suspended at"), "{msg}");
+                assert!(msg.contains("flight tail"), "{msg}");
             }
             other => panic!("expected deadlock, got {other:?}"),
         }
@@ -1072,8 +1277,7 @@ mod tests {
             std::future::pending::<()>().await;
         });
         let err = sim.run().unwrap_err();
-        let SimError::Deadlock { diag, .. } = &err;
-        let d = diag.as_ref().expect("tracer enabled => diagnostics");
+        let SimError::Deadlock { diag: d, .. } = &err;
         assert_eq!(d.pending_events, 0, "natural deadlock drains the heap");
         assert_eq!(d.wake_queue, 0);
         assert_eq!(d.live_tasks, 1);
@@ -1082,6 +1286,62 @@ mod tests {
         let msg = format!("{err}");
         assert!(msg.contains("pending_events=0"), "{msg}");
         assert!(msg.contains("wake_queue=0"), "{msg}");
+    }
+
+    #[test]
+    fn flight_recorder_keeps_last_events_in_dispatch_order() {
+        let sim = Sim::new(7);
+        let s = sim.clone();
+        // Well past FLIGHT_LEN dispatched events so the ring wraps.
+        sim.spawn("looper", async move {
+            for _ in 0..(FLIGHT_LEN * 3) {
+                s.sleep(Dur::from_ns(10)).await;
+            }
+        });
+        sim.run().unwrap();
+        let tail = sim.flight_tail();
+        assert_eq!(tail.len(), FLIGHT_LEN, "ring caps at FLIGHT_LEN");
+        for w in tail.windows(2) {
+            assert!(w[0].at_ps <= w[1].at_ps, "tail is in dispatch order");
+        }
+        // The final entry is the most recent dispatch.
+        assert_eq!(tail.last().unwrap().at_ps, sim.now().as_ps());
+        // Determinism: an identical run produces an identical tail.
+        let sim2 = Sim::new(7);
+        let s2 = sim2.clone();
+        sim2.spawn("looper", async move {
+            for _ in 0..(FLIGHT_LEN * 3) {
+                s2.sleep(Dur::from_ns(10)).await;
+            }
+        });
+        sim2.run().unwrap();
+        assert_eq!(tail, sim2.flight_tail());
+    }
+
+    #[test]
+    fn profiler_attributes_events_and_is_deterministic() {
+        let run = || {
+            let prof = KernelProfiler::forced();
+            let sim = Sim::with_profiler(11, prof.clone());
+            let s = sim.clone();
+            sim.spawn("worker", async move {
+                for i in 0..40u64 {
+                    s.sleep(Dur::from_ns(100 + i)).await;
+                }
+            });
+            sim.call_in(Dur::from_us(1), |_| {});
+            sim.run().unwrap();
+            let snap = prof.snapshot();
+            (sim.events_processed(), snap)
+        };
+        let (events, snap) = run();
+        assert_eq!(snap.events(), events, "every dispatch is counted");
+        assert!(snap.det.count[0] > 0, "poll events attributed");
+        assert!(snap.det.count[2] > 0, "call events attributed");
+        // Simulated-time histograms are functions of the event
+        // schedule only — byte-identical across runs.
+        let (_, snap2) = run();
+        assert_eq!(snap.det.to_json(), snap2.det.to_json());
     }
 
     #[test]

@@ -53,6 +53,7 @@
 
 pub mod fxhash;
 pub mod kernel;
+pub mod profile;
 pub mod resources;
 pub mod shard;
 pub mod sync;
@@ -67,10 +68,12 @@ pub use elanib_trace as trace;
 
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use kernel::{
-    payload_mode, thread_events, DeadlockDiag, Delay, PayloadMode, Sim, SimError, StuckTask, TaskId,
+    flight_kind_name, payload_mode, thread_events, DeadlockDiag, Delay, FlightEntry, PayloadMode,
+    Sim, SimError, StuckTask, TaskId, FLIGHT_LEN,
 };
+pub use profile::KernelProfiler;
 pub use resources::{ChannelStats, FifoChannel, PsResource};
-pub use shard::{des_shards, run_sharded, Outbox, ShardModel, ShardMsg, ShardRunStats};
+pub use shard::{des_shards, run_sharded, Outbox, ShardModel, ShardMsg, ShardObs, ShardRunStats};
 pub use sync::{race2, Flag, Mailbox, Race2, Semaphore};
 pub use time::{Dur, SimTime};
 pub use wheel::TimerWheel;

@@ -196,8 +196,31 @@ pub trait ShardModel: Send {
     fn finish(&mut self, state: Self::State, sim: &Sim) -> Self::Out;
 }
 
-/// Aggregate statistics of one [`run_sharded`] call.
+/// Per-shard observability record of one [`run_sharded`] call. All
+/// fields are gathered unconditionally — the cost is a handful of
+/// `Instant` samples per *round* (not per event), invisible next to a
+/// window's worth of dispatching — so shard-balance problems are
+/// visible without re-running under a profiler.
 #[derive(Clone, Copy, Debug, Default)]
+pub struct ShardObs {
+    pub shard: usize,
+    /// Kernel events this shard dispatched.
+    pub events: u64,
+    /// Cross-shard messages this shard sent / received.
+    pub sent: u64,
+    pub recv: u64,
+    /// Wall-ns this shard spent blocked on the three per-round
+    /// barriers — waiting for siblings, not simulating. The dominant
+    /// term of parallel inefficiency in an unbalanced partition.
+    pub stall_ns: u64,
+    /// Rounds in which this shard dispatched at least one event.
+    /// `active_rounds / rounds` is the shard's lookahead utilization:
+    /// how often a granted window contained any local work.
+    pub active_rounds: u64,
+}
+
+/// Aggregate statistics of one [`run_sharded`] call.
+#[derive(Clone, Debug, Default)]
 pub struct ShardRunStats {
     /// Barrier windows executed (identical on every shard).
     pub rounds: u64,
@@ -207,6 +230,8 @@ pub struct ShardRunStats {
     pub events: u64,
     /// Latest final clock across the shards — the global end time.
     pub end: SimTime,
+    /// Per-shard breakdown, indexed by shard.
+    pub per_shard: Vec<ShardObs>,
 }
 
 /// A phase barrier that poisons instead of hanging when a sibling
@@ -284,6 +309,7 @@ pub fn run_sharded<Mdl: ShardModel>(
     let barrier = PhaseBarrier::new(n);
     let inboxes: Vec<Mutex<Vec<ShardMsg<Mdl::Msg>>>> =
         (0..n).map(|_| Mutex::new(Vec::new())).collect();
+    let obs: Vec<Mutex<ShardObs>> = (0..n).map(|_| Mutex::new(ShardObs::default())).collect();
     let next_times: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(NO_EVENT)).collect();
     // Window end in ps; the first round probes with limit 0 (nothing
     // dispatches, every shard just reports its earliest event).
@@ -298,6 +324,13 @@ pub fn run_sharded<Mdl: ShardModel>(
         let sim = Sim::new(seed);
         let outbox = Outbox::new(sim.clone(), shard, lookahead);
         let mut state = model.build(shard, &sim, &outbox);
+        let mut my = ShardObs {
+            shard,
+            ..ShardObs::default()
+        };
+        let mut stall = std::time::Duration::ZERO;
+        let mut my_rounds = 0u64;
+        let mut prev_events = 0u64;
 
         loop {
             let limit = SimTime(window_end.load(Ordering::Acquire));
@@ -305,6 +338,7 @@ pub fn run_sharded<Mdl: ShardModel>(
             // Publish this window's sends.
             let sent = outbox.drain();
             messages.fetch_add(sent.len() as u64, Ordering::Relaxed);
+            my.sent += sent.len() as u64;
             for (dst, msg) in sent {
                 assert!(dst < n, "cross-shard send to unknown shard {dst} (of {n})");
                 assert!(
@@ -314,9 +348,12 @@ pub fn run_sharded<Mdl: ShardModel>(
                 );
                 inboxes[dst].lock().unwrap().push(msg);
             }
+            let t0 = std::time::Instant::now();
             barrier.wait(); // all sends routed
+            stall += t0.elapsed();
 
             let mut inbox = std::mem::take(&mut *inboxes[shard].lock().unwrap());
+            my.recv += inbox.len() as u64;
             if !inbox.is_empty() {
                 inbox.sort_by_key(|m| (m.at, m.src, m.seq));
                 for msg in inbox {
@@ -338,6 +375,7 @@ pub fn run_sharded<Mdl: ShardModel>(
                 Ordering::Release,
             );
 
+            let t1 = std::time::Instant::now();
             if barrier.wait() {
                 // Leader: agree on the next window (or termination).
                 let global = next_times
@@ -351,16 +389,39 @@ pub fn run_sharded<Mdl: ShardModel>(
                     global + lookahead.as_ps()
                 };
                 window_end.store(next_window, Ordering::Release);
-                rounds.fetch_add(1, Ordering::Relaxed);
+                let r = rounds.fetch_add(1, Ordering::Relaxed) + 1;
+                // Live heartbeat (out-of-band; no-op unless
+                // ELANIB_PROGRESS is set, rate-limited inside).
+                elanib_trace::progress::beat("shard", || {
+                    format!(
+                        "\"rounds\":{r},\"events\":{},\"messages\":{},\"window_end_ps\":{}",
+                        events.load(Ordering::Relaxed),
+                        messages.load(Ordering::Relaxed),
+                        next_window
+                    )
+                });
             }
             barrier.wait(); // window agreed
+            stall += t1.elapsed();
+            my_rounds += 1;
+            let ev = sim.events_processed();
+            if ev != prev_events {
+                my.active_rounds += 1;
+                prev_events = ev;
+            }
             if window_end.load(Ordering::Acquire) == DONE {
                 break;
             }
         }
 
-        events.fetch_add(sim.events_processed(), Ordering::Relaxed);
+        my.events = sim.events_processed();
+        my.stall_ns = stall.as_nanos() as u64;
+        events.fetch_add(my.events, Ordering::Relaxed);
         end_ps.fetch_max(sim.now().as_ps(), Ordering::Relaxed);
+        // Charge this shard's barrier stall to the profiler's barrier
+        // bucket (no-op when ELANIB_PROFILE is off).
+        crate::profile::submit_barrier(stall, my_rounds);
+        *obs[shard].lock().unwrap() = my;
         model.finish(state, &sim)
     };
 
@@ -392,6 +453,7 @@ pub fn run_sharded<Mdl: ShardModel>(
         messages: messages.load(Ordering::Relaxed),
         events: events.load(Ordering::Relaxed),
         end: SimTime(end_ps.load(Ordering::Relaxed)),
+        per_shard: obs.iter().map(|o| *o.lock().unwrap()).collect(),
     };
     (
         outs.into_iter()
@@ -590,6 +652,23 @@ mod tests {
             assert!(stats.messages > 0, "{n}-shard run must cross shards");
             assert_eq!(stats.end, s1.end, "global end time must agree");
         }
+    }
+
+    #[test]
+    fn per_shard_observability_accounts_for_totals() {
+        let (_, stats) = run_relay(3);
+        assert_eq!(stats.per_shard.len(), 3);
+        for (i, o) in stats.per_shard.iter().enumerate() {
+            assert_eq!(o.shard, i);
+            assert!(o.events > 0, "shard {i} dispatched nothing");
+            assert!(o.active_rounds <= stats.rounds);
+        }
+        let events: u64 = stats.per_shard.iter().map(|o| o.events).sum();
+        assert_eq!(events, stats.events, "per-shard events sum to the total");
+        let sent: u64 = stats.per_shard.iter().map(|o| o.sent).sum();
+        let recv: u64 = stats.per_shard.iter().map(|o| o.recv).sum();
+        assert_eq!(sent, stats.messages, "every message was sent once");
+        assert_eq!(recv, stats.messages, "every message was received once");
     }
 
     #[test]
