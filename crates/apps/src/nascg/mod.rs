@@ -452,7 +452,11 @@ pub fn cg_study_with_stats(
 ) -> (Vec<(ScalingPoint, f64)>, elanib_core::SweepStats) {
     // Each process count is an independent simulation: sweep them in
     // parallel, then fold the T(1)-normalized efficiencies serially.
-    let (runs, stats) = elanib_core::sweep_with_stats(proc_counts, |&procs| {
+    // Cost hint = process count: CG's event count scales with ranks, so
+    // guided placement claims the widest runs first instead of leaving
+    // the biggest point to serialize at the tail of the pool.
+    let hints: Vec<u64> = proc_counts.iter().map(|&p| p as u64).collect();
+    let (runs, stats) = elanib_core::sweep_guided_with_stats(proc_counts, &hints, |&procs| {
         let nodes = procs / ppn.min(procs);
         let ppn_eff = procs / nodes;
         cg_run(network, problem, nodes, ppn_eff)

@@ -11,7 +11,7 @@
 //! ```text
 //! conformance [--expectations DIR] [--results DIR] [--json PATH]
 //!             [--bench-current FILE] [--bench-baseline FILE]...
-//!             [--bench-ratio N] [--strict] [--quiet]
+//!             [--bench-ratio N] [--eps-gate N] [--strict] [--quiet]
 //! ```
 //!
 //! Exit codes: 0 = conformant; 1 = violated expectations, coverage
@@ -25,6 +25,12 @@
 //! `BENCH_sweep.json`). Records slower than `--bench-ratio` (default
 //! 8x) *and* over an absolute 0.25 s floor are reported — as warnings
 //! by default, as failures under `--strict`.
+//!
+//! `--eps-gate N` promotes the **events/s** half of that check from
+//! warn-only to FAILING at ratio `N` (independent of `--strict`): any
+//! sweep record above the 50k-event noise floor whose throughput fell
+//! more than `N`x below the best on record exits non-zero. This is the
+//! CI `perf-gate` stage.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -35,7 +41,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: conformance [--expectations DIR] [--results DIR] [--json PATH]\n\
          \x20                  [--bench-current FILE] [--bench-baseline FILE]...\n\
-         \x20                  [--bench-ratio N] [--strict] [--quiet]"
+         \x20                  [--bench-ratio N] [--eps-gate N] [--strict] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -66,6 +72,16 @@ fn main() -> ExitCode {
                     Ok(r) if r > 1.0 => r,
                     _ => {
                         eprintln!("conformance: --bench-ratio must be a number > 1");
+                        usage();
+                    }
+                }
+            }
+            "--eps-gate" => {
+                let v = value("--eps-gate");
+                opts.eps_gate = match v.to_string_lossy().parse::<f64>() {
+                    Ok(r) if r > 1.0 => Some(r),
+                    _ => {
+                        eprintln!("conformance: --eps-gate must be a number > 1");
                         usage();
                     }
                 }

@@ -5,6 +5,7 @@
 //! elanib-report [--bench FILE]... [--conformance FILE]
 //!               [--out-md PATH] [--out-json PATH]
 //!               [--ratio N] [--strict]
+//! elanib-report --rotate N [--bench FILE]...
 //! ```
 //!
 //! `--bench` files are JSONL (`ELANIB_BENCH_JSON` format) and are read
@@ -12,6 +13,14 @@
 //! pass committed history first and the current run's file last.
 //! Missing `--bench` defaults to the committed `BENCH_regen.json` and
 //! `BENCH_sweep.json` when present.
+//!
+//! `--rotate N` switches to maintenance mode: instead of generating a
+//! report, each `--bench` file is rewritten in place keeping the last
+//! `N` records per `(kind, label)` key plus every best-on-record entry
+//! the regression gates compare against (min-wall regen, max-events/s
+//! sweep, per-bucket min-ns/event profile). `regen_all.sh` runs this
+//! after every clean full pass so the append-only history files stay
+//! bounded.
 //!
 //! Exit codes: 0 = report written (cost regressions are warnings);
 //! 1 = cost regressions under `--strict`; 2 = usage or I/O error.
@@ -24,7 +33,8 @@ use elanib_bench::perf_report::generate;
 fn usage() -> ! {
     eprintln!(
         "usage: elanib-report [--bench FILE]... [--conformance FILE]\n\
-         \x20                    [--out-md PATH] [--out-json PATH] [--ratio N] [--strict]"
+         \x20                    [--out-md PATH] [--out-json PATH] [--ratio N] [--strict]\n\
+         \x20      elanib-report --rotate N [--bench FILE]..."
     );
     std::process::exit(2);
 }
@@ -36,6 +46,7 @@ fn main() -> ExitCode {
     let mut out_json: Option<PathBuf> = None;
     let mut ratio = 8.0f64;
     let mut strict = false;
+    let mut rotate_keep: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| -> PathBuf {
@@ -62,6 +73,16 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--rotate" => {
+                let v = value("--rotate");
+                rotate_keep = match v.to_string_lossy().parse::<usize>() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => {
+                        eprintln!("elanib-report: --rotate must be an integer >= 1");
+                        usage();
+                    }
+                }
+            }
             "--strict" => strict = true,
             "--help" | "-h" => usage(),
             other => {
@@ -81,6 +102,23 @@ fn main() -> ExitCode {
             eprintln!("elanib-report: no --bench files given and no committed BENCH_*.json found");
             return ExitCode::from(2);
         }
+    }
+    if let Some(keep) = rotate_keep {
+        for path in &inputs {
+            match elanib_bench::rotate::rotate_file(path, keep) {
+                Ok(s) => eprintln!(
+                    "[rotated {}: kept {}, dropped {}]",
+                    path.display(),
+                    s.kept,
+                    s.dropped
+                ),
+                Err(e) => {
+                    eprintln!("elanib-report: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        return ExitCode::SUCCESS;
     }
     // A conformance file that does not exist yet (e.g. the stage was
     // skipped) degrades to "not supplied" rather than an error.

@@ -31,6 +31,12 @@ pub struct ConformanceOptions {
     pub bench_ratio: f64,
     /// Promote bench warnings to failures.
     pub strict: bool,
+    /// `Some(r)` promotes the events/s regression check from warn-only
+    /// to FAILING at ratio `r`: a sweep record whose throughput fell
+    /// more than `r`x below the best baseline on record fails the run
+    /// outright (regardless of `strict`). Records under the
+    /// [`EPS_GATE_MIN_EVENTS`] noise floor are never judged.
+    pub eps_gate: Option<f64>,
 }
 
 impl ConformanceOptions {
@@ -43,6 +49,7 @@ impl ConformanceOptions {
             bench_baselines: Vec::new(),
             bench_ratio: 8.0,
             strict: false,
+            eps_gate: None,
         }
     }
 }
@@ -56,16 +63,21 @@ pub struct Outcome {
     pub unknown_exhibits: Vec<String>,
     /// Bench-gate messages (warnings unless `strict`).
     pub bench_flags: Vec<String>,
+    /// Events/s regressions under the failing gate
+    /// ([`ConformanceOptions::eps_gate`]); always count against
+    /// [`Outcome::ok`].
+    pub eps_failures: Vec<String>,
     pub strict: bool,
 }
 
 impl Outcome {
     /// Expectations + coverage verdict (bench flags only fail strict
-    /// runs).
+    /// runs; events/s failures under the promoted gate always fail).
     pub fn ok(&self) -> bool {
         self.report.ok()
             && self.uncovered.is_empty()
             && self.unknown_exhibits.is_empty()
+            && self.eps_failures.is_empty()
             && (self.bench_flags.is_empty() || !self.strict)
     }
 
@@ -91,6 +103,9 @@ impl Outcome {
                 "\nBENCH {}: {f}\n",
                 if self.strict { "FAIL" } else { "WARN" }
             ));
+        }
+        for f in &self.eps_failures {
+            out.push_str(&format!("\nBENCH FAIL (events/s gate): {f}\n"));
         }
         out
     }
@@ -135,6 +150,14 @@ impl Outcome {
                 .collect::<Vec<_>>()
                 .join(", ")
         ));
+        out.push_str(&format!(
+            ",\n  \"eps_failures\": [{}]",
+            self.eps_failures
+                .iter()
+                .map(|s| format!("\"{}\"", escape(s)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
         out.push_str(&format!(",\n  \"ok\": {}\n}}\n", self.ok()));
         out
     }
@@ -160,9 +183,14 @@ pub fn run(opts: &ConformanceOptions) -> Result<Outcome, String> {
         .map(|f| format!("{} (from {})", f.exhibit, f.source))
         .collect();
 
-    let bench_flags = match &opts.bench_current {
-        Some(current) => bench_gate(current, &opts.bench_baselines, opts.bench_ratio)?,
-        None => Vec::new(),
+    let (bench_flags, eps_failures) = match &opts.bench_current {
+        Some(current) => bench_gate(
+            current,
+            &opts.bench_baselines,
+            opts.bench_ratio,
+            opts.eps_gate,
+        )?,
+        None => (Vec::new(), Vec::new()),
     };
 
     Ok(Outcome {
@@ -170,6 +198,7 @@ pub fn run(opts: &ConformanceOptions) -> Result<Outcome, String> {
         uncovered,
         unknown_exhibits,
         bench_flags,
+        eps_failures,
         strict: opts.strict,
     })
 }
@@ -179,14 +208,30 @@ pub fn run(opts: &ConformanceOptions) -> Result<Outcome, String> {
 /// noise, and flagging a 0.4 ms -> 4 ms "regression" helps nobody.
 const BENCH_FLOOR_S: f64 = 0.25;
 
+/// Noise floor for the FAILING events/s gate: records with fewer
+/// simulated events than this are never judged — a per-event rate over
+/// a handful of dispatches is dominated by process startup noise. The
+/// kernel micro-bench scenarios all clear this comfortably.
+const EPS_GATE_MIN_EVENTS: f64 = 50_000.0;
+
 /// Compare per-exhibit wall times in `current` against the best
-/// (minimum) wall time per exhibit across the `baselines`. Returns one
-/// message per flagged record.
-fn bench_gate(current: &Path, baselines: &[PathBuf], ratio: f64) -> Result<Vec<String>, String> {
+/// (minimum) wall time per exhibit across the `baselines`, and sweep
+/// events/s against the best (maximum) baseline. Returns
+/// `(warn_flags, eps_failures)`: wall-time regressions (and, when
+/// `eps_gate` is `None`, throughput regressions at `ratio`) are
+/// warn-only flags; with `eps_gate = Some(r)` the throughput check is
+/// instead judged at ratio `r` over the [`EPS_GATE_MIN_EVENTS`] noise
+/// floor and its findings land in the failing bucket.
+fn bench_gate(
+    current: &Path,
+    baselines: &[PathBuf],
+    ratio: f64,
+    eps_gate: Option<f64>,
+) -> Result<(Vec<String>, Vec<String>), String> {
     let mut base: BTreeMap<String, f64> = BTreeMap::new();
     let mut base_eps: BTreeMap<String, f64> = BTreeMap::new();
     for b in baselines {
-        for (key, wall, eps) in parse_bench_jsonl(b)? {
+        for (key, wall, eps, _events) in parse_bench_jsonl(b)? {
             if let Some(eps) = eps {
                 let e = base_eps.entry(key.clone()).or_insert(eps);
                 if eps > *e {
@@ -212,14 +257,14 @@ fn bench_gate(current: &Path, baselines: &[PathBuf], ratio: f64) -> Result<Vec<S
     // Best current wall per key too: a warm-cache rerun in the same
     // file must not be penalized by its cold predecessor. For sweep
     // records the best (max) events/s is tracked alongside, together
-    // with the wall of the record that achieved it.
+    // with the wall and event count of the record that achieved it.
     let mut cur: BTreeMap<String, f64> = BTreeMap::new();
-    let mut cur_eps: BTreeMap<String, (f64, f64)> = BTreeMap::new();
-    for (key, wall, eps) in parse_bench_jsonl(current)? {
+    let mut cur_eps: BTreeMap<String, (f64, f64, f64)> = BTreeMap::new();
+    for (key, wall, eps, events) in parse_bench_jsonl(current)? {
         if let Some(eps) = eps {
-            let e = cur_eps.entry(key.clone()).or_insert((eps, wall));
+            let e = cur_eps.entry(key.clone()).or_insert((eps, wall, events));
             if eps > e.0 {
-                *e = (eps, wall);
+                *e = (eps, wall, events);
             }
         }
         let e = cur.entry(key).or_insert(wall);
@@ -228,6 +273,7 @@ fn bench_gate(current: &Path, baselines: &[PathBuf], ratio: f64) -> Result<Vec<S
         }
     }
     let mut flags = Vec::new();
+    let mut failures = Vec::new();
     for (key, wall) in &cur {
         let Some(b) = base.get(key) else { continue };
         if *wall >= BENCH_FLOOR_S && *wall > b * ratio {
@@ -237,32 +283,48 @@ fn bench_gate(current: &Path, baselines: &[PathBuf], ratio: f64) -> Result<Vec<S
             ));
         }
     }
-    // Throughput gate, same warn-only policy: a sweep whose simulated
-    // events/s dropped by more than `ratio` against the best baseline
-    // is flagged. Kernel-dispatch regressions show up here even when
-    // wall time hides behind cache hits or a smaller grid, because the
-    // metric is normalized per event. The absolute wall floor applies
-    // to the record being judged, for the same noise reasons as above.
-    for (key, (eps, wall)) in &cur_eps {
+    // Throughput gate: a sweep whose simulated events/s dropped by more
+    // than the allowed ratio against the best baseline is flagged.
+    // Kernel-dispatch regressions show up here even when wall time
+    // hides behind cache hits or a smaller grid, because the metric is
+    // normalized per event. Warn-only at `ratio` by default; with
+    // `eps_gate` the check fails the run at that (generous) ratio.
+    let eps_ratio = eps_gate.unwrap_or(ratio);
+    for (key, (eps, wall, events)) in &cur_eps {
         let Some(b) = base_eps.get(key) else { continue };
-        if *wall >= BENCH_FLOOR_S && *eps * ratio < *b {
-            flags.push(format!(
-                "{key}: {:.2}M events/s vs baseline {:.2}M ({:.1}x slower > allowed {ratio}x)",
+        let judged = match eps_gate {
+            // The failing gate's floor is event-count based: a rate is
+            // only trustworthy over enough dispatches.
+            Some(_) => *events >= EPS_GATE_MIN_EVENTS,
+            None => *wall >= BENCH_FLOOR_S,
+        };
+        if judged && *eps * eps_ratio < *b {
+            let msg = format!(
+                "{key}: {:.2}M events/s vs best on record {:.2}M ({:.1}x slower > allowed {eps_ratio}x)",
                 eps / 1e6,
                 b / 1e6,
                 b / eps
-            ));
+            );
+            if eps_gate.is_some() {
+                failures.push(msg);
+            } else {
+                flags.push(msg);
+            }
         }
     }
-    Ok(flags)
+    Ok((flags, failures))
 }
 
 /// Minimal JSONL field extraction: each line is one flat record; we
 /// need its label (`"exhibit"` or `"label"`, prefixed with `kind` so
 /// sweep and regen records never collide), its `wall_s`, and — for
 /// sweep records — its `events_per_sec` (None on regen records, which
-/// carry no event counter).
-fn parse_bench_jsonl(path: &Path) -> Result<Vec<(String, f64, Option<f64>)>, String> {
+/// carry no event counter) plus the event count behind that rate (0
+/// when absent), which the failing events/s gate uses as its noise
+/// floor.
+type BenchRecord = (String, f64, Option<f64>, f64);
+
+fn parse_bench_jsonl(path: &Path) -> Result<Vec<BenchRecord>, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("bench gate: cannot read {}: {e}", path.display()))?;
     let mut out = Vec::new();
@@ -280,7 +342,8 @@ fn parse_bench_jsonl(path: &Path) -> Result<Vec<(String, f64, Option<f64>)>, Str
             continue;
         };
         let eps = json_num_field(line, "events_per_sec");
-        out.push((format!("{kind}:{label}"), wall, eps));
+        let events = json_num_field(line, "events").unwrap_or(0.0);
+        out.push((format!("{kind}:{label}"), wall, eps, events));
     }
     Ok(out)
 }
@@ -344,7 +407,7 @@ mod tests {
             ),
         )
         .unwrap();
-        let flags = bench_gate(&cur, std::slice::from_ref(&base), 8.0).unwrap();
+        let (flags, _) = bench_gate(&cur, std::slice::from_ref(&base), 8.0, None).unwrap();
         assert_eq!(flags.len(), 1, "{flags:?}");
         assert!(flags[0].starts_with("regen:slow"), "{}", flags[0]);
         // A second, faster record for the same exhibit rescues it.
@@ -356,7 +419,7 @@ mod tests {
             ),
         )
         .unwrap();
-        assert!(bench_gate(&cur, &[base], 8.0).unwrap().is_empty());
+        assert!(bench_gate(&cur, &[base], 8.0, None).unwrap().0.is_empty());
         let _ = std::fs::remove_dir_all(dir);
     }
 
@@ -387,8 +450,12 @@ mod tests {
             ),
         )
         .unwrap();
-        let flags = bench_gate(&cur, std::slice::from_ref(&base), 8.0).unwrap();
+        let (flags, fails) = bench_gate(&cur, std::slice::from_ref(&base), 8.0, None).unwrap();
         assert_eq!(flags.len(), 1, "{flags:?}");
+        assert!(
+            fails.is_empty(),
+            "warn-only mode must never fail: {fails:?}"
+        );
         assert!(
             flags[0].starts_with("sweep:fig2_ljs") && flags[0].contains("events/s"),
             "{}",
@@ -403,7 +470,57 @@ mod tests {
             ),
         )
         .unwrap();
-        assert!(bench_gate(&cur, &[base], 8.0).unwrap().is_empty());
+        assert!(bench_gate(&cur, &[base], 8.0, None).unwrap().0.is_empty());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn eps_gate_fails_regressions_over_the_event_floor() {
+        let dir = std::env::temp_dir().join("elanib-eps-gate-fail-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let base = dir.join("base.json");
+        let cur = dir.join("cur.json");
+        std::fs::write(
+            &base,
+            concat!(
+                "{\"kind\":\"sweep\",\"label\":\"fig2_ljs\",\"events\":2000000,\"wall_s\":0.5,\"events_per_sec\":4000000.0}\n",
+                "{\"kind\":\"sweep\",\"label\":\"kernel_timers\",\"events\":1000000,\"wall_s\":0.1,\"events_per_sec\":10000000.0}\n",
+            ),
+        )
+        .unwrap();
+        std::fs::write(
+            &cur,
+            concat!(
+                // 2.5x below best on record, plenty of events -> FAILS.
+                "{\"kind\":\"sweep\",\"label\":\"fig2_ljs\",\"events\":2000000,\"wall_s\":1.25,\"events_per_sec\":1600000.0}\n",
+                // Short wall but above the event floor: the failing
+                // gate judges it (wall floor doesn't apply) — within
+                // 2x, so clean.
+                "{\"kind\":\"sweep\",\"label\":\"kernel_timers\",\"events\":1000000,\"wall_s\":0.12,\"events_per_sec\":8000000.0}\n",
+                // Huge drop but under the event floor -> ignored.
+                "{\"kind\":\"sweep\",\"label\":\"fig2_ljs\",\"events\":100,\"wall_s\":1.0,\"events_per_sec\":100.0}\n",
+            ),
+        )
+        .unwrap();
+        // Best-per-key semantics: the 100-event record can't drag down
+        // fig2_ljs because the 1.6M record is the best current one —
+        // and that one is a genuine 2.5x regression.
+        let (flags, fails) = bench_gate(&cur, std::slice::from_ref(&base), 8.0, Some(2.0)).unwrap();
+        assert!(flags.is_empty(), "{flags:?}");
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(
+            fails[0].starts_with("sweep:fig2_ljs") && fails[0].contains("2.5x slower"),
+            "{}",
+            fails[0]
+        );
+        // Recovered throughput -> the failing gate passes clean.
+        std::fs::write(
+            &cur,
+            "{\"kind\":\"sweep\",\"label\":\"fig2_ljs\",\"events\":2000000,\"wall_s\":0.48,\"events_per_sec\":4100000.0}\n",
+        )
+        .unwrap();
+        let (_, fails) = bench_gate(&cur, &[base], 8.0, Some(2.0)).unwrap();
+        assert!(fails.is_empty(), "{fails:?}");
         let _ = std::fs::remove_dir_all(dir);
     }
 }

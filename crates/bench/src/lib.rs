@@ -7,6 +7,7 @@
 
 pub mod conformance;
 pub mod perf_report;
+pub mod rotate;
 
 use std::fs;
 use std::path::PathBuf;
@@ -209,9 +210,17 @@ pub fn md_figure_table(
         .iter()
         .flat_map(|&(net, ppn)| node_counts.iter().map(move |&n| (net, ppn, n)))
         .collect();
-    let (times, stats) = elanib_core::sweep_with_stats(&jobs, |&(net, ppn, nodes)| {
-        md_step_time(net, problem, nodes, ppn)
-    });
+    // Cost hints for guided placement: an MD point's event count grows
+    // with its rank count (nodes × ppn), so the big end of the grid is
+    // scheduled first / packed evenly instead of round-robin'd.
+    let hints: Vec<u64> = jobs
+        .iter()
+        .map(|&(_, ppn, nodes)| (nodes * ppn) as u64)
+        .collect();
+    let (times, stats) =
+        elanib_core::sweep_guided_with_stats(&jobs, &hints, |&(net, ppn, nodes)| {
+            md_step_time(net, problem, nodes, ppn)
+        });
     // series[s][i] = (s/step, efficiency) at node_counts[i].
     let series: Vec<Vec<(f64, f64)>> = (0..SERIES.len())
         .map(|s| {
@@ -349,9 +358,13 @@ pub fn faults_latency_table() -> (TextTable, elanib_core::SweepStats) {
         })
         .collect();
     let plans_ref = &plans;
-    let (points, stats) = elanib_core::sweep_with_stats(&jobs, |&(net, ri, bytes)| {
-        fault_pingpong(net, bytes, iters, &plans_ref[ri])
-    });
+    // Guided placement hint: segment count dominates a point's event
+    // cost, so the payload size is a faithful analytic proxy.
+    let hints: Vec<u64> = jobs.iter().map(|&(_, _, b)| b).collect();
+    let (points, stats) =
+        elanib_core::sweep_guided_with_stats(&jobs, &hints, |&(net, ri, bytes)| {
+            fault_pingpong(net, bytes, iters, &plans_ref[ri])
+        });
     // points[net_idx * rates*sizes + ri * sizes + si]
     let idx = |net: usize, ri: usize, si: usize| {
         net * FAULT_RATES.len() * FAULT_SIZES.len() + ri * FAULT_SIZES.len() + si

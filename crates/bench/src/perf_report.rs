@@ -29,8 +29,10 @@ use crate::conformance::{json_num_field, json_str_field};
 const BUCKETS: [&str; 4] = ["poll", "timer", "call", "wake"];
 
 /// Buckets with fewer events than this are not cost-gated: per-event
-/// cost over a handful of dispatches is process noise.
-const GATE_MIN_EVENTS: f64 = 10_000.0;
+/// cost over a handful of dispatches is process noise. Shared with the
+/// BENCH rotation so it preserves exactly the records this gate
+/// considers "best".
+pub(crate) const GATE_MIN_EVENTS: f64 = 10_000.0;
 
 /// One `{"kind":"sweep"}` or `{"kind":"regen"}` record.
 #[derive(Clone, Debug, Default)]

@@ -29,4 +29,7 @@ pub use extrapolate::{figure8_series, EfficiencyTrend};
 pub use inventory::{exhibit, Exhibit, EXHIBITS};
 pub use platform::table1;
 pub use report::{f, TextTable};
-pub use sweep::{sweep, sweep_with_opts, sweep_with_stats, PointResult, SweepOpts, SweepStats};
+pub use sweep::{
+    guided_placement, sweep, sweep_guided, sweep_guided_with_stats, sweep_with_opts,
+    sweep_with_stats, PointResult, SweepOpts, SweepStats,
+};

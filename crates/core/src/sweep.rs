@@ -86,12 +86,17 @@ pub struct SweepStats {
     /// Points that panicked and were isolated (always 0 unless the
     /// sweep ran with [`SweepOpts::isolate_panics`]).
     pub failed: usize,
-    /// `Some(k)` when `ELANIB_DES_SHARDS=k` forced static round-robin
-    /// shard placement; `None` under ordinary atomic work claiming.
+    /// `Some(k)` when `ELANIB_DES_SHARDS=k` forced static shard
+    /// placement; `None` under ordinary atomic work claiming.
     pub shards: Option<usize>,
     /// Per-worker breakdown, indexed by worker (one entry, worker 0,
     /// in the serial inline mode).
     pub per_worker: Vec<WorkerStat>,
+    /// Kernel events dispatched by each item's own simulation, in item
+    /// order — the per-point cost feedback [`sweep_guided_with_stats`]
+    /// hints are calibrated from. Not serialized into the JSONL record
+    /// (per-worker rollups cover the balance evidence).
+    pub per_item_events: Vec<u64>,
 }
 
 impl SweepStats {
@@ -115,6 +120,8 @@ impl SweepStats {
         self.threads = self.threads.max(other.threads);
         self.failed += other.failed;
         self.shards = self.shards.or(other.shards);
+        self.per_item_events
+            .extend_from_slice(&other.per_item_events);
         // Merge worker breakdowns by worker index (the pools of the
         // absorbed sweeps map onto the same OS-thread slots).
         for w in &other.per_worker {
@@ -212,6 +219,43 @@ pub fn sweep_threads(n_items: usize) -> usize {
     configured.max(1).min(n_items.max(1))
 }
 
+/// `ELANIB_GUIDED_PLACEMENT`: cost-guided sweep placement for
+/// [`sweep_guided_with_stats`], on by default. `0` / `off` ignores the
+/// hints and falls back to plain order (atomic claiming) or static
+/// round-robin (shard mode) — the escape hatch the placement A/B
+/// records diff against. Read per call (tests flip it mid-process).
+pub fn guided_placement() -> bool {
+    !matches!(
+        std::env::var("ELANIB_GUIDED_PLACEMENT").as_deref(),
+        Ok("0") | Ok("off")
+    )
+}
+
+/// Item indices in longest-processing-time order: descending cost
+/// hint, ties broken by the lower index — fully deterministic.
+fn lpt_order(hints: &[u64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..hints.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(hints[i]), i));
+    order
+}
+
+/// Deterministic LPT assignment of items onto `threads` workers:
+/// biggest hint first, each onto the least-loaded worker (ties to the
+/// lowest worker index) — the classic greedy makespan bound, against
+/// round-robin's adversarial worst case. Computed identically on
+/// every run, so shard-mode placement stays a pure function of the
+/// hints.
+fn lpt_assign(hints: &[u64], threads: usize) -> Vec<Vec<usize>> {
+    let mut assign: Vec<Vec<usize>> = vec![Vec::new(); threads];
+    let mut load = vec![0u64; threads];
+    for i in lpt_order(hints) {
+        let w = (0..threads).min_by_key(|&w| (load[w], w)).unwrap();
+        load[w] = load[w].saturating_add(hints[i].max(1));
+        assign[w].push(i);
+    }
+    assign
+}
+
 /// Evaluate `f` over every item, in parallel, returning results in
 /// item order. See the [module docs](self) for the execution model.
 ///
@@ -235,20 +279,60 @@ where
 {
     let shards = elanib_simcore::des_shards();
     let threads = sweep_threads(items.len());
-    sweep_on_pool(items, f, threads, shards)
+    sweep_on_pool(items, f, threads, shards, None)
+}
+
+/// [`sweep_with_stats`] with per-item cost hints guiding placement
+/// (`hints[i]` ∝ the expected work of `items[i]`: kernel events from a
+/// previous run's [`SweepStats::per_item_events`], or an analytic
+/// proxy like the point's rank count). Big jobs are claimed first
+/// (atomic mode) or LPT-packed onto workers (static shard mode), so a
+/// grid whose largest point dwarfs the rest no longer serializes
+/// behind a nearly-drained pool. Placement never affects results —
+/// every item is still its own single-threaded sim, returned in item
+/// order — and `ELANIB_GUIDED_PLACEMENT=0` falls back to unhinted
+/// placement.
+pub fn sweep_guided_with_stats<I, T, F>(items: &[I], hints: &[u64], f: F) -> (Vec<T>, SweepStats)
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    assert_eq!(
+        hints.len(),
+        items.len(),
+        "one cost hint per sweep item required"
+    );
+    let shards = elanib_simcore::des_shards();
+    let threads = sweep_threads(items.len());
+    let hints = guided_placement().then_some(hints);
+    sweep_on_pool(items, f, threads, shards, hints)
+}
+
+/// [`sweep_guided_with_stats`] without the stats.
+pub fn sweep_guided<I, T, F>(items: &[I], hints: &[u64], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(&I) -> T + Sync,
+{
+    sweep_guided_with_stats(items, hints, f).0
 }
 
 /// The engine under [`sweep_with_stats`]: explicit pool width and
-/// placement policy. `shards = Some(_)` selects static round-robin
-/// placement — worker `w` runs items `w, w+threads, w+2·threads, …` —
-/// so the item→thread mapping is deterministic; `None` selects atomic
-/// work claiming. Separated out (and kept crate-visible) so tests can
-/// drive both placements without mutating process-global environment.
+/// placement policy. `shards = Some(_)` selects static placement —
+/// round-robin (worker `w` runs items `w, w+threads, w+2·threads, …`)
+/// or, with cost `hints`, deterministic LPT packing — so the
+/// item→thread mapping is a pure function of the inputs; `None`
+/// selects atomic work claiming (with `hints`, claimed biggest-first).
+/// Separated out (and kept crate-visible) so tests can drive every
+/// placement without mutating process-global environment.
 pub(crate) fn sweep_on_pool<I, T, F>(
     items: &[I],
     f: F,
     threads: usize,
     shards: Option<usize>,
+    hints: Option<&[u64]>,
 ) -> (Vec<T>, SweepStats)
 where
     I: Sync,
@@ -258,11 +342,14 @@ where
     let t0 = Instant::now();
     let events = AtomicU64::new(0);
     let done = AtomicUsize::new(0);
+    let per_item: Vec<AtomicU64> = (0..items.len()).map(|_| AtomicU64::new(0)).collect();
 
     let run_one = |i: usize| -> T {
         let ev0 = elanib_simcore::thread_events();
         let out = f(&items[i]);
-        events.fetch_add(elanib_simcore::thread_events() - ev0, Ordering::Relaxed);
+        let delta = elanib_simcore::thread_events() - ev0;
+        per_item[i].store(delta, Ordering::Relaxed);
+        events.fetch_add(delta, Ordering::Relaxed);
         let d = done.fetch_add(1, Ordering::Relaxed) + 1;
         // Live heartbeat for long sweeps (no-op unless ELANIB_PROGRESS
         // is set; rate-limited inside, fields built lazily).
@@ -295,6 +382,17 @@ where
     } else {
         let next = AtomicUsize::new(0);
         let static_rr = shards.is_some();
+        // Guided placement is resolved once, up front, into plain
+        // data: an LPT packing for the static pool, a biggest-first
+        // claim order for the dynamic one. Workers only read it.
+        let assignment: Option<Vec<Vec<usize>>> = match (static_rr, hints) {
+            (true, Some(h)) => Some(lpt_assign(h, threads)),
+            _ => None,
+        };
+        let claim_order: Option<Vec<usize>> = match (static_rr, hints) {
+            (false, Some(h)) => Some(lpt_order(h)),
+            _ => None,
+        };
         let mut slots: Vec<Option<T>> = Vec::with_capacity(items.len());
         slots.resize_with(items.len(), || None);
 
@@ -302,11 +400,19 @@ where
             let next = &next;
             let run_one = &run_one;
             let worker_stat = &worker_stat;
+            let assignment = &assignment;
+            let claim_order = &claim_order;
             move || {
                 let started = Instant::now();
                 let ev0 = elanib_simcore::thread_events();
                 let mut out: Vec<(usize, T)> = Vec::new();
-                if static_rr {
+                if let Some(assign) = assignment {
+                    // Guided static placement: this shard's items come
+                    // from the precomputed LPT packing.
+                    for &i in &assign[w] {
+                        out.push((i, run_one(i)));
+                    }
+                } else if static_rr {
                     // Deterministic placement: this shard's items are a
                     // pure function of its index.
                     let mut i = w;
@@ -316,10 +422,13 @@ where
                     }
                 } else {
                     loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
+                        let n = next.fetch_add(1, Ordering::Relaxed);
+                        if n >= items.len() {
                             break;
                         }
+                        // With hints the shared counter walks the LPT
+                        // order, so the biggest jobs are claimed first.
+                        let i = claim_order.as_ref().map_or(n, |o| o[n]);
                         out.push((i, run_one(i)));
                     }
                 }
@@ -364,6 +473,7 @@ where
         failed: 0,
         shards,
         per_worker,
+        per_item_events: per_item.into_iter().map(AtomicU64::into_inner).collect(),
     };
     (results, stats)
 }
@@ -542,6 +652,7 @@ mod tests {
                 events: 100,
                 busy: Duration::from_millis(9),
             }],
+            per_item_events: vec![60, 40],
         };
         let b = SweepStats {
             jobs: 3,
@@ -564,6 +675,7 @@ mod tests {
                     busy: Duration::from_millis(3),
                 },
             ],
+            per_item_events: vec![20, 10, 20],
         };
         a.absorb(&b);
         assert_eq!(a.jobs, 5);
@@ -578,13 +690,14 @@ mod tests {
         assert_eq!(a.per_worker[0].events, 120);
         assert_eq!(a.per_worker[1].worker, 1);
         assert_eq!(a.per_worker[1].events, 30);
+        assert_eq!(a.per_item_events, vec![60, 40, 20, 10, 20]);
     }
 
     #[test]
     fn per_worker_stats_account_for_all_jobs_and_events() {
         let items: Vec<(u64, u32)> = (0..20).map(|i| (i, (i % 5) as u32 + 1)).collect();
         for (threads, shards) in [(1usize, None), (4, None), (4, Some(4))] {
-            let (_, stats) = sweep_on_pool(&items, toy_sim, threads, shards);
+            let (_, stats) = sweep_on_pool(&items, toy_sim, threads, shards, None);
             assert_eq!(stats.per_worker.len(), threads);
             let jobs: u64 = stats.per_worker.iter().map(|w| w.jobs).sum();
             assert_eq!(jobs, items.len() as u64, "threads={threads}");
@@ -601,12 +714,12 @@ mod tests {
         let items: Vec<(u64, u32)> = (0..23).map(|i| (i, (i % 5) as u32 + 1)).collect();
         let serial: Vec<_> = items.iter().map(toy_sim).collect();
         for k in [2usize, 3, 4] {
-            let (out, stats) = sweep_on_pool(&items, toy_sim, k, Some(k));
+            let (out, stats) = sweep_on_pool(&items, toy_sim, k, Some(k), None);
             assert_eq!(out, serial, "k={k}");
             assert_eq!(stats.shards, Some(k));
             assert_eq!(stats.threads, k);
         }
-        let (out, stats) = sweep_on_pool(&items, toy_sim, 3, None);
+        let (out, stats) = sweep_on_pool(&items, toy_sim, 3, None, None);
         assert_eq!(out, serial);
         assert_eq!(stats.shards, None);
     }
@@ -640,6 +753,7 @@ mod tests {
                 },
                 threads,
                 shards,
+                None,
             );
             agg.into_inner().unwrap().to_json()
         };
@@ -693,5 +807,71 @@ mod tests {
         let flat: Vec<u32> = out.into_iter().map(|r| r.ok().unwrap()).collect();
         assert_eq!(flat, vec![1, 2, 3, 4, 5, 6]);
         assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn lpt_order_is_descending_with_index_ties() {
+        assert_eq!(lpt_order(&[3, 9, 9, 1, 7]), vec![1, 2, 4, 0, 3]);
+        assert_eq!(lpt_order(&[5, 5, 5]), vec![0, 1, 2]);
+        assert!(lpt_order(&[]).is_empty());
+    }
+
+    #[test]
+    fn lpt_assign_balances_an_adversarial_round_robin_case() {
+        // Round-robin over [big, small, big, small] with 2 workers puts
+        // both bigs on worker 0; LPT splits them one per worker.
+        let hints = [100u64, 1, 100, 1];
+        let assign = lpt_assign(&hints, 2);
+        let load = |w: &Vec<usize>| -> u64 { w.iter().map(|&i| hints[i]).sum() };
+        assert_eq!(load(&assign[0]), 101);
+        assert_eq!(load(&assign[1]), 101);
+        // Every item placed exactly once.
+        let mut all: Vec<usize> = assign.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+        // Deterministic: recomputing yields the identical packing.
+        assert_eq!(assign, lpt_assign(&hints, 2));
+        // Zero hints count as 1 so empty workers still round-robin.
+        let z = lpt_assign(&[0, 0, 0, 0], 2);
+        assert_eq!(z.iter().map(Vec::len).collect::<Vec<_>>(), vec![2, 2]);
+    }
+
+    #[test]
+    fn guided_placement_matches_unguided_results() {
+        // Placement is pure scheduling: hinted pools (both modes) must
+        // return byte-identical item-ordered results, and the per-item
+        // event feedback must match the serial reference per index.
+        let items: Vec<(u64, u32)> = (0..17).map(|i| (i, (i % 6) as u32 + 1)).collect();
+        let serial: Vec<_> = items.iter().map(toy_sim).collect();
+        let serial_events: Vec<u64> = serial.iter().map(|&(_, e)| e).collect();
+        let hints: Vec<u64> = (0..items.len() as u64).rev().collect();
+        for shards in [None, Some(3)] {
+            let (out, stats) = sweep_on_pool(&items, toy_sim, 3, shards, Some(&hints));
+            assert_eq!(out, serial, "shards={shards:?}");
+            assert_eq!(stats.per_item_events, serial_events, "shards={shards:?}");
+            let jobs: u64 = stats.per_worker.iter().map(|w| w.jobs).sum();
+            assert_eq!(jobs, items.len() as u64);
+        }
+    }
+
+    #[test]
+    fn sweep_guided_with_stats_runs_and_reports_per_item_events() {
+        let items: Vec<(u64, u32)> = (0..9).map(|i| (i, (i % 3) as u32 + 1)).collect();
+        let hints: Vec<u64> = items.iter().map(|&(_, n)| n as u64 * 10).collect();
+        let (out, stats) = sweep_guided_with_stats(&items, &hints, toy_sim);
+        assert_eq!(out, items.iter().map(toy_sim).collect::<Vec<_>>());
+        assert_eq!(stats.per_item_events.len(), items.len());
+        let total: u64 = stats.per_item_events.iter().sum();
+        assert_eq!(
+            total, stats.events,
+            "per-item feedback must sum to the total"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one cost hint per sweep item")]
+    fn guided_sweep_rejects_mismatched_hints() {
+        let items = [(1u64, 1u32), (2, 1)];
+        sweep_guided(&items, &[5], toy_sim);
     }
 }

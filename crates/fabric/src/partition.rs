@@ -109,13 +109,41 @@ impl Partition {
                 .expect("non-empty cut"),
         )
     }
+
+    /// Per-directed-pair cut lookahead under `params`: entry `[s][d]`
+    /// is the minimum propagation delay over the cut cables joining
+    /// shards `s` and `d` *directly*, `None` when no cut cable joins
+    /// them (influence must then route through intermediate shards —
+    /// which is exactly what lets the adaptive engine grant those
+    /// pairs horizons beyond [`Partition::lookahead`]'s global
+    /// minimum). Cables are bidirectional, so the matrix is symmetric;
+    /// the diagonal is `None`. Feed it to
+    /// [`elanib_simcore::Lookahead::Pairwise`] /
+    /// [`elanib_simcore::run_sharded_with`].
+    pub fn pair_lookahead(&self, topo: &Topology, params: &FabricParams) -> Vec<Vec<Option<Dur>>> {
+        let k = self.n_shards;
+        let mut pairs: Vec<Vec<Option<Dur>>> = vec![vec![None; k]; k];
+        for &i in &self.cut_edges {
+            let e = &topo.edges[i];
+            let (a, b) = (
+                self.shard_of[topo.vertex_index(e.a)],
+                self.shard_of[topo.vertex_index(e.b)],
+            );
+            let delay = params.link.propagation;
+            for (s, d) in [(a, b), (b, a)] {
+                let cell = &mut pairs[s][d];
+                *cell = Some(cell.map_or(delay, |c| c.min(delay)));
+            }
+        }
+        pairs
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::params::{elan4, infiniband_4x};
-    use elanib_simcore::{run_sharded, Outbox, ShardModel, ShardMsg, Sim};
+    use elanib_simcore::{Outbox, ShardModel, ShardMsg, Sim};
     use std::cell::RefCell;
     use std::collections::BTreeMap;
     use std::rc::Rc;
@@ -168,6 +196,47 @@ mod tests {
             Some(infiniband_4x().link.propagation)
         );
         assert_eq!(p.lookahead(&elan4()), Some(elan4().link.propagation));
+    }
+
+    #[test]
+    fn pair_lookahead_mirrors_the_cut() {
+        let t = Topology::fat_tree(4, 3, 64);
+        let params = infiniband_4x();
+        for k in [2usize, 4, 8] {
+            let p = Partition::contiguous(&t, k);
+            let pairs = p.pair_lookahead(&t, &params);
+            assert_eq!(pairs.len(), k);
+            // Which shard pairs a cut cable joins, recomputed directly.
+            let mut joined = vec![vec![false; k]; k];
+            for &i in &p.cut_edges {
+                let e = &t.edges[i];
+                let (a, b) = (
+                    p.shard_of[t.vertex_index(e.a)],
+                    p.shard_of[t.vertex_index(e.b)],
+                );
+                joined[a][b] = true;
+                joined[b][a] = true;
+            }
+            let mut min_pair: Option<Dur> = None;
+            for s in 0..k {
+                assert_eq!(pairs[s].len(), k);
+                assert_eq!(pairs[s][s], None, "diagonal must stay empty (k={k})");
+                for d in 0..k {
+                    assert_eq!(pairs[s][d], pairs[d][s], "cables are bidirectional");
+                    match pairs[s][d] {
+                        Some(v) => {
+                            assert!(joined[s][d], "pair ({s},{d}) declared without a cut cable");
+                            assert_eq!(v, params.link.propagation);
+                            min_pair = Some(min_pair.map_or(v, |m| m.min(v)));
+                        }
+                        None => assert!(!joined[s][d], "cut cable ({s},{d}) not declared"),
+                    }
+                }
+            }
+            // The pessimistic collapse of the matrix is exactly the
+            // global lookahead the old scheme used.
+            assert_eq!(min_pair, p.lookahead(&params), "k={k}");
+        }
     }
 
     #[test]
@@ -282,11 +351,10 @@ mod tests {
 
     #[test]
     fn partitioned_ring_is_identical_serial_and_sharded() {
+        use elanib_simcore::{run_sharded_with, Lookahead};
         let t = Topology::fat_tree(4, 3, 64);
         let params = elan4();
-        let run = |k: usize| {
-            let part = Partition::contiguous(&t, k);
-            let lookahead = part.lookahead(&params).unwrap_or(params.link.propagation);
+        let run = |k: usize, look: Lookahead| {
             let shards: Vec<(u64, RingModel)> = (0..k)
                 .map(|_| {
                     (
@@ -300,7 +368,7 @@ mod tests {
                     )
                 })
                 .collect();
-            let (outs, stats) = run_sharded(lookahead, shards);
+            let (outs, stats) = run_sharded_with(look, shards);
             let mut merged: BTreeMap<usize, u64> = BTreeMap::new();
             let mut end = 0u64;
             for (map, t_end) in outs {
@@ -311,13 +379,50 @@ mod tests {
             }
             (merged, end, stats)
         };
-        let (serial, serial_end, _) = run(1);
+        let uniform = |k: usize| {
+            let part = Partition::contiguous(&t, k);
+            Lookahead::Uniform(part.lookahead(&params).unwrap_or(params.link.propagation))
+        };
+        // The ring model's traffic crosses only ring-adjacent endpoint
+        // blocks with one cable propagation of delay, so the sparse
+        // pairwise spec it justifies declares exactly those pairs. (It
+        // abstracts the fabric to endpoint-to-endpoint hops, so the
+        // spec bounds the *model's* influence graph, not the physical
+        // cut matrix — which would route block-to-block influence
+        // through the spine-owning shard.)
+        let ring_pairs = |k: usize| -> Lookahead {
+            let pairs: Vec<Vec<Option<Dur>>> = (0..k)
+                .map(|s| {
+                    (0..k)
+                        .map(|d| {
+                            (((s + 1) % k == d) || ((d + 1) % k == s))
+                                .then_some(params.link.propagation)
+                        })
+                        .collect()
+                })
+                .collect();
+            Lookahead::Pairwise(pairs)
+        };
+        let (serial, serial_end, _) = run(1, uniform(1));
         assert!(!serial.is_empty());
         for k in [2usize, 4] {
-            let (sharded, end, stats) = run(k);
+            let (sharded, end, stats) = run(k, uniform(k));
             assert_eq!(sharded, serial, "arrival counts diverged at k={k}");
             assert_eq!(end, serial_end, "final clock diverged at k={k}");
             assert!(stats.messages > 0, "a 4-ary tree split must cross shards");
+            assert!(!stats.adaptive);
+            // Adaptive per-pair horizons: identical observations, and
+            // the sparse ring spec must not need more barrier rounds.
+            let (ada, ada_end, ada_stats) = run(k, ring_pairs(k));
+            assert_eq!(ada, serial, "adaptive arrivals diverged at k={k}");
+            assert_eq!(ada_end, serial_end, "adaptive clock diverged at k={k}");
+            assert!(ada_stats.adaptive, "pairwise spec must engage adaptive");
+            assert!(
+                ada_stats.rounds <= stats.rounds,
+                "adaptive rounds {} exceed uniform {} at k={k}",
+                ada_stats.rounds,
+                stats.rounds
+            );
         }
     }
 }

@@ -181,7 +181,8 @@ impl ElanWorld {
         Fut: std::future::Future<Output = ()> + 'static,
     {
         for r in 0..self.n_ranks() {
-            self.sim.spawn(format!("{name}[elan:{r}]"), f(self.comm(r)));
+            self.sim
+                .spawn_fmt(format_args!("{name}[elan:{r}]"), f(self.comm(r)));
         }
     }
 }

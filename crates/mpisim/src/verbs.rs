@@ -355,10 +355,11 @@ impl IbWorld {
             let setup = self.net.connection_setup_time(r);
             let sim = self.sim.clone();
             let fut = f(comm.clone());
-            self.sim.spawn(format!("{name}[ib:{r}]"), async move {
-                comm.node().cpu_work(&sim, comm.cpu(), setup).await;
-                fut.await;
-            });
+            self.sim
+                .spawn_fmt(format_args!("{name}[ib:{r}]"), async move {
+                    comm.node().cpu_work(&sim, comm.cpu(), setup).await;
+                    fut.await;
+                });
         }
     }
 }

@@ -102,6 +102,11 @@ pub struct IbNet<M> {
     hcas: Vec<Rc<Hca<M>>>,
     /// rank -> fabric endpoint (node id).
     rank_ep: Vec<usize>,
+    /// Shared never-written error slot handed to every [`PostHandle`]
+    /// when the fabric has no fault plan. Transport errors only arise
+    /// from fault injection, so on the fault-free hot path all posts
+    /// can alias one slot instead of allocating an `Rc` per WQE.
+    no_err: Rc<RefCell<Option<TransportError>>>,
 }
 
 impl<M: 'static> IbNet<M> {
@@ -147,6 +152,7 @@ impl<M: 'static> IbNet<M> {
             ports,
             hcas,
             rank_ep,
+            no_err: Rc::new(RefCell::new(None)),
         }
     }
 
@@ -214,7 +220,13 @@ impl<M: 'static> IbNet<M> {
             tr.add("hca.posts", 1);
             tr.add("hca.post_bytes", bytes);
         }
-        let err: Rc<RefCell<Option<TransportError>>> = Rc::new(RefCell::new(None));
+        // A dedicated per-WQE error slot is only needed when faults can
+        // actually produce one; otherwise alias the shared empty slot.
+        let err: Rc<RefCell<Option<TransportError>>> = if self.fabric.faults().is_some() {
+            Rc::new(RefCell::new(None))
+        } else {
+            self.no_err.clone()
+        };
         let err2 = err.clone();
         launch(
             sim,

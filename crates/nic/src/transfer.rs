@@ -356,127 +356,132 @@ pub fn launch(
     let fabric = fabric.clone();
     let src_node = src_node.clone();
     let dst_node = dst_node.clone();
-    sim.spawn(format!("xfer {src_ep}->{dst_ep} ({bytes}B)"), async move {
-        let sim = sim2;
-        sim.sleep_until(start_at).await;
-        // Per-transaction DMA setup before the source engine streams.
-        sim.sleep(src_node.params.dma_setup).await;
-        if src_ep == dst_ep {
-            // NIC loopback (how both 2004 MPI stacks moved intra-node
-            // messages by default): the payload crosses the shared
-            // PCI-X bus twice — down to the NIC and back up — which is
-            // exactly why 2 PPN communication is not free.
-            if let Some(tr) = sim.tracer() {
-                tr.add("xfer.loopback", 1);
+    sim.spawn_fmt(
+        format_args!("xfer {src_ep}->{dst_ep} ({bytes}B)"),
+        async move {
+            let sim = sim2;
+            sim.sleep_until(start_at).await;
+            // Per-transaction DMA setup before the source engine streams.
+            sim.sleep(src_node.params.dma_setup).await;
+            if src_ep == dst_ep {
+                // NIC loopback (how both 2004 MPI stacks moved intra-node
+                // messages by default): the payload crosses the shared
+                // PCI-X bus twice — down to the NIC and back up — which is
+                // exactly why 2 PPN communication is not free.
+                if let Some(tr) = sim.tracer() {
+                    tr.add("xfer.loopback", 1);
+                }
+                let f_down = src_node.pcix_start(&sim, wire_bytes);
+                let f_up = src_node.pcix_start(&sim, wire_bytes);
+                f_down.wait().await;
+                local_done.set();
+                f_up.wait().await;
+                sim.sleep(LOOPBACK_TURNAROUND).await;
+                if let Some(p) = prev {
+                    p.wait().await;
+                }
+                on_complete(&sim, Ok(()));
+                tail.set();
+                return;
             }
-            let f_down = src_node.pcix_start(&sim, wire_bytes);
-            let f_up = src_node.pcix_start(&sim, wire_bytes);
-            f_down.wait().await;
+            // Source DMA and wire reservation begin together (the HCA
+            // streams from host memory onto the wire).
+            let dma_start = sim.now();
+            let f_src = src_node.pcix_start(&sim, wire_bytes);
+            let wire_done = match fabric.faults() {
+                // Fault-free hot path: identical to the pre-fault-layer
+                // pipeline, one extra null check.
+                None => fabric.deliver_at(&sim, src_ep, dst_ep, wire_bytes),
+                Some(fs) => {
+                    let fs = fs.clone();
+                    match deliver_with_recovery(
+                        &sim, &fabric, &fs, src_ep, dst_ep, wire_bytes, policy,
+                    )
+                    .await
+                    {
+                        Ok(t) => t,
+                        Err(e) => {
+                            // Failure flushes, it doesn't hang: the source
+                            // DMA already ran (the wire attempt consumed
+                            // the data), the send buffer comes back, and
+                            // the pair chain keeps its order. Retransmit
+                            // attempts are charged on the wire only — the
+                            // PCI-X crossing is paid once (the HCA
+                            // retransmits from its own staging).
+                            f_src.wait().await;
+                            local_done.set();
+                            if let Some(p) = prev {
+                                p.wait().await;
+                            }
+                            on_complete(&sim, Err(e));
+                            tail.set();
+                            return;
+                        }
+                    }
+                }
+            };
+            let ser = fabric.params.link.serialize(wire_bytes);
+            // When does the head reach the destination port?
+            let head_at_dst = if wire_done.as_ps() > sim.now().as_ps() + ser.as_ps() {
+                SimTime(wire_done.as_ps() - ser.as_ps())
+            } else {
+                sim.now()
+            };
+            // The destination-side DMA begins when the head arrives,
+            // independent of the source DMA's completion — all three
+            // stages overlap.
+            let f_dst = Flag::new();
+            {
+                let (dst_node, f, s) = (dst_node.clone(), f_dst.clone(), sim.clone());
+                let dst_setup = dst_node.params.dma_setup;
+                sim.call_at(head_at_dst + dst_setup, move |_| {
+                    dst_node.pcix_start_into(&s, wire_bytes, f);
+                });
+            }
+            f_src.wait().await;
+            if let Some(tr) = sim.tracer() {
+                // Source-side DMA segment: dma_start → source PCI-X drain.
+                tr.span(
+                    "dma",
+                    "src_dma",
+                    dma_start.as_ps(),
+                    sim.now().as_ps(),
+                    src_ep as u32,
+                    wire_bytes as i64,
+                );
+            }
             local_done.set();
-            f_up.wait().await;
-            sim.sleep(LOOPBACK_TURNAROUND).await;
+            f_dst.wait().await;
+            if let Some(tr) = sim.tracer() {
+                // Destination-side DMA segment: head arrival → PCI-X drain.
+                tr.span(
+                    "dma",
+                    "dst_dma",
+                    head_at_dst.as_ps(),
+                    sim.now().as_ps(),
+                    dst_ep as u32,
+                    wire_bytes as i64,
+                );
+            }
+            sim.sleep_until(wire_done).await;
             if let Some(p) = prev {
                 p.wait().await;
             }
+            if let Some(tr) = sim.tracer() {
+                // Whole wire traversal on the destination's lane.
+                tr.span(
+                    "xfer",
+                    "wire",
+                    dma_start.as_ps(),
+                    wire_done.as_ps(),
+                    dst_ep as u32,
+                    wire_bytes as i64,
+                );
+            }
             on_complete(&sim, Ok(()));
             tail.set();
-            return;
-        }
-        // Source DMA and wire reservation begin together (the HCA
-        // streams from host memory onto the wire).
-        let dma_start = sim.now();
-        let f_src = src_node.pcix_start(&sim, wire_bytes);
-        let wire_done = match fabric.faults() {
-            // Fault-free hot path: identical to the pre-fault-layer
-            // pipeline, one extra null check.
-            None => fabric.deliver_at(&sim, src_ep, dst_ep, wire_bytes),
-            Some(fs) => {
-                let fs = fs.clone();
-                match deliver_with_recovery(&sim, &fabric, &fs, src_ep, dst_ep, wire_bytes, policy)
-                    .await
-                {
-                    Ok(t) => t,
-                    Err(e) => {
-                        // Failure flushes, it doesn't hang: the source
-                        // DMA already ran (the wire attempt consumed
-                        // the data), the send buffer comes back, and
-                        // the pair chain keeps its order. Retransmit
-                        // attempts are charged on the wire only — the
-                        // PCI-X crossing is paid once (the HCA
-                        // retransmits from its own staging).
-                        f_src.wait().await;
-                        local_done.set();
-                        if let Some(p) = prev {
-                            p.wait().await;
-                        }
-                        on_complete(&sim, Err(e));
-                        tail.set();
-                        return;
-                    }
-                }
-            }
-        };
-        let ser = fabric.params.link.serialize(wire_bytes);
-        // When does the head reach the destination port?
-        let head_at_dst = if wire_done.as_ps() > sim.now().as_ps() + ser.as_ps() {
-            SimTime(wire_done.as_ps() - ser.as_ps())
-        } else {
-            sim.now()
-        };
-        // The destination-side DMA begins when the head arrives,
-        // independent of the source DMA's completion — all three
-        // stages overlap.
-        let f_dst = Flag::new();
-        {
-            let (dst_node, f, s) = (dst_node.clone(), f_dst.clone(), sim.clone());
-            let dst_setup = dst_node.params.dma_setup;
-            sim.call_at(head_at_dst + dst_setup, move |_| {
-                dst_node.pcix_start_into(&s, wire_bytes, f);
-            });
-        }
-        f_src.wait().await;
-        if let Some(tr) = sim.tracer() {
-            // Source-side DMA segment: dma_start → source PCI-X drain.
-            tr.span(
-                "dma",
-                "src_dma",
-                dma_start.as_ps(),
-                sim.now().as_ps(),
-                src_ep as u32,
-                wire_bytes as i64,
-            );
-        }
-        local_done.set();
-        f_dst.wait().await;
-        if let Some(tr) = sim.tracer() {
-            // Destination-side DMA segment: head arrival → PCI-X drain.
-            tr.span(
-                "dma",
-                "dst_dma",
-                head_at_dst.as_ps(),
-                sim.now().as_ps(),
-                dst_ep as u32,
-                wire_bytes as i64,
-            );
-        }
-        sim.sleep_until(wire_done).await;
-        if let Some(p) = prev {
-            p.wait().await;
-        }
-        if let Some(tr) = sim.tracer() {
-            // Whole wire traversal on the destination's lane.
-            tr.span(
-                "xfer",
-                "wire",
-                dma_start.as_ps(),
-                wire_done.as_ps(),
-                dst_ep as u32,
-                wire_bytes as i64,
-            );
-        }
-        on_complete(&sim, Ok(()));
-        tail.set();
-    });
+        },
+    );
 }
 
 #[cfg(test)]

@@ -37,25 +37,45 @@
 //! The executor is tuned for the tight event loops the paper's
 //! exhibits generate (hundreds of millions of events per regeneration):
 //!
-//! * tasks live in a slab with a free list, and finished tasks are
-//!   reclaimed immediately; [`TaskId`]s carry a generation so a stale
-//!   wake for a recycled slot is ignored instead of polling the wrong
-//!   task;
-//! * each task's [`Waker`] is created once at spawn and reused for
-//!   every poll (no per-poll allocation);
+//! * tasks live in a structure-of-arrays slab with a free list
+//!   ([`Kernel::hot`] / [`Kernel::wakers`] / [`Kernel::cold`]): the
+//!   dispatch loop touches only the dense hot array (future + live
+//!   generation, 24 bytes per slot) per event, wake plumbing sits in
+//!   its own array, and diagnostics-only fields (names, suspend
+//!   times) stay out of the way entirely. [`TaskId`]s carry a
+//!   generation so a stale wake for a recycled slot is ignored
+//!   instead of polling the wrong task;
+//! * each task's [`Waker`] is created once at spawn and *moved* (not
+//!   cloned) in and out of the slab per poll — zero refcount traffic
+//!   on the poll path — and the backing `Arc` itself is recycled
+//!   across slot generations when no stale clone is outstanding, so
+//!   steady-state spawning allocates no waker at all;
 //! * event payloads are a flat tagged union ([`EventPayload`]): timer
 //!   expiry ([`Sim::sleep`]) schedules the sleeping task's id directly
 //!   in the timing wheel and firing it polls the task in place — no
 //!   waker clone, no wake-queue mutex round trip per sleep — while
 //!   [`Sim::call_at`] closures park in a kernel slab so the wheel
-//!   moves plain words, never boxes;
+//!   moves plain words, never boxes. Dispatch pops the event *and*
+//!   extracts the target future/closure under a single kernel borrow;
+//! * small [`Sim::call_at`] closures (≤ 48 bytes of captures — every
+//!   hot closure in the model) are stored inline in the call slab
+//!   instead of boxed, so the per-message completion callbacks and
+//!   processor-sharing reschedules that dominate the `call` bucket
+//!   stop churning the allocator (`ELANIB_CALL_ARENA=off` restores
+//!   the boxed path for A/B);
 //! * per-sim transient strings (task names) live in a bump arena that
-//!   resets when the last live task completes, so slot recycling does
-//!   not churn the allocator;
+//!   resets when the last live task completes, and [`Sim::spawn_fmt`]
+//!   formats a name straight into the arena with no intermediate
+//!   `String`, so slot recycling does not churn the allocator;
 //! * the wake queue is drained in batches (one lock acquisition and
 //!   zero allocations per batch, the drain buffers ping-pong) behind
 //!   an atomic nothing-pending fast check, and a task woken k times at
-//!   the same instant is queued — and polled — once.
+//!   the same instant is queued — and polled — once. Dedup marks are
+//!   cleared per task immediately before its poll rather than for the
+//!   whole batch up front, so a wake raised *while the batch drains*
+//!   for a not-yet-polled task coalesces into the pending poll
+//!   instead of scheduling a needless second one in the next batch
+//!   (`ELANIB_WAKE_COALESCE=off` restores batch-time clearing).
 //!
 //! [`Sim::run_until`] bounds the dispatch loop to a time window,
 //! leaving out-of-window events in the wheel with its anchor held at
@@ -63,12 +83,14 @@
 //! kernel between windows schedule normally; the conservative sharded
 //! engine in [`crate::shard`] drives one kernel per shard with it.
 
+use std::alloc::Layout;
 use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::future::Future;
+use std::mem::{ManuallyDrop, MaybeUninit};
 use std::pin::Pin;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Waker};
 use std::time::{Duration, Instant};
@@ -95,8 +117,140 @@ impl fmt::Display for TaskId {
     }
 }
 
-type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
+type BoxFuture = PooledFut;
 type BoxCall = Box<dyn FnOnce(&Sim)>;
+
+/// Size classes for pooled task-future blocks. Model tasks cluster
+/// tightly: per-message helper tasks ("rx", send-completion watchers)
+/// are 32–128 B state machines, transfer tasks land around 512 B.
+const FUT_CLASSES: [usize; 6] = [32, 64, 128, 256, 512, 1024];
+/// Block alignment — covers every future alignment seen in practice;
+/// stricter alignments fall back to a plain box.
+const FUT_ALIGN: usize = 16;
+/// `class` sentinel: block owned by the global allocator, not a pool.
+const FUT_UNPOOLED: u8 = u8::MAX;
+/// Max parked blocks per size class per thread (bounds idle memory at
+/// ~2 MB/thread worst case; in-flight population stays well under it).
+const FUT_POOL_CAP: usize = 1024;
+
+/// Per-thread free lists of future blocks, one per size class. Raw
+/// blocks only — every entry is uninitialized storage of its class
+/// size at `FUT_ALIGN`.
+struct FutPool([Vec<*mut u8>; FUT_CLASSES.len()]);
+
+impl Drop for FutPool {
+    fn drop(&mut self) {
+        for (class, list) in self.0.iter_mut().enumerate() {
+            let layout = Layout::from_size_align(FUT_CLASSES[class], FUT_ALIGN).unwrap();
+            for &block in list.iter() {
+                // SAFETY: parked blocks were allocated with exactly
+                // this layout and their contents already dropped.
+                unsafe { std::alloc::dealloc(block, layout) };
+            }
+        }
+    }
+}
+
+thread_local! {
+    static FUT_POOL: RefCell<FutPool> = const { RefCell::new(FutPool([const { Vec::new() }; FUT_CLASSES.len()])) };
+    /// Lazily-read `ELANIB_FUT_POOL` gate (`off`/`0` disables pooling;
+    /// every future then lives in a plain box).
+    static FUT_POOL_ON: bool = !matches!(
+        std::env::var("ELANIB_FUT_POOL").as_deref(),
+        Ok("off") | Ok("0")
+    );
+}
+
+/// An owned, type-erased task future whose heap block is recycled
+/// through [`FUT_POOL`]. Spawn-heavy models create one short-lived
+/// task per simulated message, so `Box::pin` + dealloc on completion
+/// was a top allocation site; with the pool, steady-state spawns reuse
+/// a same-class block with no allocator traffic at all.
+///
+/// Pinning: the pointee is placement-constructed into its block and
+/// never moves until `drop_in_place` runs in `Drop` — structurally
+/// pinned even though the `PooledFut` handle itself moves freely
+/// (it is just a pointer + class tag).
+struct PooledFut {
+    ptr: std::ptr::NonNull<dyn Future<Output = ()>>,
+    class: u8,
+}
+
+impl PooledFut {
+    fn new<F: Future<Output = ()> + 'static>(fut: F) -> PooledFut {
+        let size = std::mem::size_of::<F>();
+        if std::mem::align_of::<F>() <= FUT_ALIGN && FUT_POOL_ON.with(|&on| on) {
+            if let Some(class) = FUT_CLASSES.iter().position(|&c| size <= c) {
+                let layout = Layout::from_size_align(FUT_CLASSES[class], FUT_ALIGN).unwrap();
+                let block = FUT_POOL
+                    .with(|p| p.borrow_mut().0[class].pop())
+                    .unwrap_or_else(|| {
+                        // SAFETY: `layout` has non-zero size.
+                        let p = unsafe { std::alloc::alloc(layout) };
+                        if p.is_null() {
+                            std::alloc::handle_alloc_error(layout);
+                        }
+                        p
+                    });
+                // SAFETY: the block is valid for `FUT_CLASSES[class] >=
+                // size` bytes at `FUT_ALIGN >= align_of::<F>()`.
+                unsafe { (block as *mut F).write(fut) };
+                let ptr = block as *mut F as *mut dyn Future<Output = ()>;
+                return PooledFut {
+                    // SAFETY: freshly written through a non-null block.
+                    ptr: unsafe { std::ptr::NonNull::new_unchecked(ptr) },
+                    class: class as u8,
+                };
+            }
+        }
+        // Oversized or overaligned (or pool disabled): plain box.
+        let raw = Box::into_raw(Box::new(fut) as Box<dyn Future<Output = ()>>);
+        PooledFut {
+            // SAFETY: `Box::into_raw` never returns null.
+            ptr: unsafe { std::ptr::NonNull::new_unchecked(raw) },
+            class: FUT_UNPOOLED,
+        }
+    }
+
+    /// Poll the owned future. `&mut self` gives exclusive access; the
+    /// pointee never moves, upholding the `Pin` contract.
+    #[inline]
+    fn poll(&mut self, cx: &mut Context<'_>) -> Poll<()> {
+        // SAFETY: see type docs — heap-allocated, initialized, pinned.
+        unsafe { Pin::new_unchecked(&mut *self.ptr.as_ptr()).poll(cx) }
+    }
+}
+
+impl Drop for PooledFut {
+    fn drop(&mut self) {
+        let p = self.ptr.as_ptr();
+        if self.class == FUT_UNPOOLED {
+            // SAFETY: came from `Box::into_raw` in `new`.
+            drop(unsafe { Box::from_raw(p) });
+            return;
+        }
+        // SAFETY: initialized pointee, dropped exactly once here. Any
+        // reentrant allocation from the destructor (e.g. flag pools)
+        // touches other thread-locals, never `FUT_POOL`.
+        unsafe { std::ptr::drop_in_place(p) };
+        let class = self.class as usize;
+        let block = p as *mut u8;
+        let parked = FUT_POOL.with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.0[class].len() < FUT_POOL_CAP {
+                pool.0[class].push(block);
+                true
+            } else {
+                false
+            }
+        });
+        if !parked {
+            let layout = Layout::from_size_align(FUT_CLASSES[class], FUT_ALIGN).unwrap();
+            // SAFETY: allocated with exactly this layout in `new`.
+            unsafe { std::alloc::dealloc(block, layout) };
+        }
+    }
+}
 
 /// Flattened event payload: a small tagged union, 16 bytes in the
 /// common variants, instead of the boxed callables earlier kernels
@@ -242,6 +396,46 @@ fn default_payload_mode() -> PayloadMode {
     }
 }
 
+/// Dispatch-path tuning knobs, all defaulting to the fast paths and
+/// individually revertible from the environment so every optimization
+/// keeps an A/B baseline alive:
+///
+/// * `call_arena` — store small [`Sim::call_at`] closures inline in
+///   the call slab instead of boxing each one
+///   (`ELANIB_CALL_ARENA=off` reverts to boxes);
+/// * `wake_coalesce` — clear wake-dedup marks per task right before
+///   its poll so same-instant wakes coalesce *across* drain batches
+///   (`ELANIB_WAKE_COALESCE=off` reverts to batch-time clearing).
+#[derive(Clone, Copy, Debug)]
+pub struct SimOpts {
+    pub payload_mode: PayloadMode,
+    pub call_arena: bool,
+    pub wake_coalesce: bool,
+}
+
+impl SimOpts {
+    /// Options as configured by the environment (the defaults
+    /// [`Sim::new`] uses).
+    pub fn from_env() -> SimOpts {
+        let off = |var: &str| matches!(std::env::var(var).as_deref(), Ok("off") | Ok("0"));
+        SimOpts {
+            payload_mode: default_payload_mode(),
+            call_arena: !off("ELANIB_CALL_ARENA"),
+            wake_coalesce: !off("ELANIB_WAKE_COALESCE"),
+        }
+    }
+}
+
+impl Default for SimOpts {
+    fn default() -> SimOpts {
+        SimOpts {
+            payload_mode: PayloadMode::Tagged,
+            call_arena: true,
+            wake_coalesce: true,
+        }
+    }
+}
+
 /// Bump arena for per-sim transient strings (task names). Names are
 /// written once at spawn and read only for diagnostics — deadlock
 /// reports and task-lifetime trace spans — so slots hold a plain
@@ -271,6 +465,20 @@ impl NameArena {
             len: s.len() as u32,
         }
     }
+    /// Format a name straight into the arena — the zero-allocation
+    /// path behind [`Sim::spawn_fmt`]: hot model spawn sites pass
+    /// `format_args!` instead of building a `String` per task.
+    fn intern_fmt(&mut self, args: fmt::Arguments<'_>) -> NameRef {
+        use fmt::Write;
+        let off = self.buf.len() as u32;
+        self.buf
+            .write_fmt(args)
+            .expect("fmt::Write on String cannot fail");
+        NameRef {
+            off,
+            len: self.buf.len() as u32 - off,
+        }
+    }
     fn get(&self, r: NameRef) -> &str {
         &self.buf[r.off as usize..(r.off + r.len) as usize]
     }
@@ -280,17 +488,48 @@ impl NameArena {
     }
 }
 
-/// One slab slot. A slot is *live* while its task has not completed;
-/// on completion the future is dropped, the generation is bumped (so
-/// in-flight wakes for the finished task are ignored) and the index
-/// goes back on the free list for the next spawn.
-struct TaskSlot {
+/// Hot half of a task slot — the only per-task state the dispatch
+/// loop touches on a `Poll` event: the future to run and the
+/// generation that validates the event. 24 bytes, densely packed in
+/// [`Kernel::hot`], so a dispatch reads one cache line per event.
+///
+/// A slot is *live* while its task has not completed; on completion
+/// the future is dropped, the generation is bumped (so in-flight
+/// wakes for the finished task are ignored) and the index goes back
+/// on the free list for the next spawn.
+struct TaskHot {
     fut: Option<BoxFuture>,
-    name: NameRef,
     gen: u32,
     live: bool,
-    /// Created once at spawn, cloned (refcount bump only) per poll.
+}
+
+impl TaskHot {
+    fn vacant() -> TaskHot {
+        TaskHot {
+            fut: None,
+            gen: 0,
+            live: false,
+        }
+    }
+}
+
+/// Wake half of a task slot, in its own array ([`Kernel::wakers`]):
+/// the per-poll `Waker` (moved out and back, never cloned on the poll
+/// path) and the backing `Arc` kept for recycling — when a slot is
+/// respawned and no stale clone of the previous task's waker is
+/// outstanding (`Arc::strong_count == 1`), the arc's packed id is
+/// rewritten in place and no allocation happens at all.
+#[derive(Default)]
+struct WakerSlot {
     waker: Option<Waker>,
+    arc: Option<Arc<TaskWaker>>,
+}
+
+/// Cold half of a task slot ([`Kernel::cold`]): diagnostics-only
+/// fields read by deadlock reports and task-lifetime trace spans.
+#[derive(Default)]
+struct TaskCold {
+    name: NameRef,
     /// Simulated time of the most recent `Poll::Pending` — i.e. when
     /// the task last suspended. Reported on deadlock.
     last_suspend: SimTime,
@@ -299,16 +538,57 @@ struct TaskSlot {
     spawned_at: SimTime,
 }
 
-impl TaskSlot {
-    fn vacant() -> TaskSlot {
-        TaskSlot {
-            fut: None,
-            name: NameRef::default(),
-            gen: 0,
-            live: false,
-            waker: None,
-            last_suspend: SimTime::ZERO,
-            spawned_at: SimTime::ZERO,
+/// Inline capture space per call slot, in bytes. Every hot closure in
+/// the model (processor-sharing reschedules, NIC completion
+/// callbacks, message deliveries) must fit: the largest are the HCA
+/// delivery callbacks, which carry a whole protocol message by value
+/// (~80 B with its `Rc`s). Larger or over-aligned closures fall back
+/// to a box transparently.
+const CALL_INLINE_BYTES: usize = 96;
+const CALL_INLINE_WORDS: usize = CALL_INLINE_BYTES / 8;
+
+/// A small `FnOnce(&Sim)` stored inline: the capture bytes plus the
+/// monomorphized functions that know how to run or drop them. The
+/// capture is moved out by `invoke`; `drop_in_place` exists only for
+/// kernel teardown with the call still pending.
+struct InlineCall {
+    data: [MaybeUninit<u64>; CALL_INLINE_WORDS],
+    invoke: unsafe fn(*mut u8, &Sim),
+    drop_in_place: unsafe fn(*mut u8),
+}
+
+impl Drop for InlineCall {
+    fn drop(&mut self) {
+        // Only reached when the kernel is torn down with this call
+        // still scheduled; dispatch wraps the slot in `ManuallyDrop`
+        // after moving the capture out.
+        unsafe { (self.drop_in_place)(self.data.as_mut_ptr() as *mut u8) }
+    }
+}
+
+/// One slot of the call slab ([`Kernel::calls`]).
+enum CallSlot {
+    Vacant,
+    /// Small closure stored inline — no allocation.
+    Inline(InlineCall),
+    /// Fallback: closure too large/aligned for the inline arena, or
+    /// the arena is disabled (`ELANIB_CALL_ARENA=off`).
+    Boxed(BoxCall),
+}
+
+impl CallSlot {
+    /// Run the parked closure. Consumes the slot's payload exactly
+    /// once in either representation.
+    fn run(self, sim: &Sim) {
+        match self {
+            CallSlot::Vacant => unreachable!("dispatched a vacant call slot"),
+            CallSlot::Inline(ic) => {
+                // The capture is moved out by `invoke`; suppress the
+                // teardown drop so it is not dropped twice.
+                let mut ic = ManuallyDrop::new(ic);
+                unsafe { (ic.invoke)(ic.data.as_mut_ptr() as *mut u8, sim) }
+            }
+            CallSlot::Boxed(f) => f(sim),
         }
     }
 }
@@ -347,7 +627,31 @@ struct WakeState {
 
 struct TaskWaker {
     queue: Arc<WakeQueue>,
-    id: TaskId,
+    /// Packed `(idx << 32) | gen`. Atomic so the arc can be recycled
+    /// across slot generations: when a slot respawns and
+    /// `Arc::strong_count == 1` (the kernel holds the only reference
+    /// — no stale clone can observe the change), the id is rewritten
+    /// in place instead of allocating a fresh arc. `Relaxed` suffices:
+    /// the rewrite happens strictly while no other reference exists.
+    id: AtomicU64,
+}
+
+impl TaskWaker {
+    fn pack(id: TaskId) -> u64 {
+        (id.idx as u64) << 32 | id.gen as u64
+    }
+    fn unpack(packed: u64) -> TaskId {
+        TaskId {
+            idx: (packed >> 32) as u32,
+            gen: packed as u32,
+        }
+    }
+    fn new(queue: Arc<WakeQueue>, id: TaskId) -> TaskWaker {
+        TaskWaker {
+            queue,
+            id: AtomicU64::new(Self::pack(id)),
+        }
+    }
 }
 
 impl std::task::Wake for TaskWaker {
@@ -355,17 +659,18 @@ impl std::task::Wake for TaskWaker {
         self.wake_by_ref();
     }
     fn wake_by_ref(self: &Arc<Self>) {
+        let id = TaskWaker::unpack(self.id.load(Ordering::Relaxed));
         let mut q = self.queue.state.lock().unwrap();
-        let idx = self.id.idx as usize;
+        let idx = id.idx as usize;
         if q.queued.len() <= idx {
             q.queued.resize(idx + 1, 0);
         }
-        let mark = self.id.gen as u64 + 1;
+        let mark = id.gen as u64 + 1;
         if q.queued[idx] == mark {
             return; // already queued at this instant: dedup
         }
         q.queued[idx] = mark;
-        q.ready.push(self.id);
+        q.ready.push(id);
         self.queue.nonempty.store(true, Ordering::Release);
     }
 }
@@ -384,14 +689,24 @@ struct Kernel {
     /// ([`TimerWheel::pop_before`]), so the wheel alone is the pending
     /// set — there is no side stash.
     queue: TimerWheel<EventPayload>,
-    tasks: Vec<TaskSlot>,
+    /// Task slab, structure-of-arrays: `hot[i]` / `wakers[i]` /
+    /// `cold[i]` are the three halves of slot `i` (dispatch state,
+    /// wake plumbing, diagnostics — see the module docs).
+    hot: Vec<TaskHot>,
+    wakers: Vec<WakerSlot>,
+    cold: Vec<TaskCold>,
     /// Recycled slab indices, available for the next spawn.
     free: Vec<u32>,
     /// Parked [`Sim::call_at`] closures; `EventPayload::Call` holds an
     /// index into this slab.
-    calls: Vec<Option<BoxCall>>,
+    calls: Vec<CallSlot>,
     /// Recycled call-slab indices.
     call_free: Vec<u32>,
+    /// Store small call closures inline ([`SimOpts::call_arena`]).
+    call_arena: bool,
+    /// Count of waker `Arc`s actually allocated (spawns minus
+    /// recycles) — observability for the recycling fast path.
+    waker_allocs: u64,
     /// Task currently being polled, if any — the target a [`Delay`]
     /// registers for direct timer dispatch.
     current: Option<TaskId>,
@@ -414,6 +729,7 @@ struct Kernel {
 
 thread_local! {
     static THREAD_EVENTS: Cell<u64> = const { Cell::new(0) };
+    static THREAD_WAKER_ALLOCS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Cumulative count of kernel events dispatched by simulations that
@@ -422,6 +738,14 @@ thread_local! {
 /// monotone and never reset.
 pub fn thread_events() -> u64 {
     THREAD_EVENTS.with(|c| c.get())
+}
+
+/// Cumulative count of waker `Arc` allocations on the current OS
+/// thread — spawns whose slot had no recyclable arc parked. The
+/// micro-bench reports this next to allocations-per-event; in steady
+/// state it should stay far below the spawn count.
+pub fn thread_waker_allocs() -> u64 {
+    THREAD_WAKER_ALLOCS.with(|c| c.get())
 }
 
 /// Handle to a running simulation. Cheap to clone; all clones share the
@@ -443,6 +767,9 @@ pub struct Sim {
     /// construction. Same zero-cost-when-off discipline as `tr`: the
     /// hot loop pays one null check per dispatch when disabled.
     prof: Option<Rc<KernelProfiler>>,
+    /// Clear wake-dedup marks per task just before its poll
+    /// ([`SimOpts::wake_coalesce`]) instead of per batch at swap time.
+    wake_coalesce: bool,
 }
 
 /// One entry of a [`SimError::Deadlock`] report.
@@ -537,26 +864,40 @@ impl std::error::Error for SimError {}
 
 impl Sim {
     /// Create a simulation whose RNG is seeded with `seed`. The timer
-    /// payload mode follows `ELANIB_PAYLOAD_MODE` (default: tagged).
+    /// payload mode follows `ELANIB_PAYLOAD_MODE` (default: tagged);
+    /// the dispatch-path knobs follow their env vars ([`SimOpts`]).
     pub fn new(seed: u64) -> Sim {
-        Sim::with_payload_mode(seed, default_payload_mode())
+        Sim::with_opts(seed, SimOpts::from_env())
     }
 
     /// Create a simulation with an explicit timer [`PayloadMode`] —
     /// the hook the payload-model tests and A/B harnesses use to pin a
     /// mode regardless of environment.
     pub fn with_payload_mode(seed: u64, payload_mode: PayloadMode) -> Sim {
+        let mut opts = SimOpts::from_env();
+        opts.payload_mode = payload_mode;
+        Sim::with_opts(seed, opts)
+    }
+
+    /// Create a simulation with every dispatch-path knob pinned —
+    /// what the A/B tests use to compare fast and fallback paths
+    /// regardless of environment.
+    pub fn with_opts(seed: u64, opts: SimOpts) -> Sim {
         Sim {
             k: Rc::new(RefCell::new(Kernel {
                 now: SimTime::ZERO,
                 queue: TimerWheel::new(),
-                tasks: Vec::new(),
+                hot: Vec::new(),
+                wakers: Vec::new(),
+                cold: Vec::new(),
                 free: Vec::new(),
                 calls: Vec::new(),
                 call_free: Vec::new(),
+                call_arena: opts.call_arena,
+                waker_allocs: 0,
                 current: None,
                 names: NameArena::default(),
-                payload_mode,
+                payload_mode: opts.payload_mode,
                 live_tasks: 0,
                 rng: StdRng::seed_from_u64(seed),
                 events_processed: 0,
@@ -569,6 +910,7 @@ impl Sim {
             drain_buf: Rc::new(RefCell::new(Vec::new())),
             tr: elanib_trace::Tracer::from_config(seed),
             prof: KernelProfiler::from_config(),
+            wake_coalesce: opts.wake_coalesce,
         }
     }
 
@@ -634,7 +976,14 @@ impl Sim {
     /// Size of the task slab (high-water mark of concurrently live
     /// tasks, not total spawns — slots are recycled).
     pub fn slab_capacity(&self) -> usize {
-        self.k.borrow().tasks.len()
+        self.k.borrow().hot.len()
+    }
+
+    /// Number of waker `Arc` allocations so far — spawns that could
+    /// not recycle the slot's previous arc. Observability for the
+    /// waker-recycling fast path (and its test).
+    pub fn waker_allocs(&self) -> u64 {
+        self.k.borrow().waker_allocs
     }
 
     /// Install a trace callback invoked by [`Sim::trace`].
@@ -670,28 +1019,74 @@ impl Sim {
     /// Spawn a task. It will first be polled when the kernel reaches the
     /// current simulated time in its event order (immediately at t=now).
     pub fn spawn(&self, name: impl AsRef<str>, fut: impl Future<Output = ()> + 'static) -> TaskId {
+        let name = name.as_ref();
+        self.spawn_with(|arena| arena.intern(name), fut)
+    }
+
+    /// Spawn a task whose name is formatted straight into the name
+    /// arena — the hot-path variant for model sites that would
+    /// otherwise build (and immediately discard) a `String` per task:
+    ///
+    /// ```ignore
+    /// sim.spawn_fmt(format_args!("xfer {src}->{dst}"), async move { ... });
+    /// ```
+    pub fn spawn_fmt(
+        &self,
+        name: fmt::Arguments<'_>,
+        fut: impl Future<Output = ()> + 'static,
+    ) -> TaskId {
+        self.spawn_with(|arena| arena.intern_fmt(name), fut)
+    }
+
+    fn spawn_with(
+        &self,
+        intern: impl FnOnce(&mut NameArena) -> NameRef,
+        fut: impl Future<Output = ()> + 'static,
+    ) -> TaskId {
         let mut k = self.k.borrow_mut();
         let now = k.now;
         let idx = match k.free.pop() {
             Some(i) => i,
             None => {
-                k.tasks.push(TaskSlot::vacant());
-                (k.tasks.len() - 1) as u32
+                k.hot.push(TaskHot::vacant());
+                k.wakers.push(WakerSlot::default());
+                k.cold.push(TaskCold::default());
+                (k.hot.len() - 1) as u32
             }
         };
-        let name = k.names.intern(name.as_ref());
-        let slot = &mut k.tasks[idx as usize];
-        debug_assert!(!slot.live, "spawn into a live slot");
-        let id = TaskId { idx, gen: slot.gen };
-        slot.fut = Some(Box::pin(fut));
-        slot.name = name;
-        slot.live = true;
-        slot.last_suspend = now;
-        slot.spawned_at = now;
-        slot.waker = Some(Waker::from(Arc::new(TaskWaker {
-            queue: self.wakes.clone(),
-            id,
-        })));
+        let name = intern(&mut k.names);
+        let i = idx as usize;
+        debug_assert!(!k.hot[i].live, "spawn into a live slot");
+        let id = TaskId {
+            idx,
+            gen: k.hot[i].gen,
+        };
+        k.hot[i].fut = Some(PooledFut::new(fut));
+        k.hot[i].live = true;
+        k.cold[i] = TaskCold {
+            name,
+            last_suspend: now,
+            spawned_at: now,
+        };
+        // Waker fast path: recycle the slot's previous arc when the
+        // kernel holds the only reference (no stale clone can exist,
+        // so rewriting the packed id is unobservable); otherwise
+        // allocate a fresh one and let the old arc die with its
+        // outstanding clones, which the generation check defuses.
+        debug_assert!(k.wakers[i].waker.is_none(), "live slot with a parked waker");
+        let arc = match k.wakers[i].arc.take() {
+            Some(a) if Arc::strong_count(&a) == 1 => {
+                a.id.store(TaskWaker::pack(id), Ordering::Relaxed);
+                a
+            }
+            _ => {
+                k.waker_allocs += 1;
+                THREAD_WAKER_ALLOCS.with(|c| c.set(c.get() + 1));
+                Arc::new(TaskWaker::new(self.wakes.clone(), id))
+            }
+        };
+        k.wakers[i].waker = Some(Waker::from(arc.clone()));
+        k.wakers[i].arc = Some(arc);
         k.live_tasks += 1;
         k.push(now, EventPayload::Poll(id));
         drop(k);
@@ -705,14 +1100,14 @@ impl Sim {
     pub fn call_in(&self, delay: Dur, f: impl FnOnce(&Sim) + 'static) {
         let mut k = self.k.borrow_mut();
         let at = k.now + delay;
-        k.push_call(at, Box::new(f));
+        k.push_call(at, f);
     }
 
     /// Schedule `f` at an absolute time (must not be in the past).
     pub fn call_at(&self, at: SimTime, f: impl FnOnce(&Sim) + 'static) {
         let mut k = self.k.borrow_mut();
         debug_assert!(at >= k.now, "call_at into the past");
-        k.push_call(at, Box::new(f));
+        k.push_call(at, f);
     }
 
     /// Schedule a timer at `at` for the task currently being polled —
@@ -797,6 +1192,7 @@ impl Sim {
         }
         let mut buf = self.drain_buf.borrow_mut();
         debug_assert!(buf.is_empty());
+        let coalesce = self.wake_coalesce;
         {
             let mut q = self.wakes.state.lock().unwrap();
             if q.ready.is_empty() {
@@ -804,8 +1200,10 @@ impl Sim {
             }
             let WakeState { ready, queued } = &mut *q;
             std::mem::swap(ready, &mut *buf);
-            for id in buf.iter() {
-                queued[id.idx as usize] = 0;
+            if !coalesce {
+                for id in buf.iter() {
+                    queued[id.idx as usize] = 0;
+                }
             }
             self.wakes.nonempty.store(false, Ordering::Release);
         }
@@ -816,6 +1214,20 @@ impl Sim {
         // never this drain, so holding the buffer borrow is safe.
         for i in 0..buf.len() {
             let id = buf[i];
+            if coalesce {
+                // Unmark this task only now, just before its poll: a
+                // wake raised while the earlier part of the batch was
+                // polling coalesces into this still-pending poll
+                // (which will observe the wake's state change) instead
+                // of re-queueing a needless second poll. A wake raised
+                // *during or after* the poll re-queues, as it must —
+                // it may arrive after the task decided to suspend.
+                let mut q = self.wakes.state.lock().unwrap();
+                let mark = id.gen as u64 + 1;
+                if q.queued[id.idx as usize] == mark {
+                    q.queued[id.idx as usize] = 0;
+                }
+            }
             self.poll_task(id);
         }
         if let (Some(p), Some(m)) = (&self.prof, mark) {
@@ -869,8 +1281,11 @@ impl Sim {
             //    the clock may advance (zero-delay wake semantics).
             while self.drain_wakes(mark.as_mut()) {}
 
-            // 2. Advance the clock to the next event.
-            let (payload, prof_sample) = {
+            // 2. Advance the clock to the next event and extract the
+            //    dispatch target — future + waker for a poll, parked
+            //    closure for a call — under the same kernel borrow as
+            //    the pop: one borrow per event, not two.
+            let (action, tag, prof_sample) = {
                 let mut k = self.k.borrow_mut();
                 let next = match limit {
                     Some(lim) => match k.queue.pop_before(lim.as_ps()) {
@@ -890,24 +1305,27 @@ impl Sim {
                         k.now = at;
                         k.events_processed += 1;
                         k.flight.record(at_ps, &payload);
-                        (payload, sample)
+                        let tag = payload.tag();
+                        let action = match payload {
+                            EventPayload::Poll(id) => match Sim::take_for_poll(&mut k, id) {
+                                Some((fut, w, prev)) => Action::Poll(id, fut, w, prev),
+                                // Stale (recycled slot) or already
+                                // completed: nothing to do.
+                                None => Action::Skip,
+                            },
+                            EventPayload::Timer(w) => Action::Wake(w),
+                            EventPayload::Call(i) => Action::Call(k.take_call(i)),
+                        };
+                        (action, tag, sample)
                     }
                     None => return None,
                 }
             };
-            let tag = payload.tag();
-            match payload {
-                EventPayload::Poll(id) => self.poll_task(id),
-                EventPayload::Timer(w) => w.wake(),
-                EventPayload::Call(i) => {
-                    let f = {
-                        let mut k = self.k.borrow_mut();
-                        let f = k.calls[i as usize].take().expect("call slot occupied");
-                        k.call_free.push(i);
-                        f
-                    };
-                    f(self)
-                }
+            match action {
+                Action::Poll(id, fut, w, prev) => self.poll_taken(id, fut, w, prev),
+                Action::Wake(w) => w.wake(),
+                Action::Call(slot) => slot.run(self),
+                Action::Skip => {}
             }
             if let (Some(p), Some(m), Some((occupancy, adv_ps))) =
                 (prof, mark.as_mut(), prof_sample)
@@ -931,12 +1349,13 @@ impl Sim {
             let k = self.k.borrow();
             if k.live_tasks > 0 {
                 let stuck: Vec<StuckTask> = k
-                    .tasks
+                    .hot
                     .iter()
-                    .filter(|t| t.live)
-                    .map(|t| StuckTask {
-                        name: k.names.get(t.name).to_string(),
-                        since: t.last_suspend,
+                    .zip(&k.cold)
+                    .filter(|(h, _)| h.live)
+                    .map(|(_, c)| StuckTask {
+                        name: k.names.get(c.name).to_string(),
+                        since: c.last_suspend,
                     })
                     .collect();
                 // Snapshot the scheduler state and the flight-recorder
@@ -998,52 +1417,72 @@ impl Sim {
         }
     }
 
+    /// Extract a live task's future and waker for polling and mark it
+    /// current (so a [`Delay`] created inside can register direct
+    /// timer dispatch). Returns `None` for a stale generation or an
+    /// already-completed / already-being-polled target.
+    #[inline]
+    fn take_for_poll(k: &mut Kernel, id: TaskId) -> Option<(BoxFuture, Waker, Option<TaskId>)> {
+        let i = id.idx as usize;
+        let slot = &mut k.hot[i];
+        if slot.gen != id.gen {
+            // Stale wake for a recycled slot: the task it meant is
+            // long gone.
+            return None;
+        }
+        // `None` here: already completed, or currently being polled
+        // higher up the stack (a spurious duplicate wake) — ignore.
+        let fut = slot.fut.take()?;
+        // The waker travels by value — moved out for the poll, moved
+        // back on suspend — so the poll path performs no refcount
+        // traffic at all.
+        let waker = k.wakers[i].waker.take().expect("live task has a waker");
+        let prev = k.current.replace(id);
+        Some((fut, waker, prev))
+    }
+
     fn poll_task(&self, id: TaskId) {
-        // Take the future out of the slab so polling can re-enter the
-        // kernel (to schedule events, spawn tasks, ...).
-        let (mut fut, waker, prev_current) = {
-            let mut k = self.k.borrow_mut();
-            let slot = &mut k.tasks[id.idx as usize];
-            if slot.gen != id.gen {
-                // Stale wake for a recycled slot: the task it meant is
-                // long gone.
-                return;
-            }
-            match slot.fut.take() {
-                // The cached waker always exists while the slot is live.
-                Some(f) => {
-                    let w = slot.waker.clone().expect("live task has a waker");
-                    // Record who is being polled so a Delay created
-                    // inside can register direct timer dispatch.
-                    let prev = k.current.replace(id);
-                    (f, w, prev)
-                }
-                // Already completed, or currently being polled higher up
-                // the stack (a spurious duplicate wake): ignore.
-                None => return,
-            }
-        };
+        let taken = Sim::take_for_poll(&mut self.k.borrow_mut(), id);
+        if let Some((fut, waker, prev)) = taken {
+            self.poll_taken(id, fut, waker, prev);
+        }
+    }
+
+    /// Poll an extracted future and write the outcome back into the
+    /// slab: completion recycles the slot (generation bump invalidates
+    /// in-flight wakes; the waker's arc is parked for reuse by the
+    /// next spawn), suspension returns future and waker to their
+    /// arrays.
+    fn poll_taken(
+        &self,
+        id: TaskId,
+        mut fut: BoxFuture,
+        waker: Waker,
+        prev_current: Option<TaskId>,
+    ) {
         let mut cx = Context::from_waker(&waker);
-        match fut.as_mut().poll(&mut cx) {
+        match fut.poll(&mut cx) {
             Poll::Ready(()) => {
                 let mut k = self.k.borrow_mut();
                 k.current = prev_current;
                 let now = k.now;
-                let slot = &mut k.tasks[id.idx as usize];
+                let i = id.idx as usize;
                 // Capture the lifetime span before the slot is wiped —
                 // only when events are actually being recorded (the
                 // name copy is the lone tracing cost on this path).
-                let name_ref = slot.name;
+                let name_ref = k.cold[i].name;
+                let slot = &mut k.hot[i];
                 slot.live = false;
-                // Invalidate in-flight wakes and recycle the slot.
+                // Invalidate in-flight wakes and recycle the slot. The
+                // polled waker is dropped here (it never went back into
+                // the slab); the backing arc stays parked in
+                // `wakers[i].arc` for the next spawn to recycle.
                 slot.gen = slot.gen.wrapping_add(1);
-                slot.waker = None;
-                slot.name = NameRef::default();
+                k.cold[i].name = NameRef::default();
                 let span = match &self.tr {
-                    Some(tr) if tr.events_on() => Some((
-                        k.names.get(name_ref).to_string(),
-                        k.tasks[id.idx as usize].spawned_at,
-                    )),
+                    Some(tr) if tr.events_on() => {
+                        Some((k.names.get(name_ref).to_string(), k.cold[i].spawned_at))
+                    }
                     _ => None,
                 };
                 k.live_tasks -= 1;
@@ -1065,12 +1504,23 @@ impl Sim {
                 let mut k = self.k.borrow_mut();
                 k.current = prev_current;
                 let now = k.now;
-                let slot = &mut k.tasks[id.idx as usize];
-                slot.fut = Some(fut);
-                slot.last_suspend = now;
+                let i = id.idx as usize;
+                k.hot[i].fut = Some(fut);
+                k.wakers[i].waker = Some(waker);
+                k.cold[i].last_suspend = now;
             }
         }
     }
+}
+
+/// What one popped event resolved to under the dispatch borrow; the
+/// borrow is released before the action runs (the action re-enters
+/// the kernel freely).
+enum Action {
+    Poll(TaskId, BoxFuture, Waker, Option<TaskId>),
+    Wake(Waker),
+    Call(CallSlot),
+    Skip,
 }
 
 impl Kernel {
@@ -1079,18 +1529,53 @@ impl Kernel {
     }
 
     /// Park a closure in the call slab and schedule the slot index.
-    fn push_call(&mut self, at: SimTime, f: BoxCall) {
+    /// Small captures go into the slot's inline arena (no allocation);
+    /// oversized or over-aligned ones — and everything when
+    /// `ELANIB_CALL_ARENA=off` — are boxed.
+    fn push_call<F: FnOnce(&Sim) + 'static>(&mut self, at: SimTime, f: F) {
+        let slot = if self.call_arena
+            && std::mem::size_of::<F>() <= CALL_INLINE_BYTES
+            && std::mem::align_of::<F>() <= std::mem::align_of::<u64>()
+        {
+            /// Move the capture out of the slot and run it.
+            unsafe fn invoke<F: FnOnce(&Sim)>(p: *mut u8, sim: &Sim) {
+                let f = unsafe { (p as *mut F).read() };
+                f(sim)
+            }
+            /// Drop the capture in place (kernel teardown only).
+            unsafe fn drop_call<F>(p: *mut u8) {
+                unsafe { std::ptr::drop_in_place(p as *mut F) }
+            }
+            let mut ic = InlineCall {
+                data: [MaybeUninit::uninit(); CALL_INLINE_WORDS],
+                invoke: invoke::<F>,
+                drop_in_place: drop_call::<F>,
+            };
+            unsafe { (ic.data.as_mut_ptr() as *mut F).write(f) };
+            CallSlot::Inline(ic)
+        } else {
+            CallSlot::Boxed(Box::new(f))
+        };
         let idx = match self.call_free.pop() {
             Some(i) => {
-                self.calls[i as usize] = Some(f);
+                self.calls[i as usize] = slot;
                 i
             }
             None => {
-                self.calls.push(Some(f));
+                self.calls.push(slot);
                 (self.calls.len() - 1) as u32
             }
         };
         self.push(at, EventPayload::Call(idx));
+    }
+
+    /// Remove a parked call from the slab for dispatch, recycling its
+    /// slot.
+    fn take_call(&mut self, i: u32) -> CallSlot {
+        let slot = std::mem::replace(&mut self.calls[i as usize], CallSlot::Vacant);
+        debug_assert!(!matches!(slot, CallSlot::Vacant), "call slot occupied");
+        self.call_free.push(i);
+        slot
     }
 }
 
@@ -1450,13 +1935,13 @@ mod tests {
         // silently dropped (a lost wakeup). The u64 marks can't wrap.
         use std::task::Wake;
         let queue = Arc::new(WakeQueue::default());
-        let waker = Arc::new(TaskWaker {
-            queue: queue.clone(),
-            id: TaskId {
+        let waker = Arc::new(TaskWaker::new(
+            queue.clone(),
+            TaskId {
                 idx: 0,
                 gen: u32::MAX,
             },
-        });
+        ));
         waker.wake_by_ref();
         assert_eq!(
             queue.state.lock().unwrap().ready.len(),
@@ -1468,10 +1953,7 @@ mod tests {
         assert_eq!(queue.state.lock().unwrap().ready.len(), 1);
         // And a wake for a different generation of the same slot is
         // not confused with it.
-        let other = Arc::new(TaskWaker {
-            queue: queue.clone(),
-            id: TaskId { idx: 0, gen: 0 },
-        });
+        let other = Arc::new(TaskWaker::new(queue.clone(), TaskId { idx: 0, gen: 0 }));
         other.wake_by_ref();
         assert_eq!(queue.state.lock().unwrap().ready.len(), 2);
     }

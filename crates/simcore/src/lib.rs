@@ -69,11 +69,14 @@ pub use elanib_trace as trace;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use kernel::{
     flight_kind_name, payload_mode, thread_events, DeadlockDiag, Delay, FlightEntry, PayloadMode,
-    Sim, SimError, StuckTask, TaskId, FLIGHT_LEN,
+    Sim, SimError, SimOpts, StuckTask, TaskId, FLIGHT_LEN,
 };
 pub use profile::KernelProfiler;
 pub use resources::{ChannelStats, FifoChannel, PsResource};
-pub use shard::{des_shards, run_sharded, Outbox, ShardModel, ShardMsg, ShardObs, ShardRunStats};
+pub use shard::{
+    adaptive_lookahead, des_shards, run_sharded, run_sharded_with, HorizonPlan, Lookahead, Outbox,
+    ShardModel, ShardMsg, ShardObs, ShardRunStats,
+};
 pub use sync::{race2, Flag, Mailbox, Race2, Semaphore};
 pub use time::{Dur, SimTime};
 pub use wheel::TimerWheel;

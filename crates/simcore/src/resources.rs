@@ -137,6 +137,11 @@ struct PsInner {
     bytes_total: u64,
     transfers: u64,
     busy_time: Dur,
+    /// Reusable completion buffer: finished jobs' flags are collected
+    /// here under the borrow, then set after it is released. Kept on
+    /// the resource so the (very hot) completion event allocates
+    /// nothing in steady state.
+    finished_scratch: Vec<Flag>,
 }
 
 struct PsJob {
@@ -158,6 +163,7 @@ impl PsResource {
                 jobs: Vec::new(),
                 last_update: SimTime::ZERO,
                 gen: 0,
+                finished_scratch: Vec::new(),
                 bytes_total: 0,
                 transfers: 0,
                 busy_time: Dur::ZERO,
@@ -268,13 +274,13 @@ impl PsResource {
     }
 
     fn on_completion_event(&self, sim: &Sim, gen: u64) {
-        let finished: Vec<Flag> = {
+        let mut finished: Vec<Flag> = {
             let mut i = self.inner.borrow_mut();
             if i.gen != gen {
                 return; // superseded by a later arrival/departure
             }
             i.settle(sim.now());
-            let mut finished = Vec::new();
+            let mut finished = std::mem::take(&mut i.finished_scratch);
             i.jobs.retain_mut(|j| {
                 if j.remaining <= EPS_BYTES {
                     finished.push(j.done.clone());
@@ -285,11 +291,15 @@ impl PsResource {
             });
             finished
         };
-        for f in &finished {
+        let any_finished = !finished.is_empty();
+        // Setting a flag only enqueues wakes (nothing polls inside),
+        // so the borrow may be safely re-taken to park the buffer.
+        for f in finished.drain(..) {
             f.set();
         }
+        self.inner.borrow_mut().finished_scratch = finished;
         // Remaining jobs now share the bandwidth among fewer peers.
-        if !finished.is_empty() || self.in_flight() > 0 {
+        if any_finished || self.in_flight() > 0 {
             self.reschedule(sim);
         }
     }

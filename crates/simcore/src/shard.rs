@@ -26,6 +26,21 @@
 //! at the global next-event time, not at `W + lookahead`), so a sparse
 //! simulation doesn't pay per-lookahead rounds.
 //!
+//! ## Adaptive per-shard horizons ([`Lookahead::Pairwise`])
+//!
+//! The uniform scheme above throttles every shard to the *single*
+//! worst-case cut delay. [`run_sharded_with`] accepts a per-directed-
+//! pair lookahead matrix instead (for a fabric partition, the minimum
+//! cable propagation over each pair's cut cables); the engine closes
+//! it into all-pairs minimum influence delays ([`HorizonPlan`]) and
+//! grants each shard its own horizon per round: the earliest instant
+//! any sibling's pending work — or an echo of the shard's own sends
+//! routed back through the cut graph — could still reach it. Shards
+//! adjacent only through long or indirect paths dispatch far past the
+//! global minimum, cutting barrier rounds without admitting a single
+//! causality violation; `ELANIB_ADAPTIVE_LOOKAHEAD=0` is the escape
+//! hatch back to uniform global-min windows.
+//!
 //! ## Determinism
 //!
 //! Within a shard the kernel is the ordinary deterministic serial
@@ -77,6 +92,158 @@ pub fn des_shards() -> Option<usize> {
         .filter(|&n| n >= 1)
 }
 
+/// `ELANIB_ADAPTIVE_LOOKAHEAD`: per-shard adaptive barrier horizons for
+/// [`Lookahead::Pairwise`] runs, on by default. `0` / `off` collapses a
+/// pairwise spec to its global minimum and runs the classic uniform
+/// windows — the escape hatch the determinism A/B tests diff against.
+/// Read per call (tests flip it mid-process).
+pub fn adaptive_lookahead() -> bool {
+    !matches!(
+        std::env::var("ELANIB_ADAPTIVE_LOOKAHEAD").as_deref(),
+        Ok("0") | Ok("off")
+    )
+}
+
+/// Cross-shard lookahead specification for [`run_sharded_with`].
+#[derive(Clone, Debug)]
+pub enum Lookahead {
+    /// One pessimistic bound for every shard pair — the classic global
+    /// minimum. [`run_sharded`] wraps this variant.
+    Uniform(Dur),
+    /// Per-directed-pair bounds: `pairs[src][dst]` is a lower bound on
+    /// the delay of any *direct* src→dst influence (for a fabric cut,
+    /// the minimum propagation over the cut cables joining the two
+    /// shards — see `elanib_fabric::Partition::pair_lookahead`).
+    /// `None` means the partition has no direct src→dst channel, and a
+    /// send on that pair is an error. Indirect influence (src→m→dst)
+    /// is inferred by the engine as path sums, which is exactly why
+    /// non-adjacent shards earn horizons beyond the global minimum.
+    Pairwise(Vec<Vec<Option<Dur>>>),
+}
+
+/// Infinity marker in the ps-valued distance algebra (also what an
+/// idle shard reports as its next-event time, so the two compose).
+const INF: u64 = u64::MAX;
+
+/// The static half of the adaptive-horizon computation: all-pairs
+/// minimum influence delays over a [`Lookahead::Pairwise`] spec.
+///
+/// `dist(s, d)` (s ≠ d) is the minimum total delay of any influence
+/// path s→…→d using at least one cross-shard channel; the diagonal
+/// `dist(i, i)` is the minimum delay of a round trip i→…→i — the
+/// earliest a shard's own activity can echo back to it. Both fall out
+/// of one Floyd–Warshall pass seeded with the direct pair bounds and
+/// an infinite diagonal.
+///
+/// Given each shard's earliest pending event time `next[k]`, the safe
+/// dispatch horizon of shard `i` is
+///
+/// ```text
+/// H_i = min( min_{k≠i}( next[k] + dist(k,i) ),  next[i] + dist(i,i) )
+/// ```
+///
+/// — no event from any sibling's pending work, nor any echo of shard
+/// `i`'s own sends, can arrive before `H_i`. The shard holding the
+/// globally earliest event always gets `H_i` strictly past it (all
+/// channel bounds are positive), so every round makes progress.
+#[derive(Clone, Debug)]
+pub struct HorizonPlan {
+    n: usize,
+    /// Row-major `[src·n + dst]` path-closure delays in ps; `INF` =
+    /// unreachable. Diagonal holds the min round-trip delay.
+    dist: Vec<u64>,
+    /// Row-major direct channel bounds in ps (`INF` = no channel) —
+    /// what [`Outbox::send`] asserts against.
+    direct: Vec<u64>,
+}
+
+impl HorizonPlan {
+    /// Build the plan from per-directed-pair bounds. Every declared
+    /// bound must be positive — a zero-delay channel admits no
+    /// conservative window at all.
+    pub fn new(pairs: &[Vec<Option<Dur>>]) -> HorizonPlan {
+        let n = pairs.len();
+        let mut direct = vec![INF; n * n];
+        for (s, row) in pairs.iter().enumerate() {
+            assert_eq!(row.len(), n, "pairwise lookahead matrix must be square");
+            for (d, &b) in row.iter().enumerate() {
+                if let Some(b) = b {
+                    assert!(
+                        b.as_ps() > 0,
+                        "pair ({s},{d}) declares a zero lookahead — a zero-delay \
+                         cross-shard channel cannot support conservative windows"
+                    );
+                    direct[s * n + d] = b.as_ps();
+                }
+            }
+        }
+        // Floyd–Warshall with an infinite initial diagonal: closes
+        // multi-hop paths for s ≠ d and leaves min cycles on the
+        // diagonal. All weights positive, so walks are paths.
+        let mut dist = direct.clone();
+        for m in 0..n {
+            for s in 0..n {
+                let sm = dist[s * n + m];
+                if sm == INF {
+                    continue;
+                }
+                for d in 0..n {
+                    let md = dist[m * n + d];
+                    if md == INF {
+                        continue;
+                    }
+                    let c = sm.saturating_add(md);
+                    if c < dist[s * n + d] {
+                        dist[s * n + d] = c;
+                    }
+                }
+            }
+        }
+        HorizonPlan { n, dist, direct }
+    }
+
+    /// Uniform plan: every ordered pair — the diagonal included, since
+    /// [`run_sharded`] has always permitted barrier-delivered
+    /// self-sends — bounded by `la`.
+    pub fn uniform(n: usize, la: Dur) -> HorizonPlan {
+        let pairs: Vec<Vec<Option<Dur>>> = (0..n).map(|_| vec![Some(la); n]).collect();
+        HorizonPlan::new(&pairs)
+    }
+
+    /// Minimum influence-path delay s→d (`None` if no path); the
+    /// diagonal reports the min round-trip through any sibling.
+    pub fn dist(&self, s: usize, d: usize) -> Option<Dur> {
+        let v = self.dist[s * self.n + d];
+        (v != INF).then_some(Dur(v))
+    }
+
+    /// The pessimistic global bound this spec collapses to when
+    /// adaptive horizons are disabled: the minimum declared pair bound
+    /// (`None` when no pair declares a channel — fully independent
+    /// shards).
+    pub fn global_min(&self) -> Option<Dur> {
+        let v = *self.direct.iter().min().expect("n >= 1");
+        (v != INF).then_some(Dur(v))
+    }
+
+    /// Safe dispatch horizon of shard `i` (ps; `INF` = unbounded)
+    /// given each shard's earliest pending event time in ps (`INF` =
+    /// idle). See the type docs for the bound and why it is safe.
+    pub fn horizon(&self, i: usize, next: &[u64]) -> u64 {
+        debug_assert_eq!(next.len(), self.n);
+        let mut h = INF;
+        for (k, &nk) in next.iter().enumerate() {
+            h = h.min(nk.saturating_add(self.dist[k * self.n + i]));
+        }
+        h
+    }
+
+    /// Direct channel bound row for `src` (ps; `INF` = no channel).
+    fn bounds_row(&self, src: usize) -> Vec<u64> {
+        self.direct[src * self.n..(src + 1) * self.n].to_vec()
+    }
+}
+
 /// A timestamped cross-shard event.
 #[derive(Clone, Debug)]
 pub struct ShardMsg<M> {
@@ -109,7 +276,9 @@ pub struct Outbox<M> {
     inner: Rc<RefCell<OutboxInner<M>>>,
     sim: Sim,
     shard: usize,
-    lookahead: Dur,
+    /// Per-destination minimum send delay in ps (`INF` = no channel
+    /// declared) — this shard's row of the lookahead spec.
+    bounds: Rc<Vec<u64>>,
 }
 
 impl<M> Clone for Outbox<M> {
@@ -118,13 +287,13 @@ impl<M> Clone for Outbox<M> {
             inner: self.inner.clone(),
             sim: self.sim.clone(),
             shard: self.shard,
-            lookahead: self.lookahead,
+            bounds: self.bounds.clone(),
         }
     }
 }
 
 impl<M> Outbox<M> {
-    fn new(sim: Sim, shard: usize, lookahead: Dur) -> Outbox<M> {
+    fn new(sim: Sim, shard: usize, bounds: Rc<Vec<u64>>) -> Outbox<M> {
         Outbox {
             inner: Rc::new(RefCell::new(OutboxInner {
                 msgs: Vec::new(),
@@ -132,20 +301,31 @@ impl<M> Outbox<M> {
             })),
             sim,
             shard,
-            lookahead,
+            bounds,
         }
     }
 
     /// Queue a message for `dst`, delivered `delay` after the current
-    /// sim time. `delay` must be at least the engine lookahead — that
-    /// bound is what lets sibling shards dispatch their window without
-    /// waiting for us.
+    /// sim time. `delay` must be at least the declared lookahead of
+    /// the `(self, dst)` pair — that bound is what lets sibling shards
+    /// dispatch their window without waiting for us.
     pub fn send(&self, dst: usize, delay: Dur, payload: M) {
+        let bound = *self
+            .bounds
+            .get(dst)
+            .unwrap_or_else(|| panic!("cross-shard send to unknown shard {dst}"));
         assert!(
-            delay >= self.lookahead,
-            "cross-shard delay {delay} is below the lookahead {} — \
-             the partition's lookahead must be a lower bound on every cut-link delay",
-            self.lookahead
+            bound != INF,
+            "cross-shard send {} -> {dst} on a pair with no declared channel — \
+             the lookahead spec must bound every pair the model uses",
+            self.shard
+        );
+        assert!(
+            delay.as_ps() >= bound,
+            "cross-shard delay {delay} is below the declared {} -> {dst} lookahead {} — \
+             the pair's lookahead must be a lower bound on its cut-link delays",
+            self.shard,
+            Dur(bound)
         );
         let mut i = self.inner.borrow_mut();
         let seq = i.seq;
@@ -230,6 +410,10 @@ pub struct ShardRunStats {
     pub events: u64,
     /// Latest final clock across the shards — the global end time.
     pub end: SimTime,
+    /// Whether the run used per-shard adaptive horizons (a
+    /// [`Lookahead::Pairwise`] spec with [`adaptive_lookahead`] on)
+    /// rather than uniform global-min windows.
+    pub adaptive: bool,
     /// Per-shard breakdown, indexed by shard.
     pub per_shard: Vec<ShardObs>,
 }
@@ -290,30 +474,85 @@ impl Drop for PoisonGuard<'_> {
 }
 
 const NO_EVENT: u64 = u64::MAX;
-const DONE: u64 = u64::MAX;
 
-/// Run a partitioned model to completion: one `(seed, shard)` pair per
-/// shard, each on its own thread, synchronized as described in the
-/// [module docs](self). Returns the per-shard results in shard order.
+/// How the engine grants dispatch horizons each round.
+enum HorizonMode {
+    /// Classic uniform windows: every shard's horizon is the global
+    /// earliest pending event plus one lookahead (ps).
+    Global(u64),
+    /// Per-shard horizons from the pairwise influence closure.
+    Adaptive(HorizonPlan),
+}
+
+/// Run a partitioned model to completion under the classic uniform
+/// global-min lookahead: one `(seed, shard)` pair per shard, each on
+/// its own thread, synchronized as described in the [module
+/// docs](self). Returns the per-shard results in shard order.
 pub fn run_sharded<Mdl: ShardModel>(
     lookahead: Dur,
     shards: Vec<(u64, Mdl)>,
 ) -> (Vec<Mdl::Out>, ShardRunStats) {
+    run_sharded_with(Lookahead::Uniform(lookahead), shards)
+}
+
+/// [`run_sharded`] with an explicit lookahead spec. A
+/// [`Lookahead::Pairwise`] spec enables per-shard adaptive horizons
+/// (unless `ELANIB_ADAPTIVE_LOOKAHEAD=0` collapses it to the global
+/// minimum): each round, every shard may dispatch up to the earliest
+/// instant any cross-shard influence could still reach it, computed
+/// from the siblings' pending-event times and the pairwise influence
+/// closure ([`HorizonPlan`]). Shards far (in influence delay) from the
+/// globally earliest event get wider windows than the uniform scheme
+/// grants — fewer rounds, the same events, and observationally
+/// identical results for any model honouring the module contract.
+pub fn run_sharded_with<Mdl: ShardModel>(
+    look: Lookahead,
+    shards: Vec<(u64, Mdl)>,
+) -> (Vec<Mdl::Out>, ShardRunStats) {
     let n = shards.len();
     assert!(n >= 1, "run_sharded needs at least one shard");
-    assert!(
-        lookahead.as_ps() > 0,
-        "lookahead must be positive — a zero-lookahead partition cannot make progress"
-    );
+    let plan = match &look {
+        Lookahead::Uniform(la) => {
+            assert!(
+                la.as_ps() > 0,
+                "lookahead must be positive — a zero-lookahead partition cannot make progress"
+            );
+            HorizonPlan::uniform(n, *la)
+        }
+        Lookahead::Pairwise(pairs) => {
+            assert_eq!(
+                pairs.len(),
+                n,
+                "pairwise lookahead spec is {}x{} but the run has {n} shards",
+                pairs.len(),
+                pairs.len()
+            );
+            HorizonPlan::new(pairs)
+        }
+    };
+    let mode = match &look {
+        Lookahead::Uniform(la) => HorizonMode::Global(la.as_ps()),
+        Lookahead::Pairwise(_) if adaptive_lookahead() => HorizonMode::Adaptive(plan.clone()),
+        Lookahead::Pairwise(_) => {
+            // Escape hatch: the pessimistic bound every pair satisfies.
+            // Fully independent shards (no channel anywhere) still need
+            // a positive window step; any value is sound there because
+            // nothing ever crosses.
+            HorizonMode::Global(plan.global_min().map_or(1, |d| d.as_ps()))
+        }
+    };
+    let adaptive = matches!(mode, HorizonMode::Adaptive(_));
 
     let barrier = PhaseBarrier::new(n);
     let inboxes: Vec<Mutex<Vec<ShardMsg<Mdl::Msg>>>> =
         (0..n).map(|_| Mutex::new(Vec::new())).collect();
     let obs: Vec<Mutex<ShardObs>> = (0..n).map(|_| Mutex::new(ShardObs::default())).collect();
     let next_times: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(NO_EVENT)).collect();
-    // Window end in ps; the first round probes with limit 0 (nothing
-    // dispatches, every shard just reports its earliest event).
-    let window_end = AtomicU64::new(0);
+    // Per-shard window ends in ps (`u64::MAX` = run to completion);
+    // the first round probes with limit 0 (nothing dispatches, every
+    // shard just reports its earliest event).
+    let window_ends: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let finished = std::sync::atomic::AtomicBool::new(false);
     let rounds = AtomicU64::new(0);
     let messages = AtomicU64::new(0);
     let events = AtomicU64::new(0);
@@ -322,7 +561,7 @@ pub fn run_sharded<Mdl: ShardModel>(
     let run_shard = |shard: usize, seed: u64, mut model: Mdl| -> Mdl::Out {
         let _guard = PoisonGuard(&barrier);
         let sim = Sim::new(seed);
-        let outbox = Outbox::new(sim.clone(), shard, lookahead);
+        let outbox = Outbox::new(sim.clone(), shard, Rc::new(plan.bounds_row(shard)));
         let mut state = model.build(shard, &sim, &outbox);
         let mut my = ShardObs {
             shard,
@@ -333,17 +572,21 @@ pub fn run_sharded<Mdl: ShardModel>(
         let mut prev_events = 0u64;
 
         loop {
-            let limit = SimTime(window_end.load(Ordering::Acquire));
+            let limit = SimTime(window_ends[shard].load(Ordering::Acquire));
             let mut local_next = sim.run_until(limit);
-            // Publish this window's sends.
+            // Publish this window's sends. A message must land at or
+            // past its *destination's* window end — the destination may
+            // be dispatching a wider window than ours right now.
             let sent = outbox.drain();
             messages.fetch_add(sent.len() as u64, Ordering::Relaxed);
             my.sent += sent.len() as u64;
             for (dst, msg) in sent {
                 assert!(dst < n, "cross-shard send to unknown shard {dst} (of {n})");
+                let dst_limit = SimTime(window_ends[dst].load(Ordering::Acquire));
                 assert!(
-                    msg.at >= limit,
-                    "message at {} precedes the window end {limit} — lookahead violated",
+                    msg.at >= dst_limit,
+                    "message at {} precedes shard {dst}'s window end {dst_limit} — \
+                     lookahead violated",
                     msg.at
                 );
                 inboxes[dst].lock().unwrap().push(msg);
@@ -377,31 +620,42 @@ pub fn run_sharded<Mdl: ShardModel>(
 
             let t1 = std::time::Instant::now();
             if barrier.wait() {
-                // Leader: agree on the next window (or termination).
-                let global = next_times
+                // Leader: agree on the next horizons (or termination).
+                let next: Vec<u64> = next_times
                     .iter()
                     .map(|t| t.load(Ordering::Acquire))
-                    .min()
-                    .unwrap();
-                let next_window = if global == NO_EVENT {
-                    DONE
+                    .collect();
+                let global = *next.iter().min().unwrap();
+                if global == NO_EVENT {
+                    finished.store(true, Ordering::Release);
                 } else {
-                    global + lookahead.as_ps()
-                };
-                window_end.store(next_window, Ordering::Release);
+                    match &mode {
+                        HorizonMode::Global(la_ps) => {
+                            let w = global + la_ps;
+                            for we in &window_ends {
+                                we.store(w, Ordering::Release);
+                            }
+                        }
+                        HorizonMode::Adaptive(plan) => {
+                            for (i, we) in window_ends.iter().enumerate() {
+                                we.store(plan.horizon(i, &next), Ordering::Release);
+                            }
+                        }
+                    }
+                }
                 let r = rounds.fetch_add(1, Ordering::Relaxed) + 1;
                 // Live heartbeat (out-of-band; no-op unless
                 // ELANIB_PROGRESS is set, rate-limited inside).
                 elanib_trace::progress::beat("shard", || {
                     format!(
-                        "\"rounds\":{r},\"events\":{},\"messages\":{},\"window_end_ps\":{}",
+                        "\"rounds\":{r},\"events\":{},\"messages\":{},\"next_event_ps\":{}",
                         events.load(Ordering::Relaxed),
                         messages.load(Ordering::Relaxed),
-                        next_window
+                        global
                     )
                 });
             }
-            barrier.wait(); // window agreed
+            barrier.wait(); // horizons agreed
             stall += t1.elapsed();
             my_rounds += 1;
             let ev = sim.events_processed();
@@ -409,7 +663,7 @@ pub fn run_sharded<Mdl: ShardModel>(
                 my.active_rounds += 1;
                 prev_events = ev;
             }
-            if window_end.load(Ordering::Acquire) == DONE {
+            if finished.load(Ordering::Acquire) {
                 break;
             }
         }
@@ -453,6 +707,7 @@ pub fn run_sharded<Mdl: ShardModel>(
         messages: messages.load(Ordering::Relaxed),
         events: events.load(Ordering::Relaxed),
         end: SimTime(end_ps.load(Ordering::Relaxed)),
+        adaptive,
         per_shard: obs.iter().map(|o| *o.lock().unwrap()).collect(),
     };
     (
@@ -724,6 +979,92 @@ mod tests {
             "idle skip failed: {} rounds for one far event",
             stats.rounds
         );
+    }
+
+    /// Ring of shards, each joined only to its two neighbors: the
+    /// pairwise closure must grant multi-hop pairs the full path sum,
+    /// and every shard not adjacent to the earliest event a horizon
+    /// strictly past the uniform global-min window.
+    #[test]
+    fn ring_pairwise_horizons_exceed_global_min() {
+        let la = Dur::from_ns(25);
+        let k = 6usize;
+        let pairs: Vec<Vec<Option<Dur>>> = (0..k)
+            .map(|s| {
+                (0..k)
+                    .map(|d| (((s + 1) % k == d) || ((d + 1) % k == s)).then_some(la))
+                    .collect()
+            })
+            .collect();
+        let plan = HorizonPlan::new(&pairs);
+        assert_eq!(plan.global_min(), Some(la));
+        // Multi-hop pairs close to path sums; the diagonal is the
+        // shortest round trip (one cable out and back).
+        assert_eq!(plan.dist(0, 3), Some(Dur(3 * la.as_ps())));
+        assert_eq!(plan.dist(0, 5), Some(la));
+        assert_eq!(plan.dist(2, 2), Some(Dur(2 * la.as_ps())));
+        // Shard 0 holds the globally earliest event; everyone else is
+        // idle. Uniform windows stop every shard at t + la.
+        let t = Dur::from_us(1).as_ps();
+        let mut next = vec![u64::MAX; k];
+        next[0] = t;
+        let uniform_window = t + la.as_ps();
+        for i in 0..k {
+            let h = plan.horizon(i, &next);
+            assert!(h >= uniform_window, "shard {i} horizon regressed");
+            // Only the ring neighbors of shard 0 are pinned to the
+            // global minimum; everyone else gets strictly more.
+            if i != 1 && i != 5 {
+                assert!(
+                    h > uniform_window,
+                    "shard {i}: adaptive horizon {h} not past uniform {uniform_window}"
+                );
+            }
+        }
+        // The far side earns the full 3-hop influence distance, and
+        // the source itself the round-trip echo bound.
+        assert_eq!(plan.horizon(3, &next), t + 3 * la.as_ps());
+        assert_eq!(plan.horizon(0, &next), t + 2 * la.as_ps());
+    }
+
+    #[test]
+    fn uniform_plan_matches_complete_graph() {
+        let la = Dur::from_ns(10);
+        let plan = HorizonPlan::uniform(3, la);
+        for s in 0..3 {
+            for d in 0..3 {
+                assert_eq!(plan.dist(s, d), Some(la), "({s},{d})");
+            }
+        }
+        assert_eq!(plan.global_min(), Some(la));
+        let next = [100u64, u64::MAX, u64::MAX];
+        assert_eq!(plan.horizon(1, &next), 100 + la.as_ps());
+    }
+
+    #[test]
+    fn disconnected_plan_grants_unbounded_horizons() {
+        let pairs: Vec<Vec<Option<Dur>>> = vec![vec![None; 2]; 2];
+        let plan = HorizonPlan::new(&pairs);
+        assert_eq!(plan.global_min(), None);
+        assert_eq!(plan.dist(0, 1), None);
+        // No channel anywhere: nothing can ever cross, so both shards
+        // may run to completion in one window.
+        assert_eq!(plan.horizon(0, &[5, 7]), u64::MAX);
+        assert_eq!(plan.horizon(1, &[5, 7]), u64::MAX);
+    }
+
+    #[test]
+    fn adaptive_lookahead_env_hatch_parses() {
+        // Serialized with other env checks by living in one test fn.
+        std::env::remove_var("ELANIB_ADAPTIVE_LOOKAHEAD");
+        assert!(adaptive_lookahead(), "adaptive must default on");
+        std::env::set_var("ELANIB_ADAPTIVE_LOOKAHEAD", "0");
+        assert!(!adaptive_lookahead());
+        std::env::set_var("ELANIB_ADAPTIVE_LOOKAHEAD", "off");
+        assert!(!adaptive_lookahead());
+        std::env::set_var("ELANIB_ADAPTIVE_LOOKAHEAD", "1");
+        assert!(adaptive_lookahead());
+        std::env::remove_var("ELANIB_ADAPTIVE_LOOKAHEAD");
     }
 
     #[test]

@@ -18,20 +18,137 @@ use std::task::{Context, Poll, Waker};
 
 /// One-shot event: starts unset, may be `set()` exactly once, and any
 /// number of tasks can `wait()` on it (before or after the set).
-#[derive(Clone, Default)]
+///
+/// Flags are the per-message completion signals of the whole model —
+/// DMA done, wire done, chain predecessor done — which made `Flag::new`
+/// the single largest allocation site on the hot path (several flags
+/// per simulated message). The backing `Rc` allocation is therefore
+/// *pooled*: dropping the last handle to a flag parks its allocation
+/// in a bounded thread-local free list for the next `Flag::new` to
+/// reuse. Pooling is invisible to behavior (state is reset on reuse
+/// and the pool is per OS thread, so determinism is untouched);
+/// `ELANIB_FLAG_POOL=off` disables it for A/B runs.
+#[derive(Clone)]
 pub struct Flag {
     inner: Rc<RefCell<FlagInner>>,
+}
+
+impl Default for Flag {
+    fn default() -> Flag {
+        Flag::new()
+    }
+}
+
+/// Max parked flag allocations per thread. Each entry is one small
+/// `Rc` block (~56 B), so even at the cap the pool holds well under
+/// half a megabyte per sweep worker; the cap exists only to bound
+/// memory on pathological churn, not to be hit in steady state.
+const FLAG_POOL_CAP: usize = 8192;
+
+thread_local! {
+    static FLAG_POOL: RefCell<Vec<Rc<RefCell<FlagInner>>>> = const { RefCell::new(Vec::new()) };
+    /// Lazily-read `ELANIB_FLAG_POOL` gate (`off`/`0` disables).
+    static FLAG_POOL_ON: bool = !matches!(
+        std::env::var("ELANIB_FLAG_POOL").as_deref(),
+        Ok("off") | Ok("0")
+    );
+}
+
+impl Drop for Flag {
+    fn drop(&mut self) {
+        // Last handle: park the allocation for reuse instead of
+        // freeing it. Any never-woken waiters are dropped here, as
+        // they would be by the Rc teardown this replaces.
+        if Rc::strong_count(&self.inner) == 1 && FLAG_POOL_ON.with(|&on| on) {
+            let waiters = {
+                let mut i = self.inner.borrow_mut();
+                i.set = false;
+                std::mem::take(&mut i.waiters)
+            };
+            // Dropping a waker is reentrancy-safe here (it only
+            // touches the kernel wake queue's Arc), but do it outside
+            // the pool borrow anyway.
+            drop(waiters);
+            FLAG_POOL.with(|p| {
+                let mut p = p.borrow_mut();
+                if p.len() < FLAG_POOL_CAP {
+                    p.push(self.inner.clone());
+                }
+            });
+        }
+    }
 }
 
 #[derive(Default)]
 struct FlagInner {
     set: bool,
-    waiters: Vec<Waker>,
+    waiters: Waiters,
+}
+
+/// Waiter storage tuned for the overwhelmingly common shapes: most
+/// flags are completion signals with exactly one waiter, so the first
+/// waker lives inline and the vector (one allocation per flag) only
+/// appears when a second *distinct* waiter shows up. Re-registrations
+/// by the same task (spurious re-polls) replace in place via
+/// [`Waker::will_wake`] instead of stacking duplicates.
+#[derive(Default)]
+enum Waiters {
+    #[default]
+    None,
+    One(Waker),
+    Many(Vec<Waker>),
+}
+
+impl Waiters {
+    fn push(&mut self, w: Waker) {
+        match self {
+            Waiters::None => *self = Waiters::One(w),
+            Waiters::One(first) => {
+                if first.will_wake(&w) {
+                    *first = w; // same task re-registering
+                } else {
+                    let Waiters::One(first) = std::mem::take(self) else {
+                        unreachable!()
+                    };
+                    *self = Waiters::Many(vec![first, w]);
+                }
+            }
+            Waiters::Many(v) => {
+                if let Some(last) = v.last_mut() {
+                    if last.will_wake(&w) {
+                        *last = w;
+                        return;
+                    }
+                }
+                v.push(w);
+            }
+        }
+    }
+
+    /// Wake every registered waiter, in registration order.
+    fn wake_all(self) {
+        match self {
+            Waiters::None => {}
+            Waiters::One(w) => w.wake(),
+            Waiters::Many(v) => {
+                for w in v {
+                    w.wake();
+                }
+            }
+        }
+    }
 }
 
 impl Flag {
     pub fn new() -> Flag {
-        Flag::default()
+        // Reuse a parked allocation when one is available; parked
+        // inners were reset (unset, no waiters) on the way in.
+        match FLAG_POOL.with(|p| p.borrow_mut().pop()) {
+            Some(inner) => Flag { inner },
+            None => Flag {
+                inner: Rc::new(RefCell::new(FlagInner::default())),
+            },
+        }
     }
 
     pub fn is_set(&self) -> bool {
@@ -48,9 +165,7 @@ impl Flag {
             i.set = true;
             std::mem::take(&mut i.waiters)
         };
-        for w in waiters {
-            w.wake();
-        }
+        waiters.wake_all();
     }
 
     /// Future resolving once the flag is set.
@@ -191,12 +306,14 @@ pub enum Race2<A, B> {
 /// deadline) and shutdown races (inbox vs. done-flag) — anywhere a task
 /// must wait on two conditions without a tie-break dependent on wake
 /// order.
-pub fn race2<A, B>(
-    a: impl Future<Output = A>,
-    b: impl Future<Output = B>,
-) -> impl Future<Output = Race2<A, B>> {
-    let mut a = Box::pin(a);
-    let mut b = Box::pin(b);
+pub async fn race2<A, B>(a: impl Future<Output = A>, b: impl Future<Output = B>) -> Race2<A, B> {
+    // Stack-pinned inside the enclosing task's state machine: a race
+    // costs zero allocations, where it used to box both sides (the
+    // single hottest allocation site in the MPI progress loop, which
+    // races inbox-recv against done/error flags on every blocking
+    // iteration). Poll order is unchanged: `a` strictly before `b`.
+    let mut a = std::pin::pin!(a);
+    let mut b = std::pin::pin!(b);
     std::future::poll_fn(move |cx| {
         if let Poll::Ready(v) = a.as_mut().poll(cx) {
             return Poll::Ready(Race2::First(v));
@@ -206,6 +323,7 @@ pub fn race2<A, B>(
         }
         Poll::Pending
     })
+    .await
 }
 
 /// Counted semaphore with strict FIFO admission. Used to model finite

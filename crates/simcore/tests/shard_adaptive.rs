@@ -1,0 +1,254 @@
+//! Adaptive per-pair lookahead vs uniform global-min windows: the two
+//! horizon schemes must be *event-log identical* — same arrivals, same
+//! timestamps, same final clock — on randomized ring partitions, and
+//! both must match the one-shard serial reference. The adaptive engine
+//! may only change how far each barrier round lets a shard dispatch,
+//! never what the model observes.
+//!
+//! Lives in its own integration binary (= its own process) so the
+//! `ELANIB_ADAPTIVE_LOOKAHEAD` escape-hatch check can flip the env var
+//! without racing the library unit tests.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use elanib_simcore::{
+    run_sharded_with, Dur, Lookahead, Outbox, ShardModel, ShardMsg, ShardRunStats, Sim,
+};
+
+/// Serializes every test in this binary: the escape-hatch check flips
+/// `ELANIB_ADAPTIVE_LOOKAHEAD`, which the other tests' mode assertions
+/// read. Lock poisoning (a failed sibling) must not mask this file's
+/// own assertions, hence the into_inner fallback.
+static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn env_lock() -> std::sync::MutexGuard<'static, ()> {
+    ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn lcg(x: u64) -> u64 {
+    x.wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
+}
+
+fn owner(node: usize, n_nodes: usize, k: usize) -> usize {
+    node * k / n_nodes
+}
+
+/// Tokens hop between ring-adjacent stations only (left or right by
+/// the token's own hash), so cross-shard traffic exists exactly
+/// between ring-adjacent contiguous blocks — the sparse influence
+/// graph the pairwise spec declares. Every arrival is logged as
+/// `(at, id)` and folded sorted, so same-instant delivery order is
+/// observationally irrelevant (the model-arbitration contract).
+struct RingModel {
+    n_nodes: usize,
+    k: usize,
+    wire: Dur,
+    hops: u32,
+    seed_stride: usize,
+}
+
+#[derive(Clone, Copy)]
+struct Tok {
+    dst: usize,
+    id: u64,
+    ttl: u32,
+}
+
+type ArrivalLog = Rc<RefCell<BTreeMap<usize, Vec<(u64, u64)>>>>;
+
+#[derive(Clone)]
+struct St {
+    cfg: Rc<(usize, usize, Dur)>, // (n_nodes, k, wire)
+    log: ArrivalLog,
+    sim: Sim,
+    out: Outbox<Tok>,
+}
+
+fn arrive(st: &St, tok: Tok) {
+    let (n, k, wire) = *st.cfg;
+    st.log
+        .borrow_mut()
+        .entry(tok.dst)
+        .or_default()
+        .push((st.sim.now().as_ps(), tok.id));
+    if tok.ttl == 0 {
+        return;
+    }
+    let h = lcg(tok.id ^ (tok.dst as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    let step = if h & 1 == 0 { 1 } else { n - 1 };
+    let next = Tok {
+        dst: (tok.dst + step) % n,
+        id: lcg(tok.id),
+        ttl: tok.ttl - 1,
+    };
+    let delay = Dur(wire.as_ps() * (1 + (h >> 1) % 3));
+    let (here, there) = (owner(tok.dst, n, k), owner(next.dst, n, k));
+    if here == there {
+        let st2 = st.clone();
+        st.sim
+            .call_at(st.sim.now() + delay, move |_| arrive(&st2, next));
+    } else {
+        st.out.send(there, delay, next);
+    }
+}
+
+impl ShardModel for RingModel {
+    type Msg = Tok;
+    type State = St;
+    type Out = (BTreeMap<usize, Vec<(u64, u64)>>, u64);
+
+    fn build(&mut self, shard: usize, sim: &Sim, out: &Outbox<Tok>) -> St {
+        let st = St {
+            cfg: Rc::new((self.n_nodes, self.k, self.wire)),
+            log: Rc::new(RefCell::new(BTreeMap::new())),
+            sim: sim.clone(),
+            out: out.clone(),
+        };
+        for node in (0..self.n_nodes).step_by(self.seed_stride) {
+            if owner(node, self.n_nodes, self.k) == shard {
+                let st2 = st.clone();
+                let id = lcg(node as u64);
+                let start = Dur(self.wire.as_ps() * (1 + id % 5));
+                let tok = Tok {
+                    dst: node,
+                    id,
+                    ttl: self.hops,
+                };
+                sim.call_at(sim.now() + start, move |_| arrive(&st2, tok));
+            }
+        }
+        st
+    }
+
+    fn deliver(&mut self, st: &mut St, sim: &Sim, msg: ShardMsg<Tok>) {
+        let st2 = st.clone();
+        let tok = msg.payload;
+        sim.call_at(msg.at, move |_| arrive(&st2, tok));
+    }
+
+    fn finish(&mut self, st: St, sim: &Sim) -> Self::Out {
+        let mut log = st.log.take();
+        for v in log.values_mut() {
+            v.sort_unstable();
+        }
+        (log, sim.now().as_ps())
+    }
+}
+
+/// The sparse spec a contiguous ring-block partition justifies: only
+/// ring-adjacent shard pairs share a channel, bounded by one wire.
+fn ring_pairs(k: usize, wire: Dur) -> Vec<Vec<Option<Dur>>> {
+    (0..k)
+        .map(|s| {
+            (0..k)
+                .map(|d| (k > 1 && (((s + 1) % k == d) || ((d + 1) % k == s))).then_some(wire))
+                .collect()
+        })
+        .collect()
+}
+
+type MergedLog = BTreeMap<usize, Vec<(u64, u64)>>;
+
+fn run(look: Lookahead, n_nodes: usize, k: usize, hops: u32) -> (MergedLog, u64, ShardRunStats) {
+    let wire = Dur::from_ns(25);
+    let shards: Vec<(u64, RingModel)> = (0..k)
+        .map(|_| {
+            (
+                11,
+                RingModel {
+                    n_nodes,
+                    k,
+                    wire,
+                    hops,
+                    seed_stride: 3,
+                },
+            )
+        })
+        .collect();
+    let (outs, stats) = run_sharded_with(look, shards);
+    let mut merged: MergedLog = BTreeMap::new();
+    let mut end = 0u64;
+    for (log, t_end) in outs {
+        for (node, v) in log {
+            assert!(
+                merged.insert(node, v).is_none(),
+                "node {node} reported by two shards"
+            );
+        }
+        end = end.max(t_end);
+    }
+    (merged, end, stats)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Per-pair adaptive horizons vs the uniform global-min window vs
+    /// the serial one-shard reference: byte-identical arrival logs and
+    /// final clocks on randomized ring partitions.
+    #[test]
+    fn adaptive_is_event_log_identical_to_global_min(
+        k in 1usize..=4,
+        extra_nodes in 0usize..=12,
+        hops in 4u32..=40,
+    ) {
+        let _g = env_lock();
+        let n_nodes = 2 * k + extra_nodes; // every shard owns >= 2 nodes
+        let wire = Dur::from_ns(25);
+        let (serial, serial_end, _) = run(Lookahead::Uniform(wire), n_nodes, 1, hops);
+        prop_assert!(!serial.is_empty());
+        let (uni, uni_end, uni_stats) = run(Lookahead::Uniform(wire), n_nodes, k, hops);
+        let (ada, ada_end, ada_stats) =
+            run(Lookahead::Pairwise(ring_pairs(k, wire)), n_nodes, k, hops);
+        prop_assert!(!uni_stats.adaptive);
+        prop_assert!(ada_stats.adaptive, "pairwise spec must engage adaptive horizons");
+        prop_assert_eq!(&uni, &serial, "uniform {}-shard diverged from serial", k);
+        prop_assert_eq!(&ada, &serial, "adaptive {}-shard diverged from serial", k);
+        prop_assert_eq!(uni_end, serial_end);
+        prop_assert_eq!(ada_end, serial_end);
+    }
+}
+
+/// On a sparse ring the adaptive horizons must also pay off where it
+/// counts: fewer barrier rounds than uniform global-min windows for
+/// the same event total.
+#[test]
+fn adaptive_cuts_barrier_rounds_on_a_sparse_ring() {
+    let _g = env_lock();
+    let wire = Dur::from_ns(25);
+    let (k, n_nodes, hops) = (4usize, 16usize, 60u32);
+    let (uni, _, uni_stats) = run(Lookahead::Uniform(wire), n_nodes, k, hops);
+    let (ada, _, ada_stats) = run(Lookahead::Pairwise(ring_pairs(k, wire)), n_nodes, k, hops);
+    assert_eq!(uni, ada);
+    assert_eq!(uni_stats.events, ada_stats.events, "same events either way");
+    assert!(
+        ada_stats.rounds < uni_stats.rounds,
+        "adaptive rounds {} not below uniform rounds {}",
+        ada_stats.rounds,
+        uni_stats.rounds
+    );
+}
+
+/// The escape hatch: `ELANIB_ADAPTIVE_LOOKAHEAD=0` collapses a
+/// pairwise spec to its global minimum — same results, uniform
+/// windows, `adaptive: false` in the stats. This binary is its own
+/// process, and [`env_lock`] keeps the flip from racing the sibling
+/// tests' mode assertions.
+#[test]
+fn escape_hatch_collapses_to_global_min() {
+    let _g = env_lock();
+    let wire = Dur::from_ns(25);
+    std::env::set_var("ELANIB_ADAPTIVE_LOOKAHEAD", "0");
+    let (off, off_end, off_stats) = run(Lookahead::Pairwise(ring_pairs(3, wire)), 9, 3, 30);
+    std::env::remove_var("ELANIB_ADAPTIVE_LOOKAHEAD");
+    assert!(!off_stats.adaptive, "hatch must disable adaptive horizons");
+    let (on, on_end, on_stats) = run(Lookahead::Pairwise(ring_pairs(3, wire)), 9, 3, 30);
+    assert!(on_stats.adaptive);
+    assert_eq!(off, on, "hatch changed observable results");
+    assert_eq!(off_end, on_end);
+}
