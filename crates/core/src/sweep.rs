@@ -71,6 +71,11 @@ pub struct WorkerStat {
     pub busy: Duration,
 }
 
+/// Upper bound on panic messages retained in [`SweepStats::failures`]
+/// (and serialized into the JSONL record). Keeps a pathological batch
+/// — every point dead — from ballooning the perf log.
+pub const MAX_RETAINED_FAILURES: usize = 5;
+
 /// Throughput report for one [`sweep_with_stats`] call.
 #[derive(Clone, Debug)]
 pub struct SweepStats {
@@ -86,6 +91,11 @@ pub struct SweepStats {
     /// Points that panicked and were isolated (always 0 unless the
     /// sweep ran with [`SweepOpts::isolate_panics`]).
     pub failed: usize,
+    /// The first [`MAX_RETAINED_FAILURES`] isolated panic messages, in
+    /// completion order — so a fuzz batch's failures are attributable
+    /// from the JSONL record alone, without re-running the sweep.
+    /// `failed` still counts *every* failure; this is a bounded sample.
+    pub failures: Vec<String>,
     /// `Some(k)` when `ELANIB_DES_SHARDS=k` forced static shard
     /// placement; `None` under ordinary atomic work claiming.
     pub shards: Option<usize>,
@@ -119,6 +129,12 @@ impl SweepStats {
         self.wall += other.wall;
         self.threads = self.threads.max(other.threads);
         self.failed += other.failed;
+        for m in &other.failures {
+            if self.failures.len() >= MAX_RETAINED_FAILURES {
+                break;
+            }
+            self.failures.push(m.clone());
+        }
         self.shards = self.shards.or(other.shards);
         self.per_item_events
             .extend_from_slice(&other.per_item_events);
@@ -177,6 +193,25 @@ impl SweepStats {
             self.events_per_sec(),
             ts
         );
+        if !self.failures.is_empty() {
+            line.push_str(",\"failures\":[");
+            for (i, m) in self.failures.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                // Panic messages can span lines (deadlock reports do);
+                // JSON strings cannot.
+                let esc = m
+                    .replace('\\', "\\\\")
+                    .replace('"', "\\\"")
+                    .replace('\n', "\\n")
+                    .replace('\t', "\\t");
+                line.push('"');
+                line.push_str(&esc);
+                line.push('"');
+            }
+            line.push(']');
+        }
         // Worker breakdown last, with short non-colliding keys, so the
         // first-occurrence field scans the gate/report use still hit
         // the top-level fields above.
@@ -471,6 +506,7 @@ where
         events: events.into_inner(),
         wall: t0.elapsed(),
         failed: 0,
+        failures: Vec::new(),
         shards,
         per_worker,
         per_item_events: per_item.into_iter().map(AtomicU64::into_inner).collect(),
@@ -543,6 +579,7 @@ where
         return (out.into_iter().map(PointResult::Ok).collect(), stats);
     }
     let failed = AtomicUsize::new(0);
+    let retained: std::sync::Mutex<Vec<String>> = std::sync::Mutex::new(Vec::new());
     let (out, mut stats) = sweep_with_stats(items, |item| {
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))) {
             Ok(t) => PointResult::Ok(t),
@@ -555,6 +592,12 @@ where
                     "non-string panic payload".to_string()
                 };
                 failed.fetch_add(1, Ordering::Relaxed);
+                {
+                    let mut r = retained.lock().unwrap();
+                    if r.len() < MAX_RETAINED_FAILURES {
+                        r.push(payload.clone());
+                    }
+                }
                 eprintln!("[sweep] point {item:?} failed: {payload}");
                 PointResult::Failed {
                     payload,
@@ -564,6 +607,7 @@ where
         }
     });
     stats.failed = failed.into_inner();
+    stats.failures = retained.into_inner().unwrap();
     (out, stats)
 }
 
@@ -645,6 +689,7 @@ mod tests {
             events: 100,
             wall: Duration::from_millis(10),
             failed: 1,
+            failures: vec!["boom-a".into()],
             shards: None,
             per_worker: vec![WorkerStat {
                 worker: 0,
@@ -660,6 +705,7 @@ mod tests {
             events: 50,
             wall: Duration::from_millis(5),
             failed: 2,
+            failures: vec!["boom-b1".into(), "boom-b2".into()],
             shards: Some(2),
             per_worker: vec![
                 WorkerStat {
@@ -683,6 +729,10 @@ mod tests {
         assert_eq!(a.threads, 4);
         assert_eq!(a.wall, Duration::from_millis(15));
         assert_eq!(a.failed, 3);
+        assert_eq!(
+            a.failures,
+            vec!["boom-a".to_string(), "boom-b1".into(), "boom-b2".into()]
+        );
         assert_eq!(a.shards, Some(2));
         // Worker breakdowns merged by index.
         assert_eq!(a.per_worker.len(), 2);
@@ -782,6 +832,12 @@ mod tests {
         });
         assert_eq!(out.len(), 12);
         assert_eq!(stats.failed, 1);
+        assert_eq!(stats.failures.len(), 1);
+        assert!(
+            stats.failures[0].contains("boom at 5"),
+            "{:?}",
+            stats.failures
+        );
         for (i, r) in out.into_iter().enumerate() {
             if i == 5 {
                 match r {
@@ -798,6 +854,20 @@ mod tests {
                 assert_eq!(r.ok(), Some(i as u32 * 2));
             }
         }
+    }
+
+    #[test]
+    fn retained_failure_sample_is_bounded() {
+        // Every point dies: the count reports all of them, the retained
+        // message sample stays at the bound.
+        let items: Vec<u32> = (0..20).collect();
+        let opts = SweepOpts {
+            isolate_panics: true,
+        };
+        let (out, stats) = sweep_with_opts(&items, opts, |&i| -> u32 { panic!("dead {i}") });
+        assert_eq!(stats.failed, 20);
+        assert_eq!(stats.failures.len(), MAX_RETAINED_FAILURES);
+        assert!(out.iter().all(|r| r.is_failed()));
     }
 
     #[test]

@@ -535,6 +535,70 @@ mod tests {
     }
 
     #[test]
+    fn outage_boundary_at_exact_packet_timestamps() {
+        use crate::faults::FaultPlan;
+        use std::cell::RefCell;
+        use std::sync::Arc;
+        // A packet attempted at *exactly* the window start is down; one
+        // at exactly the end sails through ([start, end) is
+        // end-exclusive). Probed from simulation tasks so the attempt
+        // really happens at those clock values.
+        let base = ib_crossbar(4);
+        let dead = base.routes().path(0, 1)[0];
+        let plan = FaultPlan::parse(&format!("outage=link{dead}@100us+100us")).unwrap();
+        let f = Rc::new(Fabric::with_faults(
+            Topology::single_crossbar(4),
+            infiniband_4x(),
+            Some(Arc::new(plan)),
+        ));
+        let sim = Sim::new(1);
+        let outcomes = Rc::new(RefCell::new(Vec::new()));
+        for us in [99u64, 100, 199, 200] {
+            let (ff, s, out) = (f.clone(), sim.clone(), outcomes.clone());
+            sim.spawn(format!("probe{us}"), async move {
+                s.sleep(Dur::from_us(us)).await;
+                let down = matches!(
+                    ff.deliver_attempt(&s, 0, 1, 64, false),
+                    WireOutcome::LinkDown { .. }
+                );
+                out.borrow_mut().push((us, down));
+            });
+        }
+        sim.run().unwrap();
+        let o = outcomes.borrow();
+        assert!(o.contains(&(99, false)), "{o:?}");
+        assert!(o.contains(&(100, true)), "window start is inclusive: {o:?}");
+        assert!(o.contains(&(199, true)), "{o:?}");
+        assert!(o.contains(&(200, false)), "window end is exclusive: {o:?}");
+    }
+
+    #[test]
+    fn zero_length_messages_still_face_crc_corruption() {
+        use crate::faults::FaultPlan;
+        use std::sync::Arc;
+        // A zero-byte message still travels as one header packet, so
+        // the CRC process must get a draw at it — with corrupt=1 every
+        // such packet corrupts on every link of the path.
+        let sim = Sim::new(1);
+        let plan = FaultPlan::parse("corrupt=1, seed=2").unwrap();
+        let f = Fabric::with_faults(
+            Topology::single_crossbar(4),
+            infiniband_4x(),
+            Some(Arc::new(plan)),
+        );
+        match f.deliver_attempt(&sim, 0, 1, 0, false) {
+            WireOutcome::Delivered {
+                lost, corrupted, ..
+            } => {
+                assert_eq!(lost, 0);
+                assert!(corrupted >= 1, "one packet minimum, all corrupted");
+                assert_eq!(f.fault_stats().corrupts, corrupted);
+            }
+            WireOutcome::LinkDown { .. } => panic!("corruption is not an outage"),
+        }
+    }
+
+    #[test]
     fn degraded_link_stretches_serialization() {
         use crate::faults::FaultPlan;
         use std::sync::Arc;

@@ -89,6 +89,116 @@ impl FaultPlan {
             && self.stalls.is_empty()
     }
 
+    /// Drop scheduled windows that provably cannot affect a run that
+    /// ends by `horizon`: anything starting at or past the horizon,
+    /// plus zero-length windows (`[start, start)` is empty under the
+    /// end-exclusive window rule). The rates are untouched — a loss
+    /// process has no schedule to prune. A plan whose every window is
+    /// filtered and whose rates are zero becomes [`is_effectless`]
+    /// (and the fabric then drops it entirely), which is what makes
+    /// "this plan was a no-op" a provable statement rather than an
+    /// empirical one.
+    ///
+    /// [`is_effectless`]: FaultPlan::is_effectless
+    pub fn truncated_to(&self, horizon: Dur) -> FaultPlan {
+        let live = |start: Dur, dur: Dur| start < horizon && dur > Dur::ZERO;
+        let mut p = self.clone();
+        p.outages.retain(|o| live(o.start, o.dur));
+        p.degrades.retain(|d| live(d.start, d.dur));
+        p.stalls.retain(|s| live(s.start, s.dur));
+        p
+    }
+
+    /// Deterministically sample a fault plan from `seed` for a fabric
+    /// with `links` undirected edges and `eps` endpoints, scheduling
+    /// all windows inside `[0, horizon)`. This is the fuzzer's
+    /// generator hook: the draw chain is the fault layer's own
+    /// stateless SplitMix64, so a sampled plan is a pure function of
+    /// its arguments — same seed, same plan, forever. Roughly half of
+    /// all seeds yield a quiet plan (no loss), mirroring how often
+    /// real scenarios run clean.
+    pub fn sample(seed: u64, links: usize, eps: usize, horizon: Dur) -> FaultPlan {
+        let d = |k: u64, n: u64| unit_draw(seed, k, n);
+        let span = horizon.as_ps().max(1);
+        let window = |k: u64, n: u64| -> (Dur, Dur) {
+            let start = Dur::from_ps((d(k, n) * span as f64) as u64);
+            // Durations up to a quarter horizon, never zero.
+            let dur = Dur::from_ps((d(k, n + 1) * (span / 4) as f64) as u64 + 1);
+            (start, dur)
+        };
+        let mut plan = FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        };
+        if d(1, 0) < 0.5 {
+            plan.loss = [1e-3, 1e-2, 3e-2][(d(1, 1) * 3.0) as usize % 3];
+        }
+        if d(2, 0) < 0.3 {
+            plan.corrupt = [1e-3, 1e-2][(d(2, 1) * 2.0) as usize % 2];
+        }
+        if links > 0 {
+            for i in 0..(d(3, 0) * 3.0) as u64 {
+                let (start, dur) = window(3, i * 3 + 2);
+                plan.outages.push(Outage {
+                    link: (d(3, i * 3 + 1) * links as f64) as usize % links,
+                    start,
+                    dur,
+                });
+            }
+            for i in 0..(d(4, 0) * 3.0) as u64 {
+                let (start, dur) = window(4, i * 4 + 2);
+                plan.degrades.push(Degrade {
+                    link: (d(4, i * 4 + 1) * links as f64) as usize % links,
+                    start,
+                    dur,
+                    factor: 0.25 + 0.75 * d(4, i * 4 + 4),
+                });
+            }
+        }
+        if eps > 0 {
+            for i in 0..(d(5, 0) * 2.0) as u64 {
+                let (start, dur) = window(5, i * 3 + 2);
+                plan.stalls.push(NicStall {
+                    ep: (d(5, i * 3 + 1) * eps as f64) as usize % eps,
+                    start,
+                    dur,
+                });
+            }
+        }
+        plan
+    }
+
+    /// Strictly simpler variants of this plan, most-aggressive
+    /// reduction first — the fuzzer's shrinking hook. Each candidate
+    /// removes one kind of injection (or halves a schedule); a shrinker
+    /// re-runs the failing scenario after each step and keeps the
+    /// reduction only if the failure survives. Returns nothing for an
+    /// effectless plan — there is nothing left to remove.
+    pub fn shrink_candidates(&self) -> Vec<FaultPlan> {
+        let mut out = Vec::new();
+        let mut push = |f: &dyn Fn(&mut FaultPlan)| {
+            let mut p = self.clone();
+            f(&mut p);
+            out.push(p);
+        };
+        if !self.outages.is_empty() {
+            push(&|p| p.outages.truncate(p.outages.len() / 2));
+        }
+        if !self.degrades.is_empty() {
+            push(&|p| p.degrades.truncate(p.degrades.len() / 2));
+        }
+        if !self.stalls.is_empty() {
+            push(&|p| p.stalls.truncate(p.stalls.len() / 2));
+        }
+        if self.corrupt > 0.0 {
+            push(&|p| p.corrupt = 0.0);
+        }
+        if self.loss > 0.0 {
+            push(&|p| p.loss = 0.0);
+        }
+        out
+    }
+
     /// Parse a fault spec. Two forms:
     ///
     /// * `@/path/to/plan` — load the file at that path and parse its
@@ -795,6 +905,88 @@ mod tests {
         assert!(!FaultPlan::parse("outage=link0@0+1us")
             .unwrap()
             .is_effectless());
+    }
+
+    #[test]
+    fn windows_outside_the_run_filter_to_provable_noops() {
+        let plan = FaultPlan::parse(
+            "outage=link0@500us+100us, degrade=link1@900us+10us*0.5, stall=ep0@1ms+1us",
+        )
+        .unwrap();
+        // Horizon below every window start: the whole schedule is a
+        // provable no-op and the plan collapses to effectless.
+        let t = plan.truncated_to(Dur::from_us(400));
+        assert!(t.is_effectless(), "{t:?}");
+        // Horizon inside the first window: only it survives.
+        let t = plan.truncated_to(Dur::from_us(600));
+        assert_eq!(t.outages.len(), 1);
+        assert!(t.degrades.is_empty() && t.stalls.is_empty());
+        // A window starting exactly at the horizon is outside the run
+        // (the run's events all land strictly before it).
+        assert!(plan.truncated_to(Dur::from_us(500)).outages.is_empty());
+        // Rates have no schedule to prune: a lossy plan stays live.
+        let lossy = FaultPlan::parse("loss=1e-3, outage=link0@1s+1s").unwrap();
+        let t = lossy.truncated_to(Dur::from_us(1));
+        assert!(t.outages.is_empty() && !t.is_effectless());
+        // Zero-length windows are empty under end-exclusivity.
+        let z = FaultPlan {
+            outages: vec![Outage {
+                link: 0,
+                start: Dur::from_us(1),
+                dur: Dur::ZERO,
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(z.truncated_to(Dur::from_secs(1)).is_effectless());
+    }
+
+    #[test]
+    fn sampled_plans_are_pure_functions_of_the_seed() {
+        let horizon = Dur::from_ms(1);
+        let mut distinct = 0;
+        for seed in 0..50u64 {
+            let a = FaultPlan::sample(seed, 24, 8, horizon);
+            assert_eq!(a, FaultPlan::sample(seed, 24, 8, horizon));
+            for o in &a.outages {
+                assert!(o.link < 24 && o.start < horizon && o.dur > Dur::ZERO);
+            }
+            for d in &a.degrades {
+                assert!(d.link < 24 && (0.25..=1.0).contains(&d.factor));
+            }
+            for s in &a.stalls {
+                assert!(s.ep < 8);
+            }
+            if !a.is_effectless() {
+                distinct += 1;
+            }
+        }
+        assert!(distinct > 10, "sampling must produce live plans");
+        assert_ne!(
+            FaultPlan::sample(1, 24, 8, horizon),
+            FaultPlan::sample(2, 24, 8, horizon)
+        );
+    }
+
+    #[test]
+    fn shrink_candidates_are_strictly_simpler() {
+        let size = |p: &FaultPlan| {
+            p.outages.len()
+                + p.degrades.len()
+                + p.stalls.len()
+                + (p.loss > 0.0) as usize
+                + (p.corrupt > 0.0) as usize
+        };
+        let plan = FaultPlan::parse(
+            "loss=0.01, corrupt=0.001, outage=link0@1us+1us, outage=link1@2us+1us, \
+             stall=ep0@1us+1us",
+        )
+        .unwrap();
+        let cands = plan.shrink_candidates();
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(size(c) < size(&plan), "not simpler: {c:?}");
+        }
+        assert!(FaultPlan::default().shrink_candidates().is_empty());
     }
 
     #[test]

@@ -44,7 +44,10 @@ pub mod tports;
 pub mod verbs;
 
 pub use elanib_nic::Bytes;
-pub use runner::{run_job, run_job_configured, JobSpec, NetConfig, Network, RankProgram};
+pub use runner::{
+    run_job, run_job_configured, run_scenario, run_scenario_on, JobSpec, NetConfig, Network,
+    RankProgram, ScenarioRun,
+};
 pub use subcomm::SubComm;
 
 /// Aggregate run statistics from a world (see `IbWorld::stats` /

@@ -1,9 +1,10 @@
 //! Network-generic job launcher: run the same rank program on either
 //! network and get the final simulated time back.
 
+use elanib_fabric::FaultStats;
 use elanib_nic::{ElanParams, HcaParams};
 use elanib_nodesim::NodeParams;
-use elanib_simcore::{Sim, SimTime};
+use elanib_simcore::{Dur, Sim, SimError, SimTime};
 
 use crate::tports::{ElanWorld, TportsMpiParams};
 use crate::verbs::{IbWorld, VerbsParams};
@@ -77,39 +78,119 @@ pub fn run_job<P: RankProgram>(spec: JobSpec, program: P) -> SimTime {
     run_job_configured(spec, &NetConfig::default(), program)
 }
 
+/// `ELANIB_SIM_BUDGET_SECS`: in-kernel simulated-time watchdog for
+/// [`run_job`]-family launches. A runaway simulation (livelock, a
+/// fault plan that never lets a retransmit through) used to be killed
+/// from outside by the script-level `ELANIB_REGEN_TIMEOUT`; the
+/// in-kernel budget instead surfaces a typed
+/// [`SimError::ScenarioTimeout`] with the flight-ring tail attached.
+/// Default 10 000 simulated seconds — orders of magnitude past any
+/// committed exhibit, so the fixed results never feel it; `0`/`off`
+/// disables. The script watchdog stays as the outer backstop.
+fn job_budget() -> Option<SimTime> {
+    match std::env::var("ELANIB_SIM_BUDGET_SECS").as_deref() {
+        Ok("0") | Ok("off") => None,
+        Ok(v) => v
+            .parse::<u64>()
+            .ok()
+            .map(|s| SimTime::ZERO + Dur::from_secs(s)),
+        Err(_) => Some(SimTime::ZERO + Dur::from_secs(10_000)),
+    }
+}
+
 /// [`run_job`] with explicit stack parameters (ablations, sweeps).
 pub fn run_job_configured<P: RankProgram>(spec: JobSpec, cfg: &NetConfig, program: P) -> SimTime {
-    let sim = Sim::new(spec.seed);
+    match run_scenario(spec, cfg, job_budget(), program) {
+        Ok(run) => run.end,
+        Err(e @ SimError::Deadlock { .. }) => panic!("{} job deadlocked: {e}", spec.network),
+        Err(e) => panic!("{} job failed: {e}", spec.network),
+    }
+}
+
+/// One completed scenario run: the final clock plus every end-of-run
+/// counter the fuzzer's cross-cutting invariants read.
+#[derive(Clone, Debug)]
+pub struct ScenarioRun {
+    /// Final simulated time (all ranks and hardware activity done).
+    pub end: SimTime,
+    /// Whole-world traffic and software-event totals.
+    pub stats: crate::WorldStats,
+    /// Fault-injection and recovery totals from the fabric.
+    pub faults: FaultStats,
+    /// Per-link byte totals, in link order — the determinism invariant
+    /// compares these byte-for-byte across serial/sharded and
+    /// cold/warm-cache replays.
+    pub link_bytes: Vec<u64>,
+}
+
+/// Programmatic scenario entry point for the property fuzzer:
+/// identical cluster construction to [`run_job_configured`], but a
+/// deadlock — or a blown simulated-time `budget` — comes back as a
+/// typed `Err(SimError)` instead of a panic, so a fuzz batch can treat
+/// failures as data, shrink them, and replay them.
+pub fn run_scenario<P: RankProgram>(
+    spec: JobSpec,
+    cfg: &NetConfig,
+    budget: Option<SimTime>,
+    program: P,
+) -> Result<ScenarioRun, SimError> {
+    run_scenario_on(&Sim::new(spec.seed), spec, cfg, budget, program)
+}
+
+/// [`run_scenario`] on a caller-built kernel — the hook for harnesses
+/// that pin a tracer or profiler regardless of environment
+/// ([`Sim::with_tracer`] / [`Sim::with_profiler`]): the fuzzer's
+/// observer-effect invariant re-runs a scenario with telemetry
+/// attached and demands byte-identical metrics. The caller is
+/// responsible for seeding `sim` with `spec.seed` if it wants the
+/// plain [`run_scenario`] behavior.
+pub fn run_scenario_on<P: RankProgram>(
+    sim: &Sim,
+    spec: JobSpec,
+    cfg: &NetConfig,
+    budget: Option<SimTime>,
+    program: P,
+) -> Result<ScenarioRun, SimError> {
     if let Some(tr) = sim.tracer() {
         tr.set_label(format!(
             "{} {}n x {}ppn",
             spec.network, spec.nodes, spec.ppn
         ));
     }
+    let drive = |sim: &Sim| match budget {
+        Some(b) => sim.run_until_budget(b),
+        None => sim.run(),
+    };
     match spec.network {
         Network::InfiniBand => {
-            let w = IbWorld::with_config(&sim, spec.nodes, spec.ppn, cfg);
+            let w = IbWorld::with_config(sim, spec.nodes, spec.ppn, cfg);
             w.spawn_ranks("job", move |c| program.clone().run(c));
-            let t = sim
-                .run()
-                .unwrap_or_else(|e| panic!("{} job deadlocked: {e}", spec.network));
+            let end = drive(sim)?;
             if let Some(tr) = sim.tracer() {
                 record_world_metrics(tr, &w.stats());
                 w.net.fabric.record_metrics(tr);
             }
-            t
+            Ok(ScenarioRun {
+                end,
+                stats: w.stats(),
+                faults: w.net.fabric.fault_stats(),
+                link_bytes: w.net.fabric.per_link_bytes(),
+            })
         }
         Network::Elan4 => {
-            let w = ElanWorld::with_config(&sim, spec.nodes, spec.ppn, cfg);
+            let w = ElanWorld::with_config(sim, spec.nodes, spec.ppn, cfg);
             w.spawn_ranks("job", move |c| program.clone().run(c));
-            let t = sim
-                .run()
-                .unwrap_or_else(|e| panic!("{} job deadlocked: {e}", spec.network));
+            let end = drive(sim)?;
             if let Some(tr) = sim.tracer() {
                 record_world_metrics(tr, &w.stats());
                 w.net.fabric.record_metrics(tr);
             }
-            t
+            Ok(ScenarioRun {
+                end,
+                stats: w.stats(),
+                faults: w.net.fabric.fault_stats(),
+                link_bytes: w.net.fabric.per_link_bytes(),
+            })
         }
     }
 }
@@ -149,6 +230,56 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn run_scenario_returns_counters_on_success() {
+        for net in Network::BOTH {
+            let out = Rc::new(Cell::new(0.0));
+            let run = run_scenario(
+                JobSpec {
+                    network: net,
+                    nodes: 4,
+                    ppn: 1,
+                    seed: 2,
+                },
+                &NetConfig::default(),
+                Some(SimTime::ZERO + Dur::from_secs(1)),
+                SumProgram { out: out.clone() },
+            )
+            .expect("scenario completes well under budget");
+            assert_eq!(out.get(), 4.0);
+            assert!(run.end > SimTime::ZERO);
+            assert!(run.stats.wire_bytes > 0, "allreduce moved bytes");
+            assert_eq!(run.faults, FaultStats::default(), "no plan, no faults");
+            assert_eq!(
+                run.link_bytes.iter().sum::<u64>(),
+                run.stats.wire_bytes,
+                "per-link bytes account for the wire total"
+            );
+        }
+    }
+
+    #[test]
+    fn run_scenario_reports_blown_budget_as_typed_error() {
+        let out = Rc::new(Cell::new(0.0));
+        let err = run_scenario(
+            JobSpec {
+                network: Network::InfiniBand,
+                nodes: 4,
+                ppn: 1,
+                seed: 2,
+            },
+            &NetConfig::default(),
+            // One picosecond of simulated time: nothing real finishes.
+            Some(SimTime::ZERO + Dur::from_ps(1)),
+            SumProgram { out },
+        )
+        .expect_err("budget must blow");
+        assert!(
+            matches!(err, SimError::ScenarioTimeout { .. }),
+            "expected timeout, got {err:?}"
+        );
     }
 
     #[test]

@@ -819,6 +819,42 @@ pub enum SimError {
         stuck: Vec<StuckTask>,
         diag: DeadlockDiag,
     },
+    /// [`Sim::run_until_budget`] exhausted its simulated-time budget
+    /// with events still pending: the run is *live* (not deadlocked)
+    /// but has overrun the caller's watchdog. `next` is the timestamp
+    /// of the earliest undispatched event; `diag` carries the same
+    /// kernel snapshot (flight-ring tail included) a deadlock report
+    /// would, so a runaway scenario ships its diagnosis without being
+    /// killed from outside the process.
+    ScenarioTimeout {
+        budget: SimTime,
+        next: SimTime,
+        diag: DeadlockDiag,
+    },
+}
+
+/// Shared tail of every [`SimError`] Display form: the kernel snapshot
+/// in square brackets, flight-ring tail last.
+fn fmt_diag(f: &mut fmt::Formatter<'_>, d: &DeadlockDiag) -> fmt::Result {
+    write!(
+        f,
+        " [kernel: pending_events={}, wake_queue={}, live_tasks={}, events_processed={}",
+        d.pending_events, d.wake_queue, d.live_tasks, d.events_processed
+    )?;
+    if !d.counters.is_empty() {
+        write!(f, "; counters: {}", d.counters)?;
+    }
+    if !d.flight.is_empty() {
+        let show = d.flight.len().min(8);
+        write!(f, "; flight tail ({} of {}): ", show, d.flight.len())?;
+        for (i, e) in d.flight[d.flight.len() - show..].iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+    }
+    write!(f, "]")
 }
 
 impl fmt::Display for SimError {
@@ -835,27 +871,15 @@ impl fmt::Display for SimError {
                 if stuck.len() > 8 {
                     write!(f, ", ...")?;
                 }
-                let d = diag;
+                fmt_diag(f, diag)
+            }
+            SimError::ScenarioTimeout { budget, next, diag } => {
                 write!(
                     f,
-                    " [kernel: pending_events={}, wake_queue={}, live_tasks={}, events_processed={}",
-                    d.pending_events, d.wake_queue, d.live_tasks, d.events_processed
+                    "scenario timeout: simulated-time budget {budget} exhausted \
+                     with events still pending (next event at {next})"
                 )?;
-                if !d.counters.is_empty() {
-                    write!(f, "; counters: {}", d.counters)?;
-                }
-                if !d.flight.is_empty() {
-                    let show = d.flight.len().min(8);
-                    write!(f, "; flight tail ({} of {}): ", show, d.flight.len())?;
-                    for (i, e) in d.flight[d.flight.len() - show..].iter().enumerate() {
-                        if i > 0 {
-                            write!(f, ", ")?;
-                        }
-                        write!(f, "{e}")?;
-                    }
-                }
-                write!(f, "]")?;
-                Ok(())
+                fmt_diag(f, diag)
             }
         }
     }
@@ -1344,8 +1368,56 @@ impl Sim {
     pub fn run(&self) -> Result<SimTime, SimError> {
         let leftover = self.run_events(None);
         debug_assert!(leftover.is_none());
+        let result = self.finish_run();
+        self.publish_counters();
+        result
+    }
 
-        let result = {
+    /// Drive the simulation to completion like [`Sim::run`], but under
+    /// a simulated-time watchdog: if events are still pending once the
+    /// clock would cross `budget`, stop and return a typed
+    /// [`SimError::ScenarioTimeout`] (kernel snapshot and flight-ring
+    /// tail attached) instead of spinning forever or requiring an
+    /// external process kill. A run that drains its events within the
+    /// budget behaves exactly as `run()` — including deadlock
+    /// detection — so a generous budget is free.
+    pub fn run_until_budget(&self, budget: SimTime) -> Result<SimTime, SimError> {
+        let leftover = self.run_events(Some(budget));
+        let result = match leftover {
+            Some(next) => Err(SimError::ScenarioTimeout {
+                budget,
+                next,
+                diag: self.diag_snapshot(),
+            }),
+            None => self.finish_run(),
+        };
+        self.publish_counters();
+        result
+    }
+
+    /// Kernel snapshot for an error report: scheduler queue depths and
+    /// the flight-recorder tail, built unconditionally — an *untraced*
+    /// failure is still diagnosable. Trace counters ride along when
+    /// the tracer happens to be on.
+    fn diag_snapshot(&self) -> DeadlockDiag {
+        let k = self.k.borrow();
+        DeadlockDiag {
+            pending_events: k.queue.len(),
+            wake_queue: self.wakes.state.lock().unwrap().ready.len(),
+            live_tasks: k.live_tasks,
+            events_processed: k.events_processed,
+            counters: self
+                .tr
+                .as_ref()
+                .map(|tr| tr.counter_digest(6))
+                .unwrap_or_default(),
+            flight: k.flight.tail(),
+        }
+    }
+
+    /// Completion / deadlock verdict once the event queue has drained.
+    fn finish_run(&self) -> Result<SimTime, SimError> {
+        let now = {
             let k = self.k.borrow();
             if k.live_tasks > 0 {
                 let stuck: Vec<StuckTask> = k
@@ -1358,29 +1430,13 @@ impl Sim {
                         since: c.last_suspend,
                     })
                     .collect();
-                // Snapshot the scheduler state and the flight-recorder
-                // tail into the report unconditionally — an *untraced*
-                // deadlock is still diagnosable. Trace counters ride
-                // along when the tracer happens to be on.
-                let diag = DeadlockDiag {
-                    pending_events: k.queue.len(),
-                    wake_queue: self.wakes.state.lock().unwrap().ready.len(),
-                    live_tasks: k.live_tasks,
-                    events_processed: k.events_processed,
-                    counters: self
-                        .tr
-                        .as_ref()
-                        .map(|tr| tr.counter_digest(6))
-                        .unwrap_or_default(),
-                    flight: k.flight.tail(),
-                };
-                Err(SimError::Deadlock { stuck, diag })
-            } else {
-                Ok(k.now)
+                drop(k);
+                let diag = self.diag_snapshot();
+                return Err(SimError::Deadlock { stuck, diag });
             }
+            k.now
         };
-        self.publish_counters();
-        result
+        Ok(now)
     }
 
     /// Drive the simulation up to (exclusive) `limit`: every pending
@@ -1762,7 +1818,9 @@ mod tests {
             std::future::pending::<()>().await;
         });
         let err = sim.run().unwrap_err();
-        let SimError::Deadlock { diag: d, .. } = &err;
+        let SimError::Deadlock { diag: d, .. } = &err else {
+            panic!("expected deadlock, got {err:?}");
+        };
         assert_eq!(d.pending_events, 0, "natural deadlock drains the heap");
         assert_eq!(d.wake_queue, 0);
         assert_eq!(d.live_tasks, 1);
@@ -1771,6 +1829,65 @@ mod tests {
         let msg = format!("{err}");
         assert!(msg.contains("pending_events=0"), "{msg}");
         assert!(msg.contains("wake_queue=0"), "{msg}");
+    }
+
+    #[test]
+    fn budget_run_completes_like_plain_run_when_under_budget() {
+        let mk = || {
+            let sim = Sim::new(11);
+            let s = sim.clone();
+            sim.spawn("quick", async move {
+                for _ in 0..5 {
+                    s.sleep(Dur::from_us(3)).await;
+                }
+            });
+            sim
+        };
+        let plain = mk().run().unwrap();
+        let budgeted = mk()
+            .run_until_budget(SimTime::ZERO + Dur::from_ms(1))
+            .unwrap();
+        assert_eq!(plain, budgeted);
+    }
+
+    #[test]
+    fn budget_run_reports_typed_timeout_with_diagnostics() {
+        let sim = Sim::new(12);
+        let s = sim.clone();
+        sim.spawn("endless-ticker", async move {
+            loop {
+                s.sleep(Dur::from_us(1)).await;
+            }
+        });
+        let err = sim.run_until_budget(SimTime::ZERO + Dur::from_us(50));
+        match err {
+            Err(SimError::ScenarioTimeout { budget, next, diag }) => {
+                assert_eq!(budget, SimTime::ZERO + Dur::from_us(50));
+                assert!(next >= budget, "next pending event is at/past budget");
+                assert!(diag.pending_events > 0, "the run is live, not deadlocked");
+                assert!(!diag.flight.is_empty(), "flight tail attached");
+                let msg = format!("{}", SimError::ScenarioTimeout { budget, next, diag });
+                assert!(msg.contains("scenario timeout"), "{msg}");
+                assert!(msg.contains("flight tail"), "{msg}");
+            }
+            other => panic!("expected scenario timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_run_still_detects_deadlock_within_budget() {
+        let sim = Sim::new(13);
+        let s = sim.clone();
+        sim.spawn("hangs-early", async move {
+            s.sleep(Dur::from_us(2)).await;
+            std::future::pending::<()>().await;
+        });
+        match sim.run_until_budget(SimTime::ZERO + Dur::from_ms(10)) {
+            Err(SimError::Deadlock { stuck, .. }) => {
+                assert_eq!(stuck[0].name, "hangs-early");
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
     }
 
     #[test]

@@ -78,7 +78,7 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
-use crate::kernel::Sim;
+use crate::kernel::{FlightEntry, Sim};
 use crate::time::{Dur, SimTime};
 
 /// `ELANIB_DES_SHARDS`: number of shards for conservative parallel
@@ -475,6 +475,106 @@ impl Drop for PoisonGuard<'_> {
 
 const NO_EVENT: u64 = u64::MAX;
 
+/// Per-shard exit snapshot for cross-shard failure reports: where the
+/// shard's clock stood and what it last dispatched. Filled by a drop
+/// guard as each worker exits — cleanly *or* unwinding — so when any
+/// shard panics, the report below can show every sibling's flight-ring
+/// tail, not just the panicking shard's.
+struct ShardSnapshot {
+    now_ps: u64,
+    events: u64,
+    panicked: bool,
+    flight: Vec<FlightEntry>,
+}
+
+/// Records a [`ShardSnapshot`] when the worker exits, however it exits.
+/// Declared *after* the shard's `Sim` so it runs while the sim is
+/// still alive, and alongside [`PoisonGuard`] so siblings blocked at a
+/// barrier unwind (and snapshot themselves) instead of hanging.
+struct SnapshotGuard<'a> {
+    sim: &'a Sim,
+    slot: &'a Mutex<Option<ShardSnapshot>>,
+}
+
+impl Drop for SnapshotGuard<'_> {
+    fn drop(&mut self) {
+        *self.slot.lock().unwrap() = Some(ShardSnapshot {
+            now_ps: self.sim.now().as_ps(),
+            events: self.sim.events_processed(),
+            panicked: std::thread::panicking(),
+            flight: self.sim.flight_tail(),
+        });
+    }
+}
+
+/// Fold every shard's snapshot plus the shared barrier-window state
+/// into one multi-line report. This is what makes a *cross*-shard
+/// stall diagnosable: the panicking shard's message says where *it*
+/// died, but the stall's cause is usually a sibling whose window end
+/// or pending-event time stopped advancing — visible here.
+fn cross_shard_report(
+    snaps: &[Mutex<Option<ShardSnapshot>>],
+    window_ends: &[AtomicU64],
+    next_times: &[AtomicU64],
+    rounds: u64,
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "cross-shard diagnostics ({} shards, {} rounds):",
+        snaps.len(),
+        rounds
+    );
+    for (i, slot) in snaps.iter().enumerate() {
+        let we = window_ends[i].load(Ordering::Acquire);
+        let nt = next_times[i].load(Ordering::Acquire);
+        let _ = write!(out, "\n  shard {i}: window_end=");
+        match we {
+            u64::MAX => out.push_str("run-to-completion"),
+            w => {
+                let _ = write!(out, "{}", SimTime(w));
+            }
+        }
+        out.push_str(", next_event=");
+        match nt {
+            NO_EVENT => out.push_str("none"),
+            t => {
+                let _ = write!(out, "{}", SimTime(t));
+            }
+        }
+        match &*slot.lock().unwrap() {
+            Some(s) => {
+                let _ = write!(
+                    out,
+                    ", now={}, events={}, {}",
+                    SimTime(s.now_ps),
+                    s.events,
+                    if s.panicked {
+                        "panicked"
+                    } else {
+                        "exited cleanly"
+                    }
+                );
+                if s.flight.is_empty() {
+                    out.push_str(", flight tail: empty");
+                } else {
+                    let show = s.flight.len().min(8);
+                    let _ = write!(out, ", flight tail ({} of {}): ", show, s.flight.len());
+                    for (j, e) in s.flight[s.flight.len() - show..].iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        let _ = write!(out, "{e}");
+                    }
+                }
+            }
+            None => out.push_str(", no snapshot (worker did not exit)"),
+        }
+    }
+    out
+}
+
 /// How the engine grants dispatch horizons each round.
 enum HorizonMode {
     /// Classic uniform windows: every shard's horizon is the global
@@ -553,6 +653,7 @@ pub fn run_sharded_with<Mdl: ShardModel>(
     // shard just reports its earliest event).
     let window_ends: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
     let finished = std::sync::atomic::AtomicBool::new(false);
+    let snapshots: Vec<Mutex<Option<ShardSnapshot>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let rounds = AtomicU64::new(0);
     let messages = AtomicU64::new(0);
     let events = AtomicU64::new(0);
@@ -561,6 +662,10 @@ pub fn run_sharded_with<Mdl: ShardModel>(
     let run_shard = |shard: usize, seed: u64, mut model: Mdl| -> Mdl::Out {
         let _guard = PoisonGuard(&barrier);
         let sim = Sim::new(seed);
+        let _snap = SnapshotGuard {
+            sim: &sim,
+            slot: &snapshots[shard],
+        };
         let outbox = Outbox::new(sim.clone(), shard, Rc::new(plan.bounds_row(shard)));
         let mut state = model.build(shard, &sim, &outbox);
         let mut my = ShardObs {
@@ -698,7 +803,29 @@ pub fn run_sharded_with<Mdl: ShardModel>(
             }
         }
         if let Some(p) = panic_payload {
-            std::panic::resume_unwind(p);
+            // Attach every shard's exit snapshot — flight-ring tails
+            // plus the shared barrier-window state — to the payload so
+            // the surviving message diagnoses cross-shard stalls, not
+            // just the shard that happened to die first.
+            let report = cross_shard_report(
+                &snapshots,
+                &window_ends,
+                &next_times,
+                rounds.load(Ordering::Relaxed),
+            );
+            let msg = if let Some(s) = p.downcast_ref::<String>() {
+                Some(s.clone())
+            } else {
+                p.downcast_ref::<&str>().map(|s| s.to_string())
+            };
+            match msg {
+                Some(m) => std::panic::resume_unwind(Box::new(format!("{m}\n{report}"))),
+                None => {
+                    // Opaque payload: report on stderr, re-raise as-is.
+                    eprintln!("{report}");
+                    std::panic::resume_unwind(p);
+                }
+            }
         }
     });
 
@@ -946,7 +1073,19 @@ mod tests {
         }
         let r =
             std::panic::catch_unwind(|| run_sharded(Dur::from_ns(100), vec![(1, Bad), (1, Bad)]));
-        assert!(r.is_err(), "sub-lookahead send must be rejected");
+        let p = r.expect_err("sub-lookahead send must be rejected");
+        // The re-raised payload carries the cross-shard report: every
+        // shard's barrier-window state, not just the panicking one's.
+        let msg = p
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("enriched payload is a String");
+        assert!(msg.contains("lookahead"), "{msg}");
+        assert!(msg.contains("cross-shard diagnostics (2 shards"), "{msg}");
+        assert!(msg.contains("shard 0:"), "{msg}");
+        assert!(msg.contains("shard 1:"), "{msg}");
+        assert!(msg.contains("window_end="), "{msg}");
+        assert!(msg.contains("next_event="), "{msg}");
     }
 
     #[test]

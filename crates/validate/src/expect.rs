@@ -179,6 +179,12 @@ pub enum Expectation {
         series: String,
         direction: Direction,
         strict: bool,
+        /// Fractional slack on each step: an `increasing` series may
+        /// dip to `prev * (1 - slack)` without violating. Defaults to
+        /// 0 (exact monotonicity). Lets fuzz contracts say "completion
+        /// must not *materially* improve under faults" while ignoring
+        /// sub-percent event-ordering jitter.
+        slack: f64,
         select: Select,
     },
     WithinFactor {
@@ -209,6 +215,20 @@ pub enum Expectation {
         series: String,
         equals: Option<String>,
         contains: Option<String>,
+        select: Select,
+    },
+    /// A cross-cutting scenario invariant: `series` must equal another
+    /// column (or a constant) **exactly**, row by row — no tolerance,
+    /// no factor. This is the fuzzer's primitive: byte conservation is
+    /// `sent == delivered`, determinism is `serial digest == sharded
+    /// digest`, no-deadlock is `failures == 0`. Distinct from
+    /// `within_factor` (which tolerates and requires positive values)
+    /// because an invariant that "almost" holds is a bug.
+    Invariant {
+        /// Label naming the invariant in reports ("byte-conservation").
+        name: String,
+        series: String,
+        of: Of,
         select: Select,
     },
 }
@@ -479,10 +499,21 @@ fn parse_term(ctx: &str, table: &toml::Table) -> Result<Term, String> {
                 }
             };
             let strict = b.bool("strict", false)?;
+            let slack = b.num("slack")?.unwrap_or(0.0);
+            if slack < 0.0 {
+                return Err(format!("{ctx}: `slack` must be >= 0, got {slack}"));
+            }
+            if strict && slack > 0.0 {
+                return Err(format!(
+                    "{ctx}: `strict` and `slack` are mutually exclusive \
+                     (a strict step with slack is not strict)"
+                ));
+            }
             Expectation::Monotonic {
                 series,
                 direction,
                 strict,
+                slack,
                 select,
             }
         }
@@ -583,10 +614,29 @@ fn parse_term(ctx: &str, table: &toml::Table) -> Result<Term, String> {
                 select,
             }
         }
+        "invariant" => {
+            let name = b.req_str("name")?;
+            let series = b.req_str("series")?;
+            let of = match (b.str("of")?, b.num("value")?) {
+                (Some(s), None) => Of::Series(s),
+                (None, Some(v)) => Of::Value(v),
+                _ => {
+                    return Err(format!(
+                        "{ctx}: exactly one of `of` (series) or `value` (number) is required"
+                    ))
+                }
+            };
+            Expectation::Invariant {
+                name,
+                series,
+                of,
+                select,
+            }
+        }
         other => {
             return Err(format!(
                 "{ctx}: unknown kind `{other}` (expected wins, crossover, monotonic, \
-                 within_factor, anomaly, bound, row_count, or cell)"
+                 within_factor, anomaly, bound, row_count, cell, or invariant)"
             ))
         }
     };
@@ -605,6 +655,7 @@ impl Expectation {
             Expectation::Bound { .. } => "bound",
             Expectation::RowCount { .. } => "row_count",
             Expectation::Cell { .. } => "cell",
+            Expectation::Invariant { .. } => "invariant",
         }
     }
 
@@ -617,7 +668,8 @@ impl Expectation {
             | Expectation::Anomaly { select, .. }
             | Expectation::Bound { select, .. }
             | Expectation::RowCount { select, .. }
-            | Expectation::Cell { select, .. } => select,
+            | Expectation::Cell { select, .. }
+            | Expectation::Invariant { select, .. } => select,
         }
     }
 
@@ -648,13 +700,19 @@ impl Expectation {
                 series,
                 direction,
                 strict,
+                slack,
                 ..
             } => format!(
-                "`{series}` is {}{} on {sel}",
+                "`{series}` is {}{}{} on {sel}",
                 if *strict { "strictly " } else { "" },
                 match direction {
                     Direction::Increasing => "increasing",
                     Direction::Decreasing => "decreasing",
+                },
+                if *slack > 0.0 {
+                    format!(" (slack {slack})")
+                } else {
+                    String::new()
                 }
             ),
             Expectation::WithinFactor {
@@ -703,6 +761,16 @@ impl Expectation {
                 (_, Some(c)) => format!("`{series}` contains \"{c}\" on {sel}"),
                 _ => unreachable!("parser enforces equals xor contains"),
             },
+            Expectation::Invariant {
+                name, series, of, ..
+            } => match of {
+                Of::Series(o) => {
+                    format!("invariant `{name}`: `{series}` == `{o}` exactly on {sel}")
+                }
+                Of::Value(v) => {
+                    format!("invariant `{name}`: `{series}` == {v} exactly on {sel}")
+                }
+            },
         }
     }
 
@@ -727,8 +795,9 @@ impl Expectation {
                 series,
                 direction,
                 strict,
+                slack,
                 ..
-            } => check_monotonic(t, &rows, series, *direction, *strict),
+            } => check_monotonic(t, &rows, series, *direction, *strict, *slack),
             Expectation::WithinFactor {
                 series,
                 of,
@@ -752,8 +821,58 @@ impl Expectation {
                 contains,
                 ..
             } => check_cell(t, &rows, series, equals.as_deref(), contains.as_deref()),
+            Expectation::Invariant {
+                name, series, of, ..
+            } => check_invariant(t, &rows, name, series, of),
         }
     }
+}
+
+/// Exact per-row equality: the invariant kind's engine. Non-numeric
+/// and NaN cells are violations in their own right — an invariant that
+/// cannot be evaluated has already failed.
+fn check_invariant(t: &Table, rows: &[usize], name: &str, series: &str, of: &Of) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let sc = match series_col(t, series) {
+        Ok(c) => c,
+        Err(v) => return vec![v],
+    };
+    let oc = match of {
+        Of::Series(o) => match series_col(t, o) {
+            Ok(c) => Some(c),
+            Err(v) => return vec![v],
+        },
+        Of::Value(_) => None,
+    };
+    for &r in rows {
+        let a = match numeric(t, r, sc) {
+            Ok(v) => v,
+            Err(v) => {
+                out.push(v);
+                continue;
+            }
+        };
+        let b = match (of, oc) {
+            (Of::Value(v), _) => *v,
+            (Of::Series(_), Some(c)) => match numeric(t, r, c) {
+                Ok(v) => v,
+                Err(v) => {
+                    out.push(v);
+                    continue;
+                }
+            },
+            _ => unreachable!(),
+        };
+        // Exact comparison on purpose; NaN on either side violates
+        // (NaN != anything, including itself).
+        if a != b {
+            out.push(Violation::new(format!(
+                "invariant `{name}` broken at row `{}`: `{series}` = {a} but expected {b}",
+                t.cell(r, 0)
+            )));
+        }
+    }
+    out
 }
 
 /// Column lookup as a violation (the satellite "unknown series" case).
@@ -866,6 +985,7 @@ fn check_monotonic(
     series: &str,
     direction: Direction,
     strict: bool,
+    slack: f64,
 ) -> Vec<Violation> {
     let sc = match series_col(t, series) {
         Ok(c) => c,
@@ -882,10 +1002,11 @@ fn check_monotonic(
             }
         };
         if let Some((pr, pv)) = prev {
+            let give = pv.abs() * slack;
             let ok = match (direction, strict) {
-                (Direction::Increasing, false) => v >= pv,
+                (Direction::Increasing, false) => v >= pv - give,
                 (Direction::Increasing, true) => v > pv,
-                (Direction::Decreasing, false) => v <= pv,
+                (Direction::Decreasing, false) => v <= pv + give,
                 (Direction::Decreasing, true) => v < pv,
             };
             if !ok {

@@ -176,6 +176,48 @@ fn monotonic_passes_and_fails() {
 }
 
 #[test]
+fn monotonic_slack_absorbs_small_dips_only() {
+    // A 0.5% dip: within 1% slack, outside exact monotonicity.
+    let jitter = "k,a\n1,1000.0\n2,995.0\n3,1200.0\n";
+    let exact = eval(
+        "kind = \"monotonic\"\nseries = \"a\"\ndirection = \"increasing\"",
+        jitter,
+    );
+    assert_eq!(exact.len(), 1, "{exact:?}");
+    let slack = eval(
+        "kind = \"monotonic\"\nseries = \"a\"\ndirection = \"increasing\"\nslack = 0.01",
+        jitter,
+    );
+    assert!(slack.is_empty(), "{slack:?}");
+    // A 10% dip blows through the slack.
+    let big = "k,a\n1,1000.0\n2,900.0\n3,1200.0\n";
+    let fail = eval(
+        "kind = \"monotonic\"\nseries = \"a\"\ndirection = \"increasing\"\nslack = 0.01",
+        big,
+    );
+    assert_eq!(fail.len(), 1, "{fail:?}");
+    // Decreasing direction mirrors: a small rise is forgiven.
+    let rise = "k,a\n1,1000.0\n2,1005.0\n3,800.0\n";
+    assert!(eval(
+        "kind = \"monotonic\"\nseries = \"a\"\ndirection = \"decreasing\"\nslack = 0.01",
+        rise
+    )
+    .is_empty());
+}
+
+#[test]
+fn monotonic_slack_rejects_bad_combinations() {
+    assert!(one_term(
+        "kind = \"monotonic\"\nseries = \"a\"\ndirection = \"increasing\"\nslack = -0.1"
+    )
+    .is_err());
+    assert!(one_term(
+        "kind = \"monotonic\"\nseries = \"a\"\ndirection = \"increasing\"\nstrict = true\nslack = 0.01"
+    )
+    .is_err());
+}
+
+#[test]
 fn within_factor_passes_and_fails() {
     let pass = eval(
         "kind = \"within_factor\"\nseries = \"a\"\nof = \"b\"\nmax_factor = 4.0",
@@ -319,4 +361,65 @@ fn non_numeric_cell_in_numeric_term_is_a_violation() {
     assert_eq!(msgs.len(), 1);
     assert!(msgs[0].contains("`QP-ERR`"), "{}", msgs[0]);
     assert!(msgs[0].contains("not numeric"), "{}", msgs[0]);
+}
+
+// -------------------------------------------------------------- invariant
+
+#[test]
+fn invariant_passes_on_exact_equality() {
+    let msgs = eval(
+        "kind = \"invariant\"\nname = \"self\"\nseries = \"a\"\nof = \"a\"",
+        LAT,
+    );
+    assert!(msgs.is_empty(), "{msgs:?}");
+}
+
+#[test]
+fn invariant_flags_every_unequal_row() {
+    let msgs = eval(
+        "kind = \"invariant\"\nname = \"conservation\"\nseries = \"a\"\nof = \"b\"",
+        LAT,
+    );
+    assert_eq!(msgs.len(), 4, "{msgs:?}");
+    assert!(
+        msgs[0].contains("invariant `conservation` broken at row"),
+        "{}",
+        msgs[0]
+    );
+}
+
+#[test]
+fn invariant_against_constant_value() {
+    let csv = "k,sent,recv\n1,8.0,8.0\n2,8.0,7.0\n";
+    let pass = eval(
+        "kind = \"invariant\"\nname = \"c\"\nseries = \"sent\"\nvalue = 8.0",
+        csv,
+    );
+    assert!(pass.is_empty(), "{pass:?}");
+    let fail = eval(
+        "kind = \"invariant\"\nname = \"c\"\nseries = \"recv\"\nvalue = 8.0",
+        csv,
+    );
+    assert_eq!(fail.len(), 1, "{fail:?}");
+    assert!(fail[0].contains("`2`"), "{}", fail[0]);
+}
+
+#[test]
+fn invariant_rejects_both_or_neither_comparand() {
+    let both =
+        one_term("kind = \"invariant\"\nname = \"x\"\nseries = \"a\"\nof = \"b\"\nvalue = 1.0");
+    assert!(both.is_err());
+    let neither = one_term("kind = \"invariant\"\nname = \"x\"\nseries = \"a\"");
+    assert!(neither.is_err());
+}
+
+#[test]
+fn run_on_table_evaluates_in_memory() {
+    let ef =
+        one_term("kind = \"invariant\"\nname = \"bytes\"\nseries = \"a\"\nof = \"b\"").unwrap();
+    let table = elanib_validate::csv::Table::parse(LAT).unwrap();
+    let fr = elanib_validate::run_on_table(&ef, "scenario-batch", &table);
+    assert_eq!(fr.terms.len(), 1);
+    assert_eq!(fr.terms[0].file, "scenario-batch");
+    assert!(!fr.terms[0].violations.is_empty());
 }
