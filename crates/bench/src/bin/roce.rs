@@ -1,0 +1,90 @@
+//! Regenerates the RoCE exhibit (EXTENSION): what the paper's
+//! comparison looks like if the verbs stack runs over RoCEv2 on 10GbE
+//! instead of native InfiniBand, under each congestion-control mode.
+//!
+//! Two tables:
+//!
+//! * `roce_bw.csv` — incast aggregate bandwidth vs node count (the CC
+//!   stressor: n−1 senders stream to rank 0), native IB vs PFC-only vs
+//!   DCQCN-only vs hybrid, plus each mode's fraction of the IB figure.
+//! * `roce_lat.csv` — 8-byte allreduce latency vs node count for the
+//!   same four networks (the cost of Ethernet framing + deeper switch
+//!   pipelines, and of any spurious CC reaction to collective bursts).
+
+use elanib_bench::emit;
+use elanib_core::{f, TextTable};
+use elanib_microbench::{incast, small_allreduce_us};
+use elanib_mpi::{Network, RoceMode};
+
+const NODES: [usize; 5] = [2, 4, 8, 16, 32];
+const BYTES: u64 = 65_536;
+const COUNT: u32 = 16;
+const LAT_REPS: u32 = 8;
+
+const NETS: [Network; 4] = [
+    Network::InfiniBand,
+    Network::RoceV2(RoceMode::Pfc),
+    Network::RoceV2(RoceMode::Dcqcn),
+    Network::RoceV2(RoceMode::Hybrid),
+];
+
+fn main() {
+    elanib_bench::regen_begin();
+
+    let jobs: Vec<(Network, usize)> = NETS
+        .iter()
+        .flat_map(|&net| NODES.iter().map(move |&n| (net, n)))
+        .collect();
+    let bw: Vec<f64> = elanib_core::sweep(&jobs, |&(net, n)| {
+        incast(net, n, BYTES, COUNT).bandwidth_mb_s
+    });
+    let at = |ni: usize, pi: usize| bw[ni * NODES.len() + pi];
+
+    let mut t = TextTable::new(vec![
+        "nodes",
+        "IB MB/s",
+        "PFC MB/s",
+        "DCQCN MB/s",
+        "Hybrid MB/s",
+        "PFC/IB",
+        "DCQCN/IB",
+        "Hybrid/IB",
+    ]);
+    for (pi, &n) in NODES.iter().enumerate() {
+        let ib = at(0, pi);
+        t.row(vec![
+            n.to_string(),
+            f(ib),
+            f(at(1, pi)),
+            f(at(2, pi)),
+            f(at(3, pi)),
+            f(at(1, pi) / ib),
+            f(at(2, pi) / ib),
+            f(at(3, pi) / ib),
+        ]);
+    }
+    emit("RoCE", "roce_bw", &t);
+
+    let lat: Vec<f64> = elanib_core::sweep(&jobs, |&(net, n)| small_allreduce_us(net, n, LAT_REPS));
+    let lat_at = |ni: usize, pi: usize| lat[ni * NODES.len() + pi];
+    let mut t = TextTable::new(vec!["nodes", "IB us", "PFC us", "DCQCN us", "Hybrid us"]);
+    for (pi, &n) in NODES.iter().enumerate() {
+        t.row(vec![
+            n.to_string(),
+            f(lat_at(0, pi)),
+            f(lat_at(1, pi)),
+            f(lat_at(2, pi)),
+            f(lat_at(3, pi)),
+        ]);
+    }
+    emit("RoCE", "roce_lat", &t);
+
+    let last = NODES.len() - 1;
+    println!(
+        "Incast at {} nodes — hybrid holds {:.0}% of native IB; PFC-only collapses to {:.0}% (pause storms); DCQCN-only {:.0}%.",
+        NODES[last],
+        at(3, last) / at(0, last) * 100.0,
+        at(1, last) / at(0, last) * 100.0,
+        at(2, last) / at(0, last) * 100.0,
+    );
+}

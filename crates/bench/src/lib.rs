@@ -419,6 +419,7 @@ pub fn faults_outage_table() -> (TextTable, elanib_core::SweepStats) {
         let fabric = match net {
             Network::InfiniBand => ib_fabric(16),
             Network::Elan4 => elan_fabric(16),
+            Network::RoceV2(_) => elanib_fabric::roce_fabric(16),
         };
         fabric.routes().path(0, 15)[1]
     };
@@ -448,6 +449,7 @@ pub fn faults_outage_table() -> (TextTable, elanib_core::SweepStats) {
         let pi = match net {
             Network::InfiniBand => oi,
             Network::Elan4 => OUTAGE_US.len() + oi,
+            Network::RoceV2(_) => unreachable!("outage sweep iterates Network::BOTH"),
         };
         outage_stream(net, msgs, bytes, &plans_ref[pi])
     });

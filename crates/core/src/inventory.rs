@@ -131,6 +131,13 @@ pub const EXHIBITS: &[Exhibit] = &[
         modules: "elanib-fabric::faults, elanib-nic::transfer, elanib-microbench::faultpoint",
         bin: "faults",
     },
+    Exhibit {
+        id: "RoCE",
+        title: "RoCEv2 congestion control vs native IB (extension)",
+        workload: "incast 2-32 nodes + 8 B allreduce; PFC/DCQCN/hybrid",
+        modules: "elanib-nic::{backend,roce}, elanib-microbench::incast",
+        bin: "roce",
+    },
 ];
 
 /// Look up an exhibit by id.
@@ -163,9 +170,10 @@ mod tests {
         ] {
             assert!(exhibit(id).is_some(), "missing exhibit {id}");
         }
-        assert_eq!(EXHIBITS.len(), 16);
+        assert_eq!(EXHIBITS.len(), 17);
         assert!(exhibit("Ablations (§7)").is_some());
         assert!(exhibit("Faults").is_some());
+        assert!(exhibit("RoCE").is_some());
     }
 
     #[test]

@@ -57,11 +57,34 @@ pub struct Fabric {
     /// the same two path vectors from the next-hop tables — on every
     /// message of every exchange. Filled on first use per pair.
     path_cache: RefCell<FxHashMap<(usize, usize), CachedPath>>,
+    /// Per-priority pause/ECN wire-signal totals (EXTENSION, RoCEv2).
+    cong: RefCell<CongStats>,
 }
 
 /// Switch path + channel path for one (src, dst) pair, shared between
 /// the cache and in-flight deliveries.
 type CachedPath = Rc<(Vec<usize>, Vec<usize>)>;
+
+/// Per-priority congestion-signal totals (EXTENSION, RoCEv2): 802.1Qbb
+/// PFC pause frames and ECN congestion-experienced marks emitted on
+/// this fabric's wires, indexed by traffic class `0..8`. All-zero on
+/// the IB/Elan paths — only the RoCE congestion machinery emits them.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CongStats {
+    pub pause_frames: [u64; 8],
+    pub ecn_marks: [u64; 8],
+}
+
+impl CongStats {
+    /// Total pause frames across all traffic classes.
+    pub fn total_pauses(&self) -> u64 {
+        self.pause_frames.iter().sum()
+    }
+    /// Total ECN marks across all traffic classes.
+    pub fn total_marks(&self) -> u64 {
+        self.ecn_marks.iter().sum()
+    }
+}
 
 impl Fabric {
     /// Build a fabric, picking up the process-wide `ELANIB_FAULTS`
@@ -92,6 +115,7 @@ impl Fabric {
             channels,
             faults,
             path_cache: RefCell::new(FxHashMap::default()),
+            cong: RefCell::new(CongStats::default()),
         }
     }
 
@@ -321,6 +345,49 @@ impl Fabric {
         self.routes.hops(src, dst)
     }
 
+    /// Worst queueing backlog on the static `src -> dst` route at
+    /// `now`: how long the most congested directed link on the path
+    /// stays busy past `now`. This is the congestion signal RoCEv2's
+    /// PFC/ECN machinery watches (switch egress queue depth, expressed
+    /// in drain time). Reading it reserves nothing.
+    pub fn path_backlog(&self, now: SimTime, src: usize, dst: usize) -> Dur {
+        if src == dst {
+            return Dur::ZERO;
+        }
+        let path = self.static_path(src, dst);
+        let (verts, edges) = (&path.0, &path.1);
+        let mut worst = Dur::ZERO;
+        for (i, &edge) in edges.iter().enumerate() {
+            let ch = &self.channels[directed_channel(&self.topo, edge, verts[i])];
+            let free = ch.next_free();
+            if free > now {
+                let d = free.since(now);
+                if d > worst {
+                    worst = d;
+                }
+            }
+        }
+        worst
+    }
+
+    /// Record one 802.1Qbb PFC pause frame on traffic class `prio`
+    /// (EXTENSION, RoCEv2 wire signaling).
+    pub fn note_pause(&self, prio: usize) {
+        self.cong.borrow_mut().pause_frames[prio & 7] += 1;
+    }
+
+    /// Record one ECN congestion-experienced mark on traffic class
+    /// `prio` (EXTENSION, RoCEv2 wire signaling).
+    pub fn note_ecn(&self, prio: usize) {
+        self.cong.borrow_mut().ecn_marks[prio & 7] += 1;
+    }
+
+    /// End-of-run per-priority pause/ECN totals (all-zero off the RoCE
+    /// path).
+    pub fn cong_stats(&self) -> CongStats {
+        self.cong.borrow().clone()
+    }
+
     /// Total bytes carried over all directed links (stats).
     pub fn total_link_bytes(&self) -> u64 {
         self.channels.iter().map(|c| c.stats().bytes_total).sum()
@@ -369,6 +436,15 @@ impl Fabric {
                 if v > 0 {
                     tr.add(key, v);
                 }
+            }
+        }
+        let cong = self.cong.borrow();
+        for p in 0..8 {
+            if cong.pause_frames[p] > 0 {
+                tr.add(format!("roce.prio{p}.pause_frames"), cong.pause_frames[p]);
+            }
+            if cong.ecn_marks[p] > 0 {
+                tr.add(format!("roce.prio{p}.ecn_marks"), cong.ecn_marks[p]);
             }
         }
     }

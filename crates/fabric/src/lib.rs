@@ -24,9 +24,9 @@ pub mod partition;
 pub mod routing;
 pub mod topology;
 
-pub use fabric::{Fabric, WireOutcome};
+pub use fabric::{CongStats, Fabric, WireOutcome};
 pub use faults::{FaultPlan, FaultStats};
-pub use params::{elan4, infiniband_4x, FabricParams, LinkParams, SwitchParams};
+pub use params::{elan4, infiniband_4x, roce_ethernet, FabricParams, LinkParams, SwitchParams};
 pub use partition::Partition;
 pub use routing::Routes;
 pub use topology::{Edge, NodeRef, Topology};
@@ -57,4 +57,17 @@ pub fn ib_fabric_with(nodes: usize, plan: Option<std::sync::Arc<FaultPlan>>) -> 
 pub fn elan_fabric_with(nodes: usize, plan: Option<std::sync::Arc<FaultPlan>>) -> Fabric {
     let plan = plan.or_else(faults::env_plan);
     Fabric::with_faults(Topology::fat_tree(4, 3, nodes), elan4(), plan)
+}
+
+/// RoCEv2 deployment fabric (EXTENSION): the same 12-ary 2-tree shape
+/// as the InfiniBand chassis, carried over 10GbE links.
+pub fn roce_fabric(nodes: usize) -> Fabric {
+    Fabric::new(Topology::fat_tree(12, 2, nodes), roce_ethernet())
+}
+
+/// [`roce_fabric`] with an explicit fault plan (`None` still honours
+/// `ELANIB_FAULTS`).
+pub fn roce_fabric_with(nodes: usize, plan: Option<std::sync::Arc<FaultPlan>>) -> Fabric {
+    let plan = plan.or_else(faults::env_plan);
+    Fabric::with_faults(Topology::fat_tree(12, 2, nodes), roce_ethernet(), plan)
 }

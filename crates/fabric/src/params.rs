@@ -99,6 +99,30 @@ pub fn elan4() -> FabricParams {
     }
 }
 
+/// RoCEv2 over 10-Gigabit Ethernet (EXTENSION, not in the paper).
+///
+/// * 10.3125 Gb/s signal with 64b/66b coding → 10 Gb/s = 1.25 GB/s
+///   raw; after preamble/IFG overhead ~1.16 GB/s of frame payload per
+///   direction.
+/// * 4 KB payload per frame (RoCE MTU 4096, jumbo-framed Ethernet).
+/// * 78 B of per-frame overhead: Ethernet (18) + IPv4 (20) + UDP (8) +
+///   BTH (12) + ICRC (4) + preamble/IFG equivalent (16).
+/// * ~500 ns per switch element — store-and-forward-era 10GbE switch
+///   silicon is markedly slower than cut-through IB/Quadrics elements.
+pub fn roce_ethernet() -> FabricParams {
+    FabricParams {
+        link: LinkParams {
+            data_rate: 1.16e9,
+            propagation: Dur::from_ns(30),
+            mtu: 4096,
+            header_bytes: 78,
+        },
+        switch: SwitchParams {
+            hop_latency: Dur::from_ns(500),
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,5 +148,16 @@ mod tests {
     fn elan_link_is_faster_than_ib() {
         assert!(elan4().link.data_rate > infiniband_4x().link.data_rate);
         assert!(elan4().switch.hop_latency < infiniband_4x().switch.hop_latency);
+    }
+
+    #[test]
+    fn roce_trades_wire_rate_for_overhead() {
+        let r = roce_ethernet();
+        let ib = infiniband_4x();
+        // Faster raw wire than 4X IB, but heavier per-packet overhead
+        // and slower switch elements.
+        assert!(r.link.data_rate > ib.link.data_rate);
+        assert!(r.link.header_bytes > ib.link.header_bytes);
+        assert!(r.switch.hop_latency > ib.switch.hop_latency);
     }
 }

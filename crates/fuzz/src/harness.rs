@@ -581,7 +581,10 @@ static ORDERING_EF: LazyLock<ExpectFile> = LazyLock::new(|| {
 /// Only clean, default-threshold, all-eager-regime runs are claims the
 /// paper actually makes; everything else is out of contract.
 fn ordering_qualified(sc: &Scenario) -> bool {
-    sc.faults.is_effectless()
+    // The §4 claim is about *native* InfiniBand; a RoCE-backed verbs
+    // side is out of contract (Ethernet framing alone shifts it).
+    sc.roce.is_none()
+        && sc.faults.is_effectless()
         && sc.eager_ib == 1024
         && sc.eager_elan == 4096
         && !sc.msg_sizes.is_empty()
@@ -608,12 +611,17 @@ pub fn check_scenario(sc: &Scenario, opts: &FuzzOpts) -> ScenarioReport {
     let budget = opts.budget.unwrap_or_else(default_budget);
     let mut violations = Vec::new();
 
+    // The verbs-side network honors the scenario's backend draw:
+    // native IB, or RoCEv2 under the drawn CC mode (same world, same
+    // QP-ERR contract — the CC layer only paces injections).
+    let verbs_net = sc.roce.map(Network::RoceV2).unwrap_or(Network::InfiniBand);
+
     // Base runs on both stacks. A typed error (deadlock or blown
     // budget) is itself a no-deadlock violation, diagnostics included;
     // a QP retry-exhaustion is a specified outcome and skips the
     // scenario.
     let mut measured: BTreeMap<&str, Measured> = BTreeMap::new();
-    for (key, net) in [("ib", Network::InfiniBand), ("elan", Network::Elan4)] {
+    for (key, net) in [("ib", verbs_net), ("elan", Network::Elan4)] {
         match run_plain(sc, net, &sc.faults, budget) {
             RunOutcome::Ok(m) => {
                 measured.insert(key, m);
@@ -652,10 +660,10 @@ pub fn check_scenario(sc: &Scenario, opts: &FuzzOpts) -> ScenarioReport {
         };
         run_caught(&sim, sc, net, &sc.faults, budget)
     };
-    let (ib_replay, elan_replay) = match (replay(Network::InfiniBand), replay(Network::Elan4)) {
+    let (ib_replay, elan_replay) = match (replay(verbs_net), replay(Network::Elan4)) {
         (RunOutcome::Ok(a), RunOutcome::Ok(b)) => (a, b),
         (a, b) => {
-            for (net, r) in [(Network::InfiniBand, &a), (Network::Elan4, &b)] {
+            for (net, r) in [(verbs_net, &a), (Network::Elan4, &b)] {
                 match r {
                     RunOutcome::Ok(_) => {}
                     RunOutcome::Err(e) => violations.push(format!(
@@ -735,7 +743,7 @@ pub fn check_scenario(sc: &Scenario, opts: &FuzzOpts) -> ScenarioReport {
         clean.loss = 0.0;
         clean.corrupt = 0.0;
         match (
-            run_plain(sc, Network::InfiniBand, &clean, budget),
+            run_plain(sc, verbs_net, &clean, budget),
             run_plain(sc, Network::Elan4, &clean, budget),
         ) {
             (RunOutcome::Ok(ib_clean), RunOutcome::Ok(elan_clean)) => {
@@ -772,7 +780,7 @@ pub fn check_scenario(sc: &Scenario, opts: &FuzzOpts) -> ScenarioReport {
                 }
             }
             (a, b) => {
-                for (net, r) in [(Network::InfiniBand, &a), (Network::Elan4, &b)] {
+                for (net, r) in [(verbs_net, &a), (Network::Elan4, &b)] {
                     match r {
                         // A clean run that errors is a real violation;
                         // a clean run should never hit QP-ERR (no loss
@@ -835,6 +843,7 @@ mod tests {
             adaptive: true,
             topo_radix: 4,
             topo_levels: 3,
+            roce: None,
         }
     }
 
@@ -842,6 +851,28 @@ mod tests {
     fn clean_scenario_satisfies_every_invariant() {
         let rep = check_scenario(&tiny_clean(), &FuzzOpts::default());
         assert!(rep.ok(), "unexpected violations: {:#?}", rep.violations);
+    }
+
+    #[test]
+    fn roce_backed_scenario_satisfies_every_invariant() {
+        // Each CC mode runs the verbs side paced; conservation,
+        // replay determinism, and observer-effect checks must all
+        // hold on the paced path, faulted and clean.
+        use elanib_mpi::RoceMode;
+        for (i, mode) in RoceMode::ALL.into_iter().enumerate() {
+            let mut sc = tiny_clean();
+            sc.seed = 20 + i as u64;
+            sc.roce = Some(mode);
+            if i == 0 {
+                sc.faults.loss = 5e-3;
+            }
+            let rep = check_scenario(&sc, &FuzzOpts::default());
+            assert!(
+                rep.ok(),
+                "{mode}: unexpected violations: {:#?}",
+                rep.violations
+            );
+        }
     }
 
     #[test]

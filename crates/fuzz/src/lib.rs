@@ -1,7 +1,7 @@
 //! # elanib-fuzz — seeded scenario generator and property fuzzer
 //!
 //! The conformance DSL (`elanib-validate`) pins the paper's claims at
-//! 16 hand-picked exhibits; this crate flips that into a *generator*:
+//! 17 hand-picked exhibits; this crate flips that into a *generator*:
 //! seeded random scenarios across the whole configuration space —
 //! cluster shape, message-size mix, protocol thresholds, fault
 //! schedules, and every knob that must not change results (tracing,

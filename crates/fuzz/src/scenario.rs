@@ -18,6 +18,7 @@
 
 use elanib_fabric::faults::{Degrade, NicStall, Outage};
 use elanib_fabric::{FaultPlan, Topology};
+use elanib_mpi::RoceMode;
 use elanib_simcore::Dur;
 
 /// One generated configuration point. Every field participates in
@@ -58,6 +59,12 @@ pub struct Scenario {
     pub topo_radix: usize,
     /// Fat-tree levels for the sharded check's topology.
     pub topo_levels: usize,
+    /// Verbs-side backend choice: `None` runs native InfiniBand,
+    /// `Some(mode)` swaps in the RoCEv2 backend under that
+    /// congestion-control mode — every invariant (conservation,
+    /// determinism, observer effect, monotone degradation) must hold
+    /// on the CC-paced path too. About 40% of seeds stay native.
+    pub roce: Option<RoceMode>,
 }
 
 /// SplitMix64 — the same stateless generator the fault layer draws
@@ -138,6 +145,12 @@ impl Scenario {
             adaptive: unit(seed, 22) < 0.5,
             topo_radix,
             topo_levels,
+            roce: match (unit(seed, 23) * 5.0) as usize {
+                0 | 1 => None,
+                2 => Some(RoceMode::Pfc),
+                3 => Some(RoceMode::Dcqcn),
+                _ => Some(RoceMode::Hybrid),
+            },
         }
     }
 
@@ -189,6 +202,10 @@ impl Scenario {
         if self.adaptive {
             push(&|s| s.adaptive = false);
         }
+        if self.roce.is_some() {
+            // Native IB is the simpler transport: no CC pacing state.
+            push(&|s| s.roce = None);
+        }
         if self.cache {
             push(&|s| s.cache = false);
         }
@@ -218,6 +235,7 @@ impl Scenario {
             + (plan.corrupt > 0.0) as u64 * 10
             + self.shards as u64
             + self.adaptive as u64
+            + self.roce.is_some() as u64
             + self.cache as u64
             + self.trace as u64
             + self.profile as u64
@@ -249,6 +267,9 @@ impl Scenario {
         let _ = writeln!(s, "adaptive = {}", self.adaptive);
         let _ = writeln!(s, "topo_radix = {}", self.topo_radix);
         let _ = writeln!(s, "topo_levels = {}", self.topo_levels);
+        if let Some(mode) = self.roce {
+            let _ = writeln!(s, "roce = \"{mode}\"");
+        }
         let _ = writeln!(s, "fault_seed = {}", self.faults.seed);
         let _ = writeln!(s, "fault_loss = {}", self.faults.loss);
         let _ = writeln!(s, "fault_corrupt = {}", self.faults.corrupt);
@@ -304,6 +325,7 @@ impl Scenario {
             adaptive: false,
             topo_radix: 4,
             topo_levels: 3,
+            roce: None,
         };
         let mut mutate = None;
         for raw in text.lines() {
@@ -347,6 +369,12 @@ impl Scenario {
                 "adaptive" => sc.adaptive = flag(key, val)?,
                 "topo_radix" => sc.topo_radix = num(key, val)? as usize,
                 "topo_levels" => sc.topo_levels = num(key, val)? as usize,
+                "roce" => {
+                    sc.roce = Some(
+                        RoceMode::parse(val)
+                            .ok_or_else(|| format!("bad roce mode {val:?} (pfc|dcqcn|hybrid)"))?,
+                    );
+                }
                 "fault_seed" => sc.faults.seed = num(key, val)?,
                 "fault_loss" => {
                     sc.faults.loss = val
@@ -434,6 +462,22 @@ mod tests {
             assert!(a.msg_sizes.iter().all(|&b| b <= 65536));
             assert!(matches!(a.shards, 1 | 2 | 4));
         }
+        // Every backend variant is drawn, and native IB stays the
+        // plurality (~40%) so the paper-ordering invariant keeps its
+        // sample.
+        let native = (0..200u64)
+            .filter(|&s| Scenario::generate(s).roce.is_none())
+            .count();
+        assert!(
+            (50..=110).contains(&native),
+            "native-IB draw skewed: {native}/200"
+        );
+        for mode in RoceMode::ALL {
+            assert!(
+                (0..200u64).any(|s| Scenario::generate(s).roce == Some(mode)),
+                "mode {mode} never drawn"
+            );
+        }
         // The space is actually explored: distinct seeds disagree.
         let distinct: std::collections::HashSet<String> = (0..50)
             .map(|s| format!("{:?}", Scenario::generate(s)))
@@ -493,6 +537,7 @@ mod tests {
             adaptive: false,
             topo_radix: 4,
             topo_levels: 3,
+            roce: None,
         };
         assert!(sc.shrink_candidates().is_empty());
     }

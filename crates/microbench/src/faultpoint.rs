@@ -91,8 +91,16 @@ fn run_faulty<P: RankProgram>(
 ) -> (Option<f64>, FaultStats) {
     let sim = Sim::new(seed);
     match network {
-        Network::InfiniBand => {
-            let w = IbWorld::with_config(&sim, nodes, 1, cfg);
+        Network::InfiniBand | Network::RoceV2(_) => {
+            let w = match network {
+                Network::RoceV2(mode) => {
+                    let rp = cfg
+                        .roce
+                        .unwrap_or_else(|| elanib_mpi::RoceParams::for_mode(mode));
+                    IbWorld::with_config_roce(&sim, nodes, 1, cfg, rp)
+                }
+                _ => IbWorld::with_config(&sim, nodes, 1, cfg),
+            };
             w.spawn_ranks("faultpt", move |c| program.clone().run(c));
             let t = catch_unwind(AssertUnwindSafe(|| sim.run()))
                 .ok()
@@ -125,7 +133,9 @@ fn point_from(bytes: u64, network: Network, latency_us: Option<f64>, st: FaultSt
         latency_us: latency_us.unwrap_or(-1.0),
         drops: st.drops,
         retries: match network {
-            Network::InfiniBand => st.ib_retransmits,
+            // RoCE rides the same verbs transport: drops surface as
+            // IB-style retransmits.
+            Network::InfiniBand | Network::RoceV2(_) => st.ib_retransmits,
             Network::Elan4 => st.elan_link_retries,
         },
         reroutes: st.reroutes,

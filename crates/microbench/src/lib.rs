@@ -19,6 +19,7 @@
 
 pub mod beff;
 pub mod faultpoint;
+pub mod incast;
 pub mod init_time;
 pub mod pingpong;
 pub mod reuse;
@@ -26,6 +27,7 @@ pub mod streaming;
 
 pub use beff::{beff, beff_sizes, beff_sweep, BeffPoint};
 pub use faultpoint::{fault_pingpong, outage_stream, FaultPoint};
+pub use incast::{incast, small_allreduce_us, IncastPoint};
 pub use init_time::{init_time, InitPoint};
 pub use pingpong::{figure1_sizes, latency_sweep, pingpong, PingPongPoint};
 pub use reuse::{pingpong_reuse, ReusePoint};

@@ -28,8 +28,8 @@ use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use elanib_fabric::{faults::FaultPlan, ib_fabric_with};
-use elanib_nic::{Bytes, HcaParams, IbNet};
+use elanib_fabric::{faults::FaultPlan, ib_fabric_with, roce_fabric_with};
+use elanib_nic::{Bytes, HcaParams, IbNet, RoceCc, RoceParams};
 use elanib_nodesim::{Node, NodeParams};
 use elanib_simcore::{Dur, Flag, Race2, Sim};
 
@@ -241,7 +241,16 @@ impl IbWorld {
         hca_params: HcaParams,
         mpi_params: VerbsParams,
     ) -> Rc<IbWorld> {
-        IbWorld::with_faults(sim, n_nodes, ppn, node_params, hca_params, mpi_params, None)
+        IbWorld::with_faults(
+            sim,
+            n_nodes,
+            ppn,
+            node_params,
+            hca_params,
+            mpi_params,
+            None,
+            None,
+        )
     }
 
     /// [`IbWorld::with_params`] plus the full [`crate::NetConfig`]
@@ -260,6 +269,32 @@ impl IbWorld {
             cfg.hca,
             cfg.verbs,
             cfg.faults.clone(),
+            None,
+        )
+    }
+
+    /// [`IbWorld::with_config`] over RoCEv2 (EXTENSION): the same
+    /// MVAPICH software stack and HCA timing, but the fabric is 10GbE
+    /// and every post flows through the congestion-control engine for
+    /// `roce.mode`. A `roce.lossy` rate without an explicit fault plan
+    /// synthesizes a seeded loss plan (classic lossy-Ethernet RoCE:
+    /// drops surface as IB-style retransmits).
+    pub fn with_config_roce(
+        sim: &Sim,
+        n_nodes: usize,
+        ppn: usize,
+        cfg: &crate::NetConfig,
+        roce: RoceParams,
+    ) -> Rc<IbWorld> {
+        IbWorld::with_faults(
+            sim,
+            n_nodes,
+            ppn,
+            cfg.node,
+            cfg.hca,
+            cfg.verbs,
+            cfg.faults.clone(),
+            Some(roce),
         )
     }
 
@@ -272,10 +307,27 @@ impl IbWorld {
         hca_params: HcaParams,
         mpi_params: VerbsParams,
         faults: Option<std::sync::Arc<FaultPlan>>,
+        roce: Option<RoceParams>,
     ) -> Rc<IbWorld> {
         let nodes: Vec<_> = (0..n_nodes).map(|i| Node::new(i, node_params)).collect();
-        let fabric = Rc::new(ib_fabric_with(n_nodes, faults));
-        let net = Rc::new(IbNet::new(&nodes, fabric, ppn, hca_params));
+        let (fabric, cc) = match roce {
+            None => (Rc::new(ib_fabric_with(n_nodes, faults)), None),
+            Some(rp) => {
+                let faults = faults.or_else(|| {
+                    rp.lossy.map(|rate| {
+                        let spec = format!("loss={rate},seed={}", rp.seed);
+                        std::sync::Arc::new(
+                            FaultPlan::parse(&spec).expect("lossy RoCE plan spec is well-formed"),
+                        )
+                    })
+                });
+                (
+                    Rc::new(roce_fabric_with(n_nodes, faults)),
+                    Some(RoceCc::new(rp, n_nodes)),
+                )
+            }
+        };
+        let net = Rc::new(IbNet::new_with_cc(&nodes, fabric, ppn, hca_params, cc));
         let ranks = (0..n_nodes * ppn)
             .map(|_| Rc::new(RankState::new()))
             .collect();

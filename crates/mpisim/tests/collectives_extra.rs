@@ -34,6 +34,7 @@ fn run_allgather(net: Network, nodes: usize, ppn: usize) {
     match net {
         Network::InfiniBand => body!(IbWorld::new(&sim, nodes, ppn)),
         Network::Elan4 => body!(ElanWorld::new(&sim, nodes, ppn)),
+        Network::RoceV2(_) => unreachable!("collectives iterate Network::BOTH"),
     }
     sim.run().unwrap();
     assert_eq!(*done.borrow(), nodes * ppn);

@@ -55,6 +55,7 @@ fn run_traffic(net: Network, msgs: Vec<(i64, f64, u64)>, recv_order: Vec<usize>)
     match net {
         Network::InfiniBand => body!(IbWorld::new(&sim, 2, 1)),
         Network::Elan4 => body!(ElanWorld::new(&sim, 2, 1)),
+        Network::RoceV2(_) => unreachable!("properties iterate Network::BOTH"),
     }
     sim.run().unwrap();
     Rc::try_unwrap(got).unwrap().into_inner()
@@ -139,6 +140,7 @@ proptest! {
             match net {
                 Network::InfiniBand => body!(IbWorld::new(&sim, nodes, ppn)),
                 Network::Elan4 => body!(ElanWorld::new(&sim, nodes, ppn)),
+                Network::RoceV2(_) => unreachable!("properties iterate Network::BOTH"),
             }
             sim.run().unwrap();
             for out in results.borrow().iter() {

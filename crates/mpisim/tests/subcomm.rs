@@ -46,6 +46,7 @@ fn split_collectives_isolated_per_group() {
         match net {
             Network::InfiniBand => body!(IbWorld::new(&sim, 3, 2)),
             Network::Elan4 => body!(ElanWorld::new(&sim, 3, 2)),
+            Network::RoceV2(_) => unreachable!("subcomm iterates Network::BOTH"),
         }
         sim.run().unwrap();
         let mut rs = results.borrow().clone();

@@ -47,6 +47,12 @@ impl PostHandle {
     pub fn error(&self) -> Option<TransportError> {
         self.err.borrow().clone()
     }
+
+    /// The shared error slot — lets the backend trait expose the same
+    /// outcome without holding the whole handle.
+    pub(crate) fn err_slot(&self) -> Rc<RefCell<Option<TransportError>>> {
+        self.err.clone()
+    }
 }
 
 /// Per-node HCA hardware: the engines and ordering chains shared by
@@ -107,6 +113,9 @@ pub struct IbNet<M> {
     /// from fault injection, so on the fault-free hot path all posts
     /// can alias one slot instead of allocating an `Rc` per WQE.
     no_err: Rc<RefCell<Option<TransportError>>>,
+    /// RoCEv2 congestion control (EXTENSION). `None` — the plain
+    /// InfiniBand case — leaves the post path untouched.
+    cc: Option<Rc<crate::roce::RoceCc>>,
 }
 
 impl<M: 'static> IbNet<M> {
@@ -114,6 +123,19 @@ impl<M: 'static> IbNet<M> {
     /// lives on node `r / ppn`, CPU `r % ppn` (block placement, as the
     /// paper's MPI launches did).
     pub fn new(nodes: &[Rc<Node>], fabric: Rc<Fabric>, ppn: usize, params: HcaParams) -> IbNet<M> {
+        IbNet::new_with_cc(nodes, fabric, ppn, params, None)
+    }
+
+    /// [`IbNet::new`] with a RoCEv2 congestion-control engine attached
+    /// (EXTENSION): every post asks `cc` for an injection delay before
+    /// entering the fabric. `None` is byte-identical to [`IbNet::new`].
+    pub fn new_with_cc(
+        nodes: &[Rc<Node>],
+        fabric: Rc<Fabric>,
+        ppn: usize,
+        params: HcaParams,
+        cc: Option<Rc<crate::roce::RoceCc>>,
+    ) -> IbNet<M> {
         assert!(ppn >= 1);
         assert_eq!(fabric.n_endpoints(), nodes.len());
         let ports: Vec<Rc<HcaPort>> = nodes
@@ -153,7 +175,14 @@ impl<M: 'static> IbNet<M> {
             hcas,
             rank_ep,
             no_err: Rc::new(RefCell::new(None)),
+            cc,
         }
+    }
+
+    /// The attached congestion-control engine, when this net is a
+    /// RoCEv2 instance.
+    pub fn cc(&self) -> Option<&Rc<crate::roce::RoceCc>> {
+        self.cc.as_ref()
     }
 
     pub fn n_ranks(&self) -> usize {
@@ -213,6 +242,22 @@ impl<M: 'static> IbNet<M> {
         // The send engine serializes all WQEs on this node's HCA —
         // including the sibling rank's in 2 PPN mode.
         let start_at = src_port.tx_engine.next_slot(sim, self.params.wqe_engine);
+        // RoCEv2 only: congestion control may hold the message back
+        // (PFC pause) or pace it (DCQCN rate limiter) before it enters
+        // the fabric.
+        let start_at = match &self.cc {
+            None => start_at,
+            Some(cc) => {
+                start_at
+                    + cc.tx_delay(
+                        sim,
+                        &self.fabric,
+                        self.rank_ep[src],
+                        self.rank_ep[dst],
+                        bytes,
+                    )
+            }
+        };
         let (prev, tail) = src_port.chains.enqueue(dst);
         let rx_cost = self.params.rx_engine;
         let dst_node = dst_port.node.clone();

@@ -1,0 +1,234 @@
+//! Shared conformance suite for the N-way [`NicBackend`] contract:
+//! every backend in the registry — host-matched verbs (`hca`), the
+//! three CC-paced RoCEv2 modes, and NIC-matched Elan Tports — must
+//! satisfy the same post/match/register/recover semantics, even though
+//! the machinery underneath differs completely (host software match
+//! queues vs the NIC thread processor, pin-down cache vs implicit MMU,
+//! end-to-end retransmit vs link-level retry).
+//!
+//! The suite is deliberately backend-generic: each test iterates
+//! `BackendKind::ALL`, so adding a backend to the registry opts it
+//! into the whole contract with zero new test code.
+
+use std::sync::Arc;
+
+use elanib_fabric::faults::Outage;
+use elanib_fabric::FaultPlan;
+use elanib_nic::backend::{Arrival, BackendKind};
+use elanib_nic::transfer::{RecoveryPolicy, TransportError};
+use elanib_simcore::{Dur, Sim};
+
+/// The recovery policy a backend reports must be coherent with its
+/// failure semantics: end-to-end retransmit policies surface typed
+/// errors, link-level ones are fatal past the retry limit.
+#[test]
+fn recovery_policy_matches_failure_semantics() {
+    for kind in BackendKind::ALL {
+        let bk = kind.build(2, 1, None);
+        match bk.recovery() {
+            RecoveryPolicy::IbRc { retry_cnt, .. } => {
+                assert!(!bk.fatal_on_dead_path(), "{kind}: IbRc must be non-fatal");
+                assert!(retry_cnt > 0, "{kind}: zero retry budget");
+            }
+            RecoveryPolicy::ElanLink { retry_limit, .. } => {
+                assert!(bk.fatal_on_dead_path(), "{kind}: ElanLink must be fatal");
+                assert!(retry_limit > 0, "{kind}: zero link-retry limit");
+            }
+        }
+    }
+}
+
+/// Per-pair FIFO: same (src, dst) pair, same tag — wildcard receives
+/// posted in order must complete with the messages in injection order,
+/// whether matching runs in host software (verbs family) or on the NIC
+/// thread (Elan).
+#[test]
+fn matching_is_fifo_per_pair() {
+    for kind in BackendKind::ALL {
+        let sim = Sim::new(11);
+        let bk = kind.build(2, 1, None);
+        let recvs: Vec<_> = (0..3).map(|_| bk.post_recv(&sim, 1, None, None)).collect();
+        for bytes in [100u64, 200, 300] {
+            bk.post(&sim, 0, 1, 7, bytes);
+        }
+        sim.run().unwrap();
+        let got: Vec<u64> = recvs
+            .iter()
+            .map(|r| {
+                assert!(r.done.is_set(), "{kind}: receive never completed");
+                r.take().bytes
+            })
+            .collect();
+        assert_eq!(got, vec![100, 200, 300], "{kind}: match order not FIFO");
+    }
+}
+
+/// Selective matching over the unexpected queue: a tag-selective
+/// receive posted *after* two arrivals must pick the matching message
+/// (not the head of the queue), and a wildcard then drains the rest.
+#[test]
+fn late_selective_receive_matches_out_of_the_unexpected_queue() {
+    for kind in BackendKind::ALL {
+        let sim = Sim::new(12);
+        let bk = kind.build(2, 1, None);
+        bk.post(&sim, 0, 1, 1, 64);
+        bk.post(&sim, 0, 1, 2, 128);
+        let (bk2, sim2) = (bk.clone(), sim.clone());
+        sim.spawn("late-post", async move {
+            // Well past delivery of both eager messages.
+            sim2.sleep(Dur::from_us(200)).await;
+            let sel = bk2.post_recv(&sim2, 1, Some(0), Some(2));
+            let any = bk2.post_recv(&sim2, 1, None, None);
+            sel.done.wait().await;
+            any.done.wait().await;
+            assert_eq!(
+                sel.take(),
+                Arrival {
+                    src: 0,
+                    tag: 2,
+                    bytes: 128
+                },
+                "selective receive must skip the non-matching head"
+            );
+            assert_eq!(
+                any.take(),
+                Arrival {
+                    src: 0,
+                    tag: 1,
+                    bytes: 64
+                }
+            );
+        });
+        sim.run().unwrap_or_else(|e| panic!("{kind}: {e}"));
+    }
+}
+
+/// Wildcard-source receives match across senders; selective ones only
+/// their named peer.
+#[test]
+fn source_wildcards_match_any_sender() {
+    for kind in BackendKind::ALL {
+        let sim = Sim::new(13);
+        let bk = kind.build(3, 1, None);
+        let from2 = bk.post_recv(&sim, 0, Some(2), None);
+        let any = bk.post_recv(&sim, 0, None, None);
+        bk.post(&sim, 1, 0, 5, 32);
+        bk.post(&sim, 2, 0, 5, 48);
+        sim.run().unwrap();
+        assert_eq!(from2.take().src, 2, "{kind}: selective matched wrong src");
+        assert_eq!(any.take().src, 1, "{kind}: wildcard missed rank 1");
+    }
+}
+
+/// Registration contract: backends with a pin-down cache charge the
+/// registration cost exactly once per resident region and expose
+/// moving counters; implicit-MMU backends charge nothing and expose
+/// none (`reg_stats() == None`).
+#[test]
+fn registration_cache_charges_once_per_region() {
+    for kind in BackendKind::ALL {
+        let sim = Sim::new(14);
+        let bk = kind.build(2, 1, None);
+        let first = bk.register(&sim, 0, 0xA0, 65_536);
+        let again = bk.register(&sim, 0, 0xA0, 65_536);
+        let other = bk.register(&sim, 0, 0xB0, 65_536);
+        match bk.reg_stats() {
+            Some((hits, misses, _evicts)) => {
+                assert!(first > Dur::ZERO, "{kind}: first touch must pay pin-down");
+                assert_eq!(again, Dur::ZERO, "{kind}: resident region re-charged");
+                assert!(other > Dur::ZERO, "{kind}: distinct region not charged");
+                assert!(hits >= 1, "{kind}: cache hit not counted");
+                assert!(misses >= 2, "{kind}: cache misses not counted");
+            }
+            None => {
+                // Implicit registration (Elan MMU, §3.3.2): free, and
+                // no cache to report on.
+                assert_eq!(first, Dur::ZERO, "{kind}: implicit backend charged");
+                assert_eq!(again, Dur::ZERO);
+                assert_eq!(other, Dur::ZERO);
+            }
+        }
+    }
+}
+
+/// Recovery contract on a persistently dead path: non-fatal backends
+/// (the verbs family, IB and RoCE alike) must complete the run, flush
+/// the local flag, and surface a typed `RetryExceeded` on the handle;
+/// fatal backends (QsNet) must panic once the link is declared dead —
+/// never hang, never fail silently. Each family gets the plan that
+/// actually kills it: total packet loss exhausts the IB retry budget,
+/// while Elan's link layer absorbs any loss rate in hardware and only
+/// dies when an outage covers every route past the link-retry limit.
+#[test]
+fn recovery_path_is_typed_or_fatal_never_silent() {
+    let loss = Arc::new(FaultPlan::parse("loss=1,seed=3").unwrap());
+    let mut all_down = FaultPlan {
+        seed: 3,
+        ..FaultPlan::default()
+    };
+    // Back-to-back 100 µs windows on every link (out-of-range indices
+    // are inert): each cleared window the NIC waits out is one link
+    // retry, and 70 > the 64-wait limit.
+    for link in 0..32 {
+        for w in 0..70u64 {
+            all_down.outages.push(Outage {
+                link,
+                start: Dur::from_us(100 * w),
+                dur: Dur::from_us(100),
+            });
+        }
+    }
+    let all_down = Arc::new(all_down);
+    for kind in BackendKind::ALL {
+        let sim = Sim::new(15);
+        let fatal_probe = kind.build(2, 1, None).fatal_on_dead_path();
+        let plan = if fatal_probe { &all_down } else { &loss };
+        let bk = kind.build(2, 1, Some(plan.clone()));
+        let h = bk.post(&sim, 0, 1, 1, 4096);
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run()));
+        if bk.fatal_on_dead_path() {
+            assert!(
+                run.is_err(),
+                "{kind}: dead path is specified fatal but the run survived"
+            );
+        } else {
+            run.unwrap_or_else(|_| panic!("{kind}: non-fatal backend panicked"))
+                .unwrap();
+            assert!(
+                h.local.is_set(),
+                "{kind}: local flag must flush on transport failure"
+            );
+            match h.error() {
+                Some(TransportError::RetryExceeded { attempts, .. }) => {
+                    assert!(attempts > 0, "{kind}: exhausted with zero attempts")
+                }
+                other => panic!("{kind}: expected RetryExceeded, got {other:?}"),
+            }
+        }
+    }
+}
+
+/// A clean run never raises a transport error on any backend, and the
+/// wire counters move.
+#[test]
+fn clean_runs_are_error_free_on_every_backend() {
+    for kind in BackendKind::ALL {
+        let sim = Sim::new(16);
+        let bk = kind.build(4, 1, None);
+        let mut sends = Vec::new();
+        let mut recvs = Vec::new();
+        for dst in 1..4 {
+            recvs.push(bk.post_recv(&sim, dst, Some(0), Some(dst as i64)));
+            sends.push(bk.post(&sim, 0, dst, dst as i64, 2048));
+        }
+        sim.run().unwrap();
+        for (i, s) in sends.iter().enumerate() {
+            assert!(s.local.is_set(), "{kind}: send {i} never flushed");
+            assert!(s.error().is_none(), "{kind}: spurious error on send {i}");
+        }
+        for (i, r) in recvs.iter().enumerate() {
+            assert!(r.done.is_set(), "{kind}: recv {i} never completed");
+        }
+        assert!(bk.messages_sent() >= 3, "{kind}: wire counter stuck");
+    }
+}

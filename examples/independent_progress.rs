@@ -50,7 +50,8 @@ fn run(network: Network) -> (f64, f64) {
         }};
     }
     match network {
-        Network::InfiniBand => ranks!(IbWorld::new(&sim, 2, 1)),
+        // RoCE rides the same verbs world as native IB.
+        Network::InfiniBand | Network::RoceV2(_) => ranks!(IbWorld::new(&sim, 2, 1)),
         Network::Elan4 => ranks!(ElanWorld::new(&sim, 2, 1)),
     }
     sim.run().unwrap();

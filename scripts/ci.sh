@@ -17,27 +17,37 @@
 #                    ELANIB_DES_SHARDS=2 (cache off, so the run is
 #                    live) must reproduce the committed CSV byte for
 #                    byte
-#    9. conformance  paper-shape validation: expectations/*.toml vs the
+#    9. backend-matrix
+#                    N-way NIC-backend gate: the fig2 smoke exhibit
+#                    reruns under every registered backend via
+#                    ELANIB_BACKEND (hca, elan, roce-pfc, roce-dcqcn,
+#                    roce-hybrid; cache off so every run is live). The
+#                    two refactored paper backends must reproduce their
+#                    committed fig2 columns byte for byte even when
+#                    routed through the override machinery; the three
+#                    RoCE modes must complete cleanly. Per-backend wall
+#                    times land in ci_summary.json
+#   10. conformance  paper-shape validation: expectations/*.toml vs the
 #                    committed results/, exhibit coverage, and the
 #                    BENCH wall-time + events/s regression gates
 #                    (warn-only; run the binary with --strict to make
 #                    them fail)
-#   10. report       perf dashboard: elanib-report merges the committed
+#   11. report       perf dashboard: elanib-report merges the committed
 #                    BENCH history, this run's records (including the
 #                    kernel-profiler output stage 6 collects under
 #                    ELANIB_PROFILE=1) and the conformance verdict into
 #                    perf_report.md / perf_report.json; the
 #                    per-event-type cost gate is warn-only, like the
 #                    bench gate
-#   11. perf-gate    FAILING events/s regression gate: the quick kernel
+#   12. perf-gate    FAILING events/s regression gate: the quick kernel
 #                    micro-bench (kernelbench) records its scenarios,
 #                    then conformance --eps-gate 2 fails the run if any
 #                    sweep record above the 50k-event noise floor is
 #                    more than 2x below the best on record
-#   12. faults       fault-matrix smoke (loss + outage plans terminate)
-#   13. zero-fault   a rate-zero fault plan regenerates every CSV
+#   13. faults       fault-matrix smoke (loss + outage plans terminate)
+#   14. zero-fault   a rate-zero fault plan regenerates every CSV
 #                    byte-identically (full regen_all.sh)
-#   14. fuzz         time-boxed property fuzz: seeded random scenarios
+#   15. fuzz         time-boxed property fuzz: seeded random scenarios
 #                    through both stacks with every cross-cutting
 #                    invariant checked (elanib-fuzz); a violation
 #                    fails the stage and prints the shrunk repro path
@@ -57,7 +67,7 @@
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-STAGES="build test fmt clippy manifest regen cache par-des conformance report perf-gate faults zero-fault fuzz"
+STAGES="build test fmt clippy manifest regen cache par-des backend-matrix conformance report perf-gate faults zero-fault fuzz"
 QUICK_STAGES="build test clippy"
 
 MODE="full"
@@ -184,6 +194,54 @@ stage_par-des() {
     echo "par-des smoke OK: 2-shard fig2 regeneration byte-identical to committed CSV"
 }
 
+stage_backend-matrix() {
+    # One fig2 smoke run per registered NIC backend, forced through the
+    # ELANIB_BACKEND override (always paired with ELANIB_CACHE=off: an
+    # overridden run must never populate or read the point cache, whose
+    # keys name the *requested* network). fig2's CSV carries IB columns
+    # (2,3,6,7) and Elan columns (4,5,8,9); forcing hca must reproduce
+    # the committed IB columns byte for byte, forcing elan the Elan
+    # columns — the proof that the NicBackend refactor plus override
+    # plumbing is observationally invisible for the paper backends. The
+    # RoCE modes have no committed fig2 numbers; completing cleanly is
+    # their gate (their quantitative claims live in expectations/
+    # roce.toml).
+    local b rc t0 t1
+    BM_NAMES=()
+    BM_WALLS=()
+    for b in hca elan roce-pfc roce-dcqcn roce-hybrid; do
+        mkdir -p "$scratch/bm-$b"
+        t0=$(date +%s%N)
+        rc=0
+        ELANIB_RESULTS_DIR="$scratch/bm-$b" ELANIB_BACKEND="$b" ELANIB_CACHE=off \
+            timeout "$wd" ./target/release/fig2 > /dev/null 2> "$scratch/bm-$b.log" || rc=$?
+        t1=$(date +%s%N)
+        if [ "$rc" -ne 0 ]; then
+            echo "FAIL: fig2 under ELANIB_BACKEND=$b (status $rc)" >&2
+            cat "$scratch/bm-$b.log" >&2
+            return 1
+        fi
+        [ -s "$scratch/bm-$b/fig2_ljs.csv" ] \
+            || { echo "FAIL: ELANIB_BACKEND=$b produced no fig2 CSV" >&2; return 1; }
+        BM_NAMES+=("$b")
+        BM_WALLS+=($(( (t1 - t0) / 1000000 )))
+        echo "backend $b: fig2 smoke ok in $(( (t1 - t0) / 1000000 )) ms"
+    done
+    cut -d, -f1,2,3,6,7 results/fig2_ljs.csv > "$scratch/bm-ib-committed.csv"
+    cut -d, -f1,2,3,6,7 "$scratch/bm-hca/fig2_ljs.csv" > "$scratch/bm-ib-forced.csv"
+    cmp "$scratch/bm-ib-committed.csv" "$scratch/bm-ib-forced.csv" \
+        || { echo "FAIL: ELANIB_BACKEND=hca drifted the IB columns of fig2" >&2
+             diff -u "$scratch/bm-ib-committed.csv" "$scratch/bm-ib-forced.csv" | head -10 >&2
+             return 1; }
+    cut -d, -f1,4,5,8,9 results/fig2_ljs.csv > "$scratch/bm-elan-committed.csv"
+    cut -d, -f1,4,5,8,9 "$scratch/bm-elan/fig2_ljs.csv" > "$scratch/bm-elan-forced.csv"
+    cmp "$scratch/bm-elan-committed.csv" "$scratch/bm-elan-forced.csv" \
+        || { echo "FAIL: ELANIB_BACKEND=elan drifted the Elan columns of fig2" >&2
+             diff -u "$scratch/bm-elan-committed.csv" "$scratch/bm-elan-forced.csv" | head -10 >&2
+             return 1; }
+    echo "backend-matrix OK: 5 backends smoke-clean, hca/elan columns byte-identical"
+}
+
 stage_conformance() {
     # Paper-shape validation. The BENCH gate is warn-only here (add
     # --strict to promote regressions to failures); it only engages
@@ -276,6 +334,9 @@ else
 fi
 
 declare -a RAN_NAMES RAN_WALLS RAN_STATUS
+# Filled by stage_backend-matrix; emitted as a "backend_matrix" block
+# in ci_summary.json when that stage ran.
+declare -a BM_NAMES=() BM_WALLS=()
 overall=0
 total_start=$(date +%s%N)
 for s in $RUN_LIST; do
@@ -317,6 +378,14 @@ printf '%-14s %8s ms  %s\n' "total" "$total_ms" "$([ "$overall" -eq 0 ] && echo 
             "$([ "${RAN_STATUS[$i]}" = ok ] && echo true || echo false)" \
             "$([ $((i + 1)) -lt ${#RAN_NAMES[@]} ] && echo ',')"
     done
+    if [ "${#BM_NAMES[@]}" -gt 0 ]; then
+        printf '  ],\n  "backend_matrix": [\n'
+        for i in "${!BM_NAMES[@]}"; do
+            printf '    {"backend": "%s", "wall_ms": %s}%s\n' \
+                "${BM_NAMES[$i]}" "${BM_WALLS[$i]}" \
+                "$([ $((i + 1)) -lt ${#BM_NAMES[@]} ] && echo ',')"
+        done
+    fi
     printf '  ]\n}\n'
 } > ci_summary.json
 echo "[stage summary written to ci_summary.json]"

@@ -28,7 +28,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BINS="table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 tables ablations faults"
+BINS="table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 tables ablations faults roce"
 SMOKE=0
 if [ "${1:-}" = "--smoke" ]; then
     # Smoke mode: the cheap cost-model exhibits plus one full MD study

@@ -112,6 +112,7 @@ fn exhibit_inventory_names_real_binaries() {
         "tables",
         "ablations",
         "faults",
+        "roce",
     ];
     for e in EXHIBITS {
         assert!(
